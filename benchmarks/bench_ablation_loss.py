@@ -1,0 +1,72 @@
+"""Ablation (paper future work): triplet loss vs contrastive loss.
+
+Section VI: "There are a number of interesting directions for future work
+such as evaluating other loss functions".  We train the same architecture
+with the paper's triplet margin loss and with a pairwise contrastive loss
+and compare syntactic/semantic lookup success at the same budget.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import BENCH_TRAIN_CONFIG, cached_emblookup, record_table
+from repro.evaluation.metrics import candidate_recall_at_k
+from repro.lookup.emblookup_service import EmbLookupService
+from repro.text.noise import NoiseModel
+
+K = 10
+
+
+@pytest.fixture(scope="module")
+def workloads(kg_medium):
+    entities = list(kg_medium.entities())[:300]
+    noise = NoiseModel(seed=99)
+    noisy = ([noise.corrupt(e.label) for e in entities],
+             [e.entity_id for e in entities])
+    alias_pairs = [(e.aliases[0], e.entity_id) for e in entities if e.aliases]
+    aliases = ([a for a, _ in alias_pairs], [t for _, t in alias_pairs])
+    return noisy, aliases
+
+
+@pytest.fixture(scope="module")
+def loss_variants(kg_medium, workloads):
+    (noisy_q, noisy_t), (alias_q, alias_t) = workloads
+    results = {}
+    for loss in ("triplet", "contrastive"):
+        config = replace(BENCH_TRAIN_CONFIG, loss=loss)
+        pipeline = cached_emblookup(f"el_loss_{loss}", kg_medium, config)
+        service = EmbLookupService(pipeline)
+
+        def success(queries, truth):
+            rows = service.lookup_batch(queries, K)
+            ids = [[c.entity_id for c in row] for row in rows]
+            return candidate_recall_at_k(ids, truth, K)
+
+        results[loss] = (success(noisy_q, noisy_t), success(alias_q, alias_t))
+    return results
+
+
+def test_ablation_loss_functions(benchmark, loss_variants):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = [
+        [loss, syntactic, semantic]
+        for loss, (syntactic, semantic) in loss_variants.items()
+    ]
+    record_table(
+        "ablation_loss",
+        ["loss", "syntactic (typos)", "semantic (aliases)"],
+        table,
+        title="Ablation: triplet vs contrastive loss (recall@10)",
+    )
+
+    triplet = loss_variants["triplet"]
+    contrastive = loss_variants["contrastive"]
+    # Both objectives must produce a working metric space.  (Empirically,
+    # at reproduction scale the contrastive loss *outperforms* the paper's
+    # triplet loss on both axes — evidence that the paper's "evaluate
+    # other loss functions" future-work direction is worth pursuing; see
+    # EXPERIMENTS.md.)
+    assert min(triplet) > 0.4
+    assert min(contrastive) > 0.4
+    assert max(triplet[0], contrastive[0]) > 0.7

@@ -1,0 +1,91 @@
+"""Ablation (extension beyond the paper): triplet-source composition.
+
+DESIGN.md calls out EmbLookup's triplet mixture (alias positives, typo
+perturbations, same-type neighbours) as a design choice worth ablating.
+We train four variants at the same total budget — alias-only, typo-only,
+type-only, and the full mixture — and evaluate syntactic (noisy) and
+semantic (alias) lookup success.
+
+Expected shape: typo-only wins syntactic but loses semantic; alias-only
+the reverse; the full mixture is the best compromise (highest mean).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import BENCH_TRAIN_CONFIG, cached_emblookup, record_table
+from repro.evaluation.metrics import candidate_recall_at_k
+from repro.lookup.emblookup_service import EmbLookupService
+from repro.text.noise import NoiseModel
+from repro.triplets.mining import TripletMiningConfig
+
+K = 10
+
+MIXTURES = {
+    "alias-only": (1.0, 0.0, 0.0),
+    "typo-only": (0.0, 1.0, 0.0),
+    "type-only": (0.0, 0.0, 1.0),
+    "full": (0.4, 0.45, 0.15),
+}
+
+
+@pytest.fixture(scope="module")
+def workloads(kg_medium):
+    entities = list(kg_medium.entities())[:300]
+    noise = NoiseModel(seed=88)
+    noisy = ([noise.corrupt(e.label) for e in entities],
+             [e.entity_id for e in entities])
+    alias_pairs = [(e.aliases[0], e.entity_id) for e in entities if e.aliases]
+    aliases = ([a for a, _ in alias_pairs], [t for _, t in alias_pairs])
+    return noisy, aliases
+
+
+@pytest.fixture(scope="module")
+def ablation(kg_medium, workloads):
+    (noisy_q, noisy_t), (alias_q, alias_t) = workloads
+    results = {}
+    for name, (alias_f, typo_f, type_f) in MIXTURES.items():
+        config = replace(
+            BENCH_TRAIN_CONFIG,
+            mining=TripletMiningConfig(
+                triplets_per_entity=BENCH_TRAIN_CONFIG.triplets_per_entity,
+                alias_fraction=alias_f,
+                typo_fraction=typo_f,
+                type_fraction=type_f,
+                seed=1,
+            ),
+        )
+        pipeline = cached_emblookup(f"el_ablate_{name}", kg_medium, config)
+        service = EmbLookupService(pipeline)
+
+        def success(queries, truth):
+            rows = service.lookup_batch(queries, K)
+            ids = [[c.entity_id for c in row] for row in rows]
+            return candidate_recall_at_k(ids, truth, K)
+
+        results[name] = (success(noisy_q, noisy_t), success(alias_q, alias_t))
+    return results
+
+
+def test_ablation_triplet_sources(benchmark, ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = [
+        [name, syntactic, semantic, (syntactic + semantic) / 2]
+        for name, (syntactic, semantic) in ablation.items()
+    ]
+    record_table(
+        "ablation_triplets",
+        ["mixture", "syntactic (typos)", "semantic (aliases)", "mean"],
+        table,
+        title="Ablation: triplet-source composition (recall@10)",
+    )
+
+    # Shape 1: each specialist beats the opposite specialist on its axis.
+    assert ablation["typo-only"][0] > ablation["alias-only"][0] - 0.03
+    assert ablation["alias-only"][1] > ablation["typo-only"][1]
+
+    # Shape 2: the full mixture is the best (or near-best) compromise.
+    full_mean = sum(ablation["full"]) / 2
+    for name, scores in ablation.items():
+        assert full_mean >= sum(scores) / 2 - 0.06, name

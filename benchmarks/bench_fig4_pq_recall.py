@@ -1,0 +1,59 @@
+"""Figure 4 — recall of the compressed (PQ) index vs k.
+
+Protocol: EL-NC (uncompressed) is the ground truth; recall@k is the
+overlap between EL's and EL-NC's top-k result sets.
+
+Paper shape: recall is comparatively low at k=1 and recovers toward 1.0
+for the k=20-100 regime the applications use.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.evaluation.metrics import index_recall_overlap
+from repro.text.noise import NoiseModel
+from repro.text.tokenize import normalize
+
+KS = (1, 5, 10, 20, 50, 100)
+
+
+@pytest.fixture(scope="module")
+def recall_curve(kg_wikidata, el_wikidata, elnc_wikidata):
+    noise = NoiseModel(seed=66)
+    queries = [
+        noise.corrupt(normalize(e.label))
+        for e in list(kg_wikidata.entities())[:400]
+    ]
+    model = el_wikidata.model
+    vectors = np.concatenate(
+        [model.embed(queries[i : i + 256]) for i in range(0, len(queries), 256)]
+    )
+    k_max = max(KS)
+    approx = el_wikidata.index.search(vectors, k_max)
+    exact = elnc_wikidata.index.search(vectors, k_max)
+    return {
+        k: index_recall_overlap(approx.ids, exact.ids, k) for k in KS
+    }
+
+
+def test_fig4_pq_recall_vs_k(benchmark, recall_curve):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = [[k, recall_curve[k]] for k in KS]
+    record_table(
+        "fig4_pq_recall",
+        ["k", "recall (PQ vs exact)"],
+        table,
+        title="Figure 4: impact of compression on recall (EL vs EL-NC)",
+    )
+
+    # Shape 1: the curve recovers with k.
+    assert recall_curve[100] > recall_curve[1]
+    assert recall_curve[100] > recall_curve[5]
+    # Shape 2: the application regime (k >= 20) is comfortable.
+    assert recall_curve[20] > 0.6
+    assert recall_curve[100] >= 0.7
+    # Shape 3: monotone-ish (allow small wiggle).
+    values = [recall_curve[k] for k in KS]
+    for earlier, later in zip(values, values[2:]):
+        assert later >= earlier - 0.05

@@ -1,0 +1,124 @@
+"""Figure 5 — PQ vs PCA at matched storage budgets (CEA + CTA, bbw).
+
+Protocol: vary bytes/vector; PQ uses m = bytes one-byte codes, PCA keeps
+bytes/4 float32 components (both applied to the same trained 64-d
+embeddings).  The bbw system consumes each variant's candidates.
+
+Paper shape: the PQ curves are almost flat (quantization costs little
+accuracy even at 8 bytes) while PCA collapses as the budget shrinks.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from bench_common import SYSTEM_ROWS, run_system
+from repro.index.flat import FlatIndex
+from repro.index.pca import PCATransform
+from repro.index.pq import PQIndex
+from repro.lookup.base import Candidate, LookupService
+from repro.text.tokenize import normalize
+
+BYTE_BUDGETS = (8, 16, 32, 64)
+
+_CEA_SPEC = next(
+    s for s in SYSTEM_ROWS if s.task == "CEA" and s.system_name == "bbw"
+)
+_CTA_SPEC = next(
+    s for s in SYSTEM_ROWS if s.task == "CTA" and s.system_name == "bbw"
+)
+
+
+class _CompressedService(LookupService):
+    """Lookup over a pre-built index + shared embedding model."""
+
+    def __init__(self, model, index, row_to_entity, transform=None, name="x"):
+        super().__init__()
+        self.model = model
+        self.index = index
+        self.row_to_entity = row_to_entity
+        self.transform = transform
+        self.name = name
+
+    def _lookup_batch(self, queries, k):
+        vectors = self.model.embed([normalize(q) for q in queries])
+        if self.transform is not None:
+            vectors = self.transform.apply(vectors)
+        result = self.index.search(vectors, min(k, self.index.ntotal))
+        out = []
+        for row_ids, row_d in zip(result.ids, result.distances):
+            out.append(
+                [
+                    Candidate(self.row_to_entity[int(i)], -float(d))
+                    for i, d in zip(row_ids, row_d)
+                    if i >= 0
+                ][:k]
+            )
+        return out
+
+
+@pytest.fixture(scope="module")
+def services(kg_wikidata, el_wikidata):
+    model = el_wikidata.model
+    labels = [normalize(e.label) for e in kg_wikidata.entities()]
+    row_to_entity = [e.entity_id for e in kg_wikidata.entities()]
+    vectors = np.concatenate(
+        [model.embed(labels[i : i + 256]) for i in range(0, len(labels), 256)]
+    )
+    dim = vectors.shape[1]
+
+    built = {}
+    for bytes_per_vec in BYTE_BUDGETS:
+        pq = PQIndex(dim, m=bytes_per_vec, seed=7)
+        pq.train(vectors)
+        pq.add(vectors)
+        built[("PQ", bytes_per_vec)] = _CompressedService(
+            model, pq, row_to_entity, name=f"pq{bytes_per_vec}"
+        )
+
+        pca = PCATransform(max(bytes_per_vec // 4, 1)).train(vectors)
+        flat = FlatIndex(pca.n_components)
+        flat.add(pca.apply(vectors))
+        built[("PCA", bytes_per_vec)] = _CompressedService(
+            model, flat, row_to_entity, transform=pca, name=f"pca{bytes_per_vec}"
+        )
+    return built
+
+
+@pytest.fixture(scope="module")
+def fig5(kg_wikidata, ds_wikidata, services):
+    # The error variant is what separates compression schemes: for clean
+    # cells the query embedding coincides exactly with the indexed label
+    # embedding, so even a 2-d PCA projection retrieves it at distance 0.
+    noisy = ds_wikidata.with_noise(fraction=0.3, seed=51)
+    results = {}
+    for (method, bytes_per_vec), service in services.items():
+        cea = run_system(_CEA_SPEC, service, noisy, kg_wikidata).f_score
+        cta = run_system(_CTA_SPEC, service, noisy, kg_wikidata).f_score
+        results[(method, bytes_per_vec)] = (cea, cta)
+    return results
+
+
+def test_fig5_pq_vs_pca(benchmark, fig5):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = []
+    for bytes_per_vec in BYTE_BUDGETS:
+        pq_cea, pq_cta = fig5[("PQ", bytes_per_vec)]
+        pca_cea, pca_cta = fig5[("PCA", bytes_per_vec)]
+        table.append([bytes_per_vec, pq_cea, pca_cea, pq_cta, pca_cta])
+    record_table(
+        "fig5_compression",
+        ["bytes/vec", "CEA PQ", "CEA PCA", "CTA PQ", "CTA PCA"],
+        table,
+        title="Figure 5: PQ vs PCA compression at equal storage (bbw)",
+    )
+
+    # Shape 1: PQ is nearly flat across budgets.
+    pq_cea_scores = [fig5[("PQ", b)][0] for b in BYTE_BUDGETS]
+    assert max(pq_cea_scores) - min(pq_cea_scores) < 0.12
+
+    # Shape 2: at the tightest budget PQ clearly beats PCA.
+    assert fig5[("PQ", 8)][0] > fig5[("PCA", 8)][0]
+
+    # Shape 3: PCA degrades as the budget shrinks.
+    assert fig5[("PCA", 64)][0] >= fig5[("PCA", 8)][0] - 0.02

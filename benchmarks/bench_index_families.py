@@ -1,0 +1,104 @@
+"""Extension: index-family comparison (Flat / PQ / IVF-Flat / IVF-PQ / LSH).
+
+The paper settled on FAISS "after an empirical analysis" of indexing
+options (Section III-C).  This bench reproduces that analysis on our
+index library: recall vs the exact index, per-query latency, and memory.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import record_table
+from repro.index.flat import FlatIndex
+from repro.index.ivf import IVFFlatIndex
+from repro.index.hnsw import HNSWIndex
+from repro.index.ivfpq import IVFPQIndex
+from repro.index.lsh import LSHIndex
+from repro.index.pq import PQIndex
+from repro.evaluation.metrics import index_recall_overlap
+from repro.text.noise import NoiseModel
+from repro.text.tokenize import normalize
+
+K = 10
+
+
+@pytest.fixture(scope="module")
+def embeddings(kg_wikidata, el_wikidata):
+    model = el_wikidata.model
+    labels = [normalize(e.label) for e in kg_wikidata.entities()]
+    vectors = np.concatenate(
+        [model.embed(labels[i : i + 256]) for i in range(0, len(labels), 256)]
+    )
+    noise = NoiseModel(seed=13)
+    queries = [noise.corrupt(label) for label in labels[:300]]
+    query_vectors = np.concatenate(
+        [model.embed(queries[i : i + 256]) for i in range(0, len(queries), 256)]
+    )
+    return vectors, query_vectors
+
+
+@pytest.fixture(scope="module")
+def family_results(embeddings):
+    vectors, queries = embeddings
+    dim = vectors.shape[1]
+
+    flat = FlatIndex(dim)
+    flat.add(vectors)
+    exact = flat.search(queries, K)
+
+    def build_and_measure(index):
+        index.train(vectors)
+        index.add(vectors)
+        start = time.perf_counter()
+        result = index.search(queries, K)
+        elapsed = time.perf_counter() - start
+        recall = index_recall_overlap(result.ids, exact.ids, K)
+        return recall, elapsed / len(queries), index.memory_bytes()
+
+    start = time.perf_counter()
+    flat.search(queries, K)
+    flat_time = (time.perf_counter() - start) / len(queries)
+
+    results = {
+        "Flat (exact)": (1.0, flat_time, flat.memory_bytes()),
+        "PQ": build_and_measure(PQIndex(dim, m=8, seed=1)),
+        "IVF-Flat": build_and_measure(
+            IVFFlatIndex(dim, nlist=32, nprobe=6, seed=1)
+        ),
+        "IVF-PQ": build_and_measure(
+            IVFPQIndex(dim, nlist=32, m=8, nprobe=6, seed=1)
+        ),
+        "LSH": build_and_measure(LSHIndex(dim, nbits=14, ntables=8, seed=1)),
+        "HNSW": build_and_measure(
+            HNSWIndex(dim, m=12, ef_search=40, seed=1)
+        ),
+    }
+    return results
+
+
+def test_index_family_tradeoffs(benchmark, family_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = [
+        [name, recall, f"{per_query * 1e6:.0f}us", f"{mem / 1024:.0f}KiB"]
+        for name, (recall, per_query, mem) in family_results.items()
+    ]
+    record_table(
+        "index_families",
+        ["index", "recall@10 vs exact", "time/query", "memory"],
+        table,
+        title="Extension: index-family empirical analysis (Section III-C)",
+    )
+
+    recalls = {name: r for name, (r, _, _) in family_results.items()}
+    memories = {name: m for name, (_, _, m) in family_results.items()}
+    # Shape 1: exact search defines the ceiling.
+    assert all(recalls[name] <= 1.0 for name in recalls)
+    # Shape 2: PQ trades recall for a much smaller index.
+    assert memories["PQ"] < memories["Flat (exact)"] / 4
+    assert recalls["PQ"] > 0.5
+    # Shape 3: IVF-Flat keeps higher recall than IVF-PQ (no code loss).
+    assert recalls["IVF-Flat"] >= recalls["IVF-PQ"] - 0.05
+    # Shape 4: the graph index reaches high recall without compression.
+    assert recalls["HNSW"] > 0.7

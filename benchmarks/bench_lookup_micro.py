@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the lookup services (pytest-benchmark timings).
+
+These complement the table benches with repeated-measurement timings of
+the raw ``lookup_batch`` call for EmbLookup (EL and EL-NC) and the local
+baselines — the quantity behind every speedup column.
+"""
+
+import pytest
+
+from repro.lookup.elastic import ElasticLookup
+from repro.lookup.emblookup_service import EmbLookupService
+from repro.lookup.exact import ExactMatchLookup
+from repro.lookup.fuzzy import FuzzyWuzzyLookup
+from repro.lookup.qgram import QGramLookup
+from repro.text.noise import NoiseModel
+
+K = 10
+BATCH = 64
+
+
+@pytest.fixture(scope="module")
+def queries(kg_wikidata):
+    noise = NoiseModel(seed=77)
+    labels = [e.label for e in list(kg_wikidata.entities())[:BATCH]]
+    # Half clean, half corrupted — the realistic mixture.
+    return [
+        noise.corrupt(label) if i % 2 else label
+        for i, label in enumerate(labels)
+    ]
+
+
+def test_bench_emblookup_pq(benchmark, el_wikidata, queries):
+    service = EmbLookupService(el_wikidata)
+    benchmark(service.lookup_batch, queries, K)
+
+
+def test_bench_emblookup_flat(benchmark, elnc_wikidata, queries):
+    service = EmbLookupService(elnc_wikidata)
+    benchmark(service.lookup_batch, queries, K)
+
+
+def test_bench_exact_match(benchmark, kg_wikidata, queries):
+    service = ExactMatchLookup.build(kg_wikidata)
+    benchmark(service.lookup_batch, queries, K)
+
+
+def test_bench_qgram(benchmark, kg_wikidata, queries):
+    service = QGramLookup.build(kg_wikidata)
+    benchmark(service.lookup_batch, queries, K)
+
+
+def test_bench_elastic(benchmark, kg_wikidata, queries):
+    service = ElasticLookup.build(kg_wikidata)
+    benchmark(service.lookup_batch, queries, K)
+
+
+def test_bench_fuzzywuzzy(benchmark, kg_wikidata, queries):
+    service = FuzzyWuzzyLookup.build(kg_wikidata)
+    benchmark.pedantic(service.lookup_batch, args=(queries, K), rounds=1, iterations=1)

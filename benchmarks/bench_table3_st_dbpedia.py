@@ -1,0 +1,70 @@
+"""Table III — the Table II experiment repeated on ST-DBPedia.
+
+The paper's point: the speedups and accuracy hold across knowledge graphs
+("due to the algorithmic choices and not inherently due to the knowledge
+graph"), so the same shape assertions must pass on the DBPedia-flavoured
+graph as on the Wikidata one.
+"""
+
+import pytest
+
+from conftest import record_table
+from bench_common import SYSTEM_ROWS, emblookup_services, original_service, run_system
+
+
+@pytest.fixture(scope="module")
+def table3_rows(kg_dbpedia, ds_dbpedia, el_dbpedia, elnc_dbpedia):
+    el_cpu, elnc_cpu, el_gpu, elnc_gpu = emblookup_services(
+        el_dbpedia, elnc_dbpedia
+    )
+    rows = []
+    for spec in SYSTEM_ROWS:
+        original = run_system(
+            spec, original_service(spec, kg_dbpedia), ds_dbpedia, kg_dbpedia
+        )
+        rows.append(
+            {
+                "spec": spec,
+                "original": original,
+                "el": run_system(spec, el_cpu, ds_dbpedia, kg_dbpedia),
+                "elnc": run_system(spec, elnc_cpu, ds_dbpedia, kg_dbpedia),
+                "el_gpu": run_system(spec, el_gpu, ds_dbpedia, kg_dbpedia),
+            }
+        )
+    return rows
+
+
+def test_table3_speedup_and_fscore(benchmark, table3_rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = []
+    for row in table3_rows:
+        spec, original = row["spec"], row["original"]
+        table.append(
+            [
+                spec.task,
+                spec.system_name,
+                f"{row['el'].speedup_over(original):.0f}x",
+                f"{row['elnc'].speedup_over(original):.0f}x",
+                f"{row['el_gpu'].speedup_over(original):.0f}x*",
+                original.f_score,
+                row["el"].f_score,
+                row["elnc"].f_score,
+            ]
+        )
+    record_table(
+        "table3_st_dbpedia",
+        ["task", "system", "EL cpu", "EL-NC cpu", "EL gpu",
+         "F orig", "F EL", "F EL-NC"],
+        table,
+        title=(
+            "Table III: EmbLookup accelerating lookups, ST-DBPedia "
+            "(* = modelled V100 throughput)"
+        ),
+    )
+
+    for row in table3_rows:
+        spec, original = row["spec"], row["original"]
+        label = f"{spec.task}/{spec.system_name}"
+        assert row["el"].speedup_over(original) > 5, label
+        assert row["el"].f_score > original.f_score - 0.12, label
+        assert row["elnc"].f_score >= row["el"].f_score - 0.05, label

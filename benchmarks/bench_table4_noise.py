@@ -1,0 +1,116 @@
+"""Table IV — F-scores under noisy tabular data (3 datasets).
+
+Paper shape: with 10 % of cells corrupted, the original systems collapse
+(e.g. JenTab CEA 0.25 on ST-Wikidata) while EmbLookup stays much closer to
+its no-error score; Tough Tables shows the same gap.  Retrieval speed is
+unchanged by noise.
+"""
+
+import pytest
+
+from conftest import record_table
+from bench_common import SYSTEM_ROWS, original_service, run_system
+from repro.lookup.emblookup_service import EmbLookupService
+
+
+@pytest.fixture(scope="module")
+def noisy_wikidata(ds_wikidata):
+    return ds_wikidata.with_noise(fraction=0.1, seed=21)
+
+
+@pytest.fixture(scope="module")
+def noisy_dbpedia(ds_dbpedia):
+    return ds_dbpedia.with_noise(fraction=0.1, seed=22)
+
+
+def _rows_for(kg, noisy_ds, el_pipeline):
+    el = EmbLookupService(el_pipeline)
+    rows = []
+    for spec in SYSTEM_ROWS:
+        original = run_system(spec, original_service(spec, kg), noisy_ds, kg)
+        replaced = run_system(spec, el, noisy_ds, kg)
+        rows.append((spec, original, replaced))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def wikidata_rows(kg_wikidata, noisy_wikidata, el_wikidata):
+    return _rows_for(kg_wikidata, noisy_wikidata, el_wikidata)
+
+
+@pytest.fixture(scope="module")
+def dbpedia_rows(kg_dbpedia, noisy_dbpedia, el_dbpedia):
+    return _rows_for(kg_dbpedia, noisy_dbpedia, el_dbpedia)
+
+
+@pytest.fixture(scope="module")
+def tough_rows(kg_wikidata, ds_tough, el_wikidata):
+    return _rows_for(kg_wikidata, ds_tough, el_wikidata)
+
+
+def test_table4_noise_robustness(
+    benchmark, wikidata_rows, dbpedia_rows, tough_rows
+):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = []
+    datasets = [
+        ("st_wikidata+err", wikidata_rows),
+        ("st_dbpedia+err", dbpedia_rows),
+        ("tough_tables", tough_rows),
+    ]
+    by_spec: dict[str, list[float]] = {}
+    for ds_name, rows in datasets:
+        for spec, original, replaced in rows:
+            table.append(
+                [ds_name, spec.task, spec.system_name,
+                 original.f_score, replaced.f_score]
+            )
+            by_spec.setdefault(f"{spec.task}/{spec.system_name}", []).append(
+                replaced.f_score - original.f_score
+            )
+    record_table(
+        "table4_noise",
+        ["dataset", "task", "system", "F original", "F EmbLookup"],
+        table,
+        title="Table IV: F-score under noisy tabular data",
+    )
+
+    # Shape 1: EmbLookup wins or ties on the strong majority of rows.
+    # (At this KG scale a 10 % noise level barely dents the originals —
+    # multi-word cells still word-match and the exhaustive local scans are
+    # effectively exact; the divergence is documented in EXPERIMENTS.md,
+    # and the noise *sweep* bench shows the paper's separation once the
+    # noise level rises.)
+    margins = [m for ms in by_spec.values() for m in ms]
+    wins = sum(1 for m in margins if m > -0.03)
+    assert wins >= int(0.7 * len(margins)), f"wins={wins}/{len(margins)}"
+    # Shape 2: where the original relies on collective disambiguation over
+    # noisy candidates (DoSeR), EmbLookup's robust candidates win clearly.
+    ea_margins = by_spec["EA/DoSeR"]
+    assert sum(ea_margins) / len(ea_margins) > 0.02
+    # Shape 3: EmbLookup's own accuracy stays usable on every noisy row of
+    # the annotation tasks (the paper: "not that far off from no-error").
+    for (spec, original, replaced) in (
+        wikidata_rows + dbpedia_rows + tough_rows
+    ):
+        if spec.task in ("CEA", "CTA"):
+            assert replaced.f_score > 0.6, f"{spec.task}/{spec.system_name}"
+
+
+def test_table4_speed_unaffected_by_noise(
+    benchmark, kg_wikidata, ds_wikidata, noisy_wikidata, el_wikidata
+):
+    """Paper: 'the retrieval speed of EmbLookup is not affected by the
+    presence or absence of errors.'"""
+    from bench_common import SYSTEM_ROWS
+
+    spec = SYSTEM_ROWS[0]  # CEA / bbw
+    el = EmbLookupService(el_wikidata)
+
+    def run_clean():
+        return run_system(spec, el, ds_wikidata, kg_wikidata)
+
+    clean = benchmark.pedantic(run_clean, rounds=1, iterations=1)
+    noisy = run_system(spec, el, noisy_wikidata, kg_wikidata)
+    ratio = noisy.lookup_seconds / max(clean.lookup_seconds, 1e-9)
+    assert 0.4 < ratio < 2.5

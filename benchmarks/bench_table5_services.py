@@ -1,0 +1,156 @@
+"""Table V — head-to-head against eight lookup services (CEA, top-10).
+
+Protocol (paper Section IV-C): every service answers the same queries with
+k=10; a query succeeds when the ground-truth entity is in the top-10.
+Reported per service: EmbLookup's speedup (CPU + modelled GPU) and both
+services' success rates with and without injected errors.
+
+Paper shape: EmbLookup is faster than every service — ~1 order of
+magnitude vs optimized local indexes, ~2 vs scan matchers and rate-limited
+remote endpoints — while matching or beating their accuracy, especially
+under errors.  Exact match / q-gram / Levenshtein are served through the
+same local-service layer the paper used (ElasticSearch-hosted operations),
+so their timings include the per-request service overhead.
+"""
+
+import pytest
+
+from conftest import record_table
+from bench_common import lamapi_model
+from repro.evaluation.metrics import candidate_recall_at_k
+from repro.lookup.elastic import ElasticLookup
+from repro.lookup.emblookup_service import EmbLookupService
+from repro.lookup.exact import ExactMatchLookup
+from repro.lookup.fuzzy import FuzzyWuzzyLookup
+from repro.lookup.levenshtein import LevenshteinLookup
+from repro.lookup.lsh_lookup import LSHStringLookup
+from repro.lookup.qgram import QGramLookup
+from repro.lookup.remote import RemoteServiceModel, SimulatedRemoteLookup
+from repro.text.noise import NoiseModel
+
+K = 10
+
+
+@pytest.fixture(scope="module")
+def workload(ds_wikidata):
+    """(clean queries, noisy queries, ground-truth entity ids)."""
+    refs = ds_wikidata.annotated_cells()
+    clean = [ds_wikidata.cell_text(ref) for ref in refs]
+    truth = [ds_wikidata.cea[ref] for ref in refs]
+    keep = [i for i, text in enumerate(clean) if text]
+    clean = [clean[i] for i in keep]
+    truth = [truth[i] for i in keep]
+    noise = NoiseModel(seed=33)
+    noisy = [noise.corrupt(q) for q in clean]
+    return clean, noisy, truth
+
+
+def _baselines(kg):
+    local_service = lamapi_model()  # ES-hosted ops pay per-request overhead
+    return [
+        ("FuzzyWuzzy", FuzzyWuzzyLookup.build(kg)),
+        ("ElasticSearch", ElasticLookup.build(kg)),
+        ("LSH", LSHStringLookup.build(kg)),
+        ("ExactMatch", SimulatedRemoteLookup(
+            ExactMatchLookup.build(kg), local_service, name="exact_es")),
+        ("q-gram", SimulatedRemoteLookup(
+            QGramLookup.build(kg), local_service, name="qgram_es")),
+        ("Levenshtein", SimulatedRemoteLookup(
+            LevenshteinLookup.build(kg), local_service, name="lev_es")),
+        ("WikidataAPI", SimulatedRemoteLookup.build(
+            kg, RemoteServiceModel.wikidata(), name="wikidata_api")),
+        ("SearX", SimulatedRemoteLookup.build(
+            kg, RemoteServiceModel.searx(), name="searx")),
+    ]
+
+
+def _success(service, queries, truth):
+    service.reset_timers()
+    results = service.lookup_batch(queries, K)
+    candidate_ids = [[c.entity_id for c in row] for row in results]
+    return (
+        candidate_recall_at_k(candidate_ids, truth, K),
+        service.total_lookup_seconds,
+    )
+
+
+@pytest.fixture(scope="module")
+def table5(kg_wikidata, el_wikidata, workload):
+    clean, noisy, truth = workload
+    el_cpu = EmbLookupService(el_wikidata)
+    el_gpu = EmbLookupService(el_wikidata, gpu_mode=True)
+
+    el_clean_f, el_clean_t = _success(el_cpu, clean, truth)
+    el_noisy_f, el_noisy_t = _success(el_cpu, noisy, truth)
+    _, el_gpu_t = _success(el_gpu, clean, truth)
+    el_time = el_clean_t + el_noisy_t
+
+    rows = []
+    for name, service in _baselines(kg_wikidata):
+        base_clean_f, base_clean_t = _success(service, clean, truth)
+        base_noisy_f, base_noisy_t = _success(service, noisy, truth)
+        base_time = base_clean_t + base_noisy_t
+        rows.append(
+            {
+                "name": name,
+                "speedup_cpu": base_time / el_time,
+                "speedup_gpu": base_time / (el_gpu_t * 2),
+                "base_clean": base_clean_f,
+                "base_noisy": base_noisy_f,
+            }
+        )
+    return rows, el_clean_f, el_noisy_f
+
+
+def test_table5_lookup_services(benchmark, table5):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows, el_clean, el_noisy = table5
+    table = [
+        [
+            r["name"],
+            f"{r['speedup_cpu']:.0f}x",
+            f"{r['speedup_gpu']:.0f}x*",
+            r["base_clean"],
+            el_clean,
+            r["base_noisy"],
+            el_noisy,
+        ]
+        for r in rows
+    ]
+    record_table(
+        "table5_services",
+        ["approach", "speedup cpu", "speedup gpu",
+         "F base (clean)", "F EL (clean)", "F base (err)", "F EL (err)"],
+        table,
+        title=(
+            "Table V: EmbLookup vs lookup services, ST-Wikidata CEA top-10 "
+            "(* = modelled V100 throughput)"
+        ),
+    )
+
+    by_name = {r["name"]: r for r in rows}
+    # Shape 1: order(s)-of-magnitude speedup over scan matchers and remote
+    # endpoints; clear speedup over the service-hosted index operations.
+    assert by_name["FuzzyWuzzy"]["speedup_cpu"] > 20
+    assert by_name["Levenshtein"]["speedup_cpu"] > 10
+    assert by_name["WikidataAPI"]["speedup_cpu"] > 20
+    assert by_name["SearX"]["speedup_cpu"] > 50
+    for name in ("ElasticSearch", "ExactMatch", "q-gram"):
+        assert by_name[name]["speedup_cpu"] > 1.5, name
+    # Our banded MinHash LSH is itself hash-bucket fast; unlike the
+    # paper's implementation it is not clearly slower than EmbLookup —
+    # it pays in the error column instead (see accuracy assertions).
+    # Both are sub-millisecond systems, so the ratio is scheduling-noise
+    # sensitive; only guard against an order-of-magnitude surprise.
+    assert by_name["LSH"]["speedup_cpu"] > 0.2
+
+    # Shape 2: near-perfect on clean queries.
+    assert el_clean > 0.9
+
+    # Shape 3: under errors EmbLookup beats the brittle services clearly.
+    assert el_noisy > by_name["ExactMatch"]["base_noisy"] + 0.2
+    assert el_noisy > by_name["LSH"]["base_noisy"]
+    # And stays within a modest gap of the exhaustive edit-distance scans
+    # (which pay 1-2 orders of magnitude more time for that accuracy; at
+    # this KG scale the scans are effectively exact, see EXPERIMENTS.md).
+    assert el_noisy > by_name["FuzzyWuzzy"]["base_noisy"] - 0.3

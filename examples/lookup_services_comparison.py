@@ -1,0 +1,90 @@
+"""Head-to-head comparison of lookup services under noise (Table V style).
+
+Builds every baseline service plus EmbLookup over the same KG, fires the
+same clean and corrupted query workloads at each, and prints success@10
+and per-query time.
+
+Run:  python examples/lookup_services_comparison.py
+"""
+
+from repro import EmbLookupConfig, SyntheticKGConfig, generate_kg
+from repro.evaluation import candidate_recall_at_k, format_table
+from repro.lookup import (
+    ElasticLookup,
+    EmbLookupService,
+    ExactMatchLookup,
+    FuzzyWuzzyLookup,
+    LevenshteinLookup,
+    LSHStringLookup,
+    QGramLookup,
+    RemoteServiceModel,
+    SimulatedRemoteLookup,
+)
+from repro.text.noise import NoiseModel
+
+K = 10
+
+
+def main() -> None:
+    kg = generate_kg(SyntheticKGConfig(num_entities=800, seed=7))
+    entities = list(kg.entities())[:250]
+    truth = [e.entity_id for e in entities]
+    clean = [e.label for e in entities]
+    noisy = [NoiseModel(seed=3).corrupt(q) for q in clean]
+
+    print("training EmbLookup...")
+    services = [
+        EmbLookupService.build(
+            kg,
+            EmbLookupConfig(
+                epochs=6, triplets_per_entity=12, fasttext_epochs=2, seed=1
+            ),
+        ),
+        ExactMatchLookup.build(kg),
+        LevenshteinLookup.build(kg),
+        FuzzyWuzzyLookup.build(kg),
+        QGramLookup.build(kg),
+        ElasticLookup.build(kg),
+        LSHStringLookup.build(kg),
+        SimulatedRemoteLookup.build(
+            kg, RemoteServiceModel.wikidata(), name="wikidata_api"
+        ),
+        SimulatedRemoteLookup.build(
+            kg, RemoteServiceModel.searx(), name="searx"
+        ),
+    ]
+
+    rows = []
+    for service in services:
+        service.reset_timers()
+        clean_rows = service.lookup_batch(clean, K)
+        noisy_rows = service.lookup_batch(noisy, K)
+        seconds = service.total_lookup_seconds
+        clean_hit = candidate_recall_at_k(
+            [[c.entity_id for c in row] for row in clean_rows], truth, K
+        )
+        noisy_hit = candidate_recall_at_k(
+            [[c.entity_id for c in row] for row in noisy_rows], truth, K
+        )
+        rows.append(
+            [
+                service.name,
+                clean_hit,
+                noisy_hit,
+                f"{seconds / (2 * len(clean)) * 1e3:.2f}ms",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["service", "success@10 clean", "success@10 noisy", "time/query"],
+            rows,
+            title="Lookup services on the same workload (lower time is better)",
+        )
+    )
+    print("\n(remote services account modelled network latency; see "
+          "repro.lookup.remote)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""EmbLookup — accelerating entity lookups in knowledge graphs through
+embeddings (reproduction of Abuoda et al., ICDE 2022).
+
+Quickstart::
+
+    from repro import EmbLookup, EmbLookupConfig, generate_kg, SyntheticKGConfig
+
+    kg = generate_kg(SyntheticKGConfig(num_entities=2000))
+    service = EmbLookup(EmbLookupConfig())
+    service.fit(kg)
+    for result in service.lookup("germony", k=5):   # typo-tolerant
+        print(kg.entity(result.entity_id).label, result.distance)
+
+Package map:
+
+- :mod:`repro.core` — the EmbLookup pipeline (train / index / lookup).
+- :mod:`repro.nn` — numpy deep-learning framework (PyTorch substitute).
+- :mod:`repro.index` — vector indexes: Flat, PQ, IVF, IVF-PQ, LSH, PCA
+  (FAISS substitute).
+- :mod:`repro.kg` / :mod:`repro.tables` — knowledge-graph and tabular
+  benchmark substrates.
+- :mod:`repro.embedding` — the dual-tower model and Table VII baselines.
+- :mod:`repro.triplets` — offline mining and online hard-triplet selection.
+- :mod:`repro.lookup` — the lookup-service interface, EmbLookup adapter,
+  and the eight Table V baseline services.
+- :mod:`repro.annotation` — bbw, MantisTable, JenTab, DoSeR, Katara.
+- :mod:`repro.evaluation` — metrics, harness, table renderers.
+"""
+
+from repro.core import EmbLookup, EmbLookupConfig, LookupResult
+from repro.kg import KnowledgeGraph, SyntheticKGConfig, generate_kg
+from repro.tables import (
+    BenchmarkConfig,
+    TabularDataset,
+    generate_benchmark,
+    generate_tough_tables,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkConfig",
+    "EmbLookup",
+    "EmbLookupConfig",
+    "KnowledgeGraph",
+    "LookupResult",
+    "SyntheticKGConfig",
+    "TabularDataset",
+    "generate_benchmark",
+    "generate_kg",
+    "generate_tough_tables",
+    "__version__",
+]

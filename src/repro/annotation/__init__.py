@@ -1,0 +1,35 @@
+"""Semantic-annotation application systems (paper Section IV).
+
+Simplified but faithful reimplementations of the five systems whose lookup
+component the paper replaces with EmbLookup:
+
+- :class:`BbwAnnotator` — bbw (SemTab 2020): lexical match boosted by
+  row-context relatedness.
+- :class:`MantisTableAnnotator` — MantisTable: column-type-aware scoring.
+- :class:`JenTabAnnotator` — JenTab: create/filter/select candidate
+  pipeline with query reformulation.
+- :class:`DoSeRDisambiguator` — DoSeR: collective entity disambiguation
+  via PageRank over the candidate graph.
+- :class:`KataraRepairer` — Katara: KG-pattern-based data repair.
+
+Every system takes a pluggable :class:`repro.lookup.base.LookupService`;
+the benchmark harness swaps the original service for EmbLookup and measures
+the lookup-time fraction exactly as the paper does.
+"""
+
+from repro.annotation.base import CeaAnnotator, annotate_column_types
+from repro.annotation.bbw import BbwAnnotator
+from repro.annotation.mantistable import MantisTableAnnotator
+from repro.annotation.jentab import JenTabAnnotator
+from repro.annotation.doser import DoSeRDisambiguator
+from repro.annotation.katara import KataraRepairer
+
+__all__ = [
+    "BbwAnnotator",
+    "CeaAnnotator",
+    "DoSeRDisambiguator",
+    "JenTabAnnotator",
+    "KataraRepairer",
+    "MantisTableAnnotator",
+    "annotate_column_types",
+]

@@ -1,0 +1,124 @@
+"""Shared machinery for the annotation systems.
+
+Each Cell-Entity-Annotation (CEA) system maps every annotated cell to an
+entity id (or ``None`` when it abstains).  Column-Type Annotation (CTA) is
+derived from CEA output by majority vote over the column's entity types,
+preferring the most specific type — the strategy all three SemTab systems
+share.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.kg.graph import KnowledgeGraph
+from repro.lookup.base import Candidate, LookupService
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef
+
+__all__ = ["CeaAnnotator", "annotate_column_types", "group_cells_by_table"]
+
+
+def group_cells_by_table(
+    dataset: TabularDataset,
+) -> dict[str, list[CellRef]]:
+    """Annotated cells grouped per table, in (row, col) order."""
+    grouped: dict[str, list[CellRef]] = defaultdict(list)
+    for ref in dataset.annotated_cells():
+        grouped[ref.table_id].append(ref)
+    return grouped
+
+
+class CeaAnnotator:
+    """Base CEA system: candidate lookup + system-specific disambiguation.
+
+    Parameters
+    ----------
+    lookup_service:
+        Candidate generator (the component the paper swaps out).
+    candidate_k:
+        Candidates fetched per cell (the paper's applications use 20-100).
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, lookup_service: LookupService, candidate_k: int = 20):
+        if candidate_k < 1:
+            raise ValueError(f"candidate_k must be >= 1, got {candidate_k}")
+        self.lookup = lookup_service
+        self.candidate_k = candidate_k
+
+    # -- public API -------------------------------------------------------------
+
+    def annotate_cells(
+        self, dataset: TabularDataset, kg: KnowledgeGraph
+    ) -> dict[CellRef, str | None]:
+        """CEA predictions for every annotated cell of ``dataset``."""
+        predictions: dict[CellRef, str | None] = {}
+        for table_id, refs in group_cells_by_table(dataset).items():
+            table = dataset.table(table_id)
+            texts = [table.cell(ref.row, ref.col) for ref in refs]
+            candidate_lists = self._candidates(texts)
+            table_predictions = self._disambiguate(
+                kg, table_id, refs, texts, candidate_lists
+            )
+            predictions.update(table_predictions)
+        return predictions
+
+    # -- hooks --------------------------------------------------------------------
+
+    def _candidates(self, texts: list[str]) -> list[list[Candidate]]:
+        """Candidate generation; empty cells produce empty candidate sets."""
+        non_empty = [t for t in texts if t]
+        looked_up = iter(
+            self.lookup.lookup_batch(non_empty, self.candidate_k)
+            if non_empty
+            else []
+        )
+        return [next(looked_up) if t else [] for t in texts]
+
+    def _disambiguate(
+        self,
+        kg: KnowledgeGraph,
+        table_id: str,
+        refs: list[CellRef],
+        texts: list[str],
+        candidates: list[list[Candidate]],
+    ) -> dict[CellRef, str | None]:
+        raise NotImplementedError
+
+
+def annotate_column_types(
+    dataset: TabularDataset,
+    kg: KnowledgeGraph,
+    cea_predictions: dict[CellRef, str | None],
+) -> dict[tuple[str, int], str | None]:
+    """CTA by majority vote over CEA'd entities, most specific type wins.
+
+    Votes are cast for each predicted entity's direct types; ancestors
+    receive discounted votes so that a column mixing ``capital`` and
+    ``city`` resolves to ``city`` rather than ``place``.
+    """
+    votes: dict[tuple[str, int], Counter[str]] = defaultdict(Counter)
+    for ref, entity_id in cea_predictions.items():
+        if entity_id is None or not kg.has_entity(entity_id):
+            continue
+        column_key = (ref.table_id, ref.col)
+        for type_id in kg.entity(entity_id).type_ids:
+            votes[column_key][type_id] += 1.0
+            for depth, ancestor in enumerate(kg.ancestor_types(type_id), 1):
+                votes[column_key][ancestor] += 1.0 / (2.0**depth)
+
+    out: dict[tuple[str, int], str | None] = {}
+    for column_key in dataset.cta:
+        counter = votes.get(column_key)
+        if not counter:
+            out[column_key] = None
+            continue
+        # Highest vote; ties broken toward the more specific (deeper) type.
+        best = max(
+            counter.items(),
+            key=lambda item: (item[1], len(kg.ancestor_types(item[0]))),
+        )
+        out[column_key] = best[0]
+    return out

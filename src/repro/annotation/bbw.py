@@ -1,0 +1,67 @@
+"""bbw-style annotator: lexical matching boosted by row context.
+
+bbw ("boosted by wiki", SemTab 2020) scores candidates by surface
+similarity and boosts those that are connected in the KG to candidates of
+the *other* cells in the same row — the contextual signal that lets it
+disambiguate homonyms (``berlin`` the capital vs ``berlin`` the NH town,
+depending on the neighbouring ``germany`` / ``united states`` cell).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.annotation.base import CeaAnnotator
+from repro.kg.graph import KnowledgeGraph
+from repro.lookup.base import Candidate
+from repro.tables.table import CellRef
+from repro.text.distance import levenshtein_ratio
+from repro.text.tokenize import normalize
+
+__all__ = ["BbwAnnotator"]
+
+
+class BbwAnnotator(CeaAnnotator):
+    name = "bbw"
+
+    def __init__(self, lookup_service, candidate_k: int = 20, context_weight: float = 0.35):
+        super().__init__(lookup_service, candidate_k)
+        if context_weight < 0:
+            raise ValueError("context_weight must be >= 0")
+        self.context_weight = context_weight
+
+    def _disambiguate(
+        self,
+        kg: KnowledgeGraph,
+        table_id: str,
+        refs: list[CellRef],
+        texts: list[str],
+        candidates: list[list[Candidate]],
+    ) -> dict[CellRef, str | None]:
+        # Candidate entity sets per row (for the context boost).
+        row_candidates: dict[int, set[str]] = defaultdict(set)
+        for ref, cands in zip(refs, candidates):
+            row_candidates[ref.row].update(c.entity_id for c in cands)
+
+        predictions: dict[CellRef, str | None] = {}
+        for ref, text, cands in zip(refs, texts, candidates):
+            if not cands:
+                predictions[ref] = None
+                continue
+            query = normalize(text)
+            context = row_candidates[ref.row]
+            best_id: str | None = None
+            best_score = -float("inf")
+            for candidate in cands:
+                entity = kg.entity(candidate.entity_id)
+                lexical = max(
+                    levenshtein_ratio(query, normalize(m)) for m in entity.mentions
+                )
+                neighbours = kg.neighbors(candidate.entity_id)
+                boost = 1.0 if neighbours & (context - {candidate.entity_id}) else 0.0
+                score = lexical + self.context_weight * boost
+                if score > best_score:
+                    best_score = score
+                    best_id = candidate.entity_id
+            predictions[ref] = best_id
+        return predictions

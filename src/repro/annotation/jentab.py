@@ -1,0 +1,113 @@
+"""JenTab-style annotator: create / filter / select candidate pipeline.
+
+JenTab (SemTab 2020) generates candidates with several query
+reformulations (raw cell, cleaned cell, token-sorted cell), filters them by
+the column's majority type, and selects the survivor with the best string
+score, breaking ties toward better-connected entities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.annotation.base import CeaAnnotator
+from repro.kg.graph import KnowledgeGraph
+from repro.lookup.base import Candidate
+from repro.tables.table import CellRef
+from repro.text.distance import levenshtein_ratio
+from repro.text.tokenize import normalize, word_tokens
+
+__all__ = ["JenTabAnnotator"]
+
+
+class JenTabAnnotator(CeaAnnotator):
+    name = "jentab"
+
+    # -- create: multi-query candidate generation -----------------------------------
+
+    def _candidates(self, texts: list[str]) -> list[list[Candidate]]:
+        primary = super()._candidates(texts)
+        # Reformulate cells whose primary lookup came back weak.
+        retry_positions = [
+            i for i, cands in enumerate(primary) if len(cands) < self.candidate_k // 2
+        ]
+        retry_texts = []
+        for i in retry_positions:
+            tokens = sorted(word_tokens(texts[i]))
+            retry_texts.append(" ".join(tokens) if tokens else texts[i])
+        if retry_texts:
+            extra_lists = self.lookup.lookup_batch(retry_texts, self.candidate_k)
+            for i, extra in zip(retry_positions, extra_lists):
+                seen = {c.entity_id for c in primary[i]}
+                primary[i] = primary[i] + [
+                    c for c in extra if c.entity_id not in seen
+                ]
+        return primary
+
+    # -- filter + select ---------------------------------------------------------------
+
+    def _disambiguate(
+        self,
+        kg: KnowledgeGraph,
+        table_id: str,
+        refs: list[CellRef],
+        texts: list[str],
+        candidates: list[list[Candidate]],
+    ) -> dict[CellRef, str | None]:
+        # Filter: majority type per column, voted by each cell's best
+        # candidates (rank-weighted) so corpus-wide type priors don't
+        # drown out the column signal.
+        column_votes: dict[int, Counter[str]] = defaultdict(Counter)
+        for ref, cands in zip(refs, candidates):
+            for rank, candidate in enumerate(cands[:3]):
+                weight = 3 - rank
+                for type_id in kg.entity(candidate.entity_id).type_ids:
+                    column_votes[ref.col][type_id] += weight
+        majority_type: dict[int, str | None] = {
+            col: (votes.most_common(1)[0][0] if votes else None)
+            for col, votes in column_votes.items()
+        }
+
+        predictions: dict[CellRef, str | None] = {}
+        for ref, text, cands in zip(refs, texts, candidates):
+            if not cands:
+                predictions[ref] = None
+                continue
+            query = normalize(text)
+            column_type = majority_type.get(ref.col)
+            filtered = [
+                c
+                for c in cands
+                if column_type is None
+                or self._type_compatible(kg, c.entity_id, column_type)
+            ]
+            pool = filtered or cands  # fall back when the filter empties
+            best_id: str | None = None
+            best_key: tuple[float, int] | None = None
+            for candidate in pool:
+                entity = kg.entity(candidate.entity_id)
+                lexical = max(
+                    levenshtein_ratio(query, normalize(m)) for m in entity.mentions
+                )
+                degree = len(kg.facts_about(candidate.entity_id)) + len(
+                    kg.facts_mentioning(candidate.entity_id)
+                )
+                key = (lexical, degree)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_id = candidate.entity_id
+            predictions[ref] = best_id
+        return predictions
+
+    @staticmethod
+    def _type_compatible(
+        kg: KnowledgeGraph, entity_id: str, column_type: str
+    ) -> bool:
+        """True when the entity has ``column_type`` directly or via a
+        supertype (a ``capital`` belongs in a ``city`` column)."""
+        type_ids = kg.entity(entity_id).type_ids
+        if column_type in type_ids:
+            return True
+        return any(
+            column_type in kg.ancestor_types(type_id) for type_id in type_ids
+        )

@@ -1,0 +1,176 @@
+"""Katara-style data repair: KG patterns + lookup-based imputation.
+
+Katara (Chu et al., SIGMOD 2015) aligns table columns with KG relations
+using the rows that validate, then repairs cells that violate or miss the
+pattern.  Here: for each table we discover, from the unmasked rows, the KG
+property that connects the subject column to each context column; a masked
+context cell is imputed by following the property from the row's subject
+entity, and a masked subject cell by following it backwards.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.kg.graph import KnowledgeGraph
+from repro.lookup.base import LookupService
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef, Table
+
+__all__ = ["KataraRepairer"]
+
+
+class KataraRepairer:
+    """Pattern-discovering data repairer with a pluggable lookup service."""
+
+    name = "katara"
+
+    def __init__(self, lookup_service: LookupService, candidate_k: int = 20):
+        if candidate_k < 1:
+            raise ValueError(f"candidate_k must be >= 1, got {candidate_k}")
+        self.lookup = lookup_service
+        self.candidate_k = candidate_k
+
+    def repair(
+        self, dataset: TabularDataset, kg: KnowledgeGraph
+    ) -> dict[CellRef, str | None]:
+        """Impute entity ids for all masked (empty) annotated cells."""
+        self._kg = kg
+        masked = [
+            ref for ref in dataset.annotated_cells() if not dataset.cell_text(ref)
+        ]
+        by_table: dict[str, list[CellRef]] = defaultdict(list)
+        for ref in masked:
+            by_table[ref.table_id].append(ref)
+
+        predictions: dict[CellRef, str | None] = {}
+        for table_id, refs in by_table.items():
+            table = dataset.table(table_id)
+            resolved = self._resolve_unmasked(table)
+            patterns = self._discover_patterns(table, resolved)
+            for ref in refs:
+                predictions[ref] = self._impute(
+                    kg, table, ref, resolved, patterns
+                )
+        return predictions
+
+    # -- alignment ---------------------------------------------------------------
+
+    def _resolve_unmasked(self, table: Table) -> dict[tuple[int, int], str]:
+        """Resolve non-empty cells to entity ids via lookup (top-1)."""
+        positions: list[tuple[int, int]] = []
+        texts: list[str] = []
+        for r in range(table.num_rows):
+            for c in range(table.num_cols):
+                text = table.cell(r, c)
+                if text:
+                    positions.append((r, c))
+                    texts.append(text)
+        resolved: dict[tuple[int, int], str] = {}
+        if not texts:
+            return resolved
+        for position, candidates in zip(
+            positions, self.lookup.lookup_batch(texts, self.candidate_k)
+        ):
+            if candidates:
+                resolved[position] = candidates[0].entity_id
+        return resolved
+
+    def _discover_patterns(
+        self, table: Table, resolved: dict[tuple[int, int], str]
+    ) -> dict[int, tuple[str, str]]:
+        """Property connecting column 0 to each context column.
+
+        Returns ``col -> (property_id, direction)`` where direction "out"
+        means subject -> context (fact subject is the column-0 entity).
+        """
+        votes: dict[int, Counter[tuple[str, str]]] = defaultdict(Counter)
+        for r in range(table.num_rows):
+            subject = resolved.get((r, 0))
+            if subject is None:
+                continue
+            for c in range(1, table.num_cols):
+                context = resolved.get((r, c))
+                if context is None:
+                    continue
+                for fact in self._kg_facts_between(subject, context):
+                    votes[c][fact] += 1
+        return {
+            c: counter.most_common(1)[0][0]
+            for c, counter in votes.items()
+            if counter
+        }
+
+    def _kg_facts_between(self, a: str, b: str) -> list[tuple[str, str]]:
+        facts: list[tuple[str, str]] = []
+        kg = self._kg
+        for fact in kg.facts_about(a):
+            if fact.object_id == b:
+                facts.append((fact.property_id, "out"))
+        for fact in kg.facts_about(b):
+            if fact.object_id == a:
+                facts.append((fact.property_id, "in"))
+        return facts
+
+    # -- imputation -----------------------------------------------------------------
+
+    def _impute(
+        self,
+        kg: KnowledgeGraph,
+        table: Table,
+        ref: CellRef,
+        resolved: dict[tuple[int, int], str],
+        patterns: dict[int, tuple[str, str]],
+    ) -> str | None:
+        if ref.col == 0:
+            return self._impute_subject(kg, table, ref, resolved, patterns)
+        return self._impute_context(kg, table, ref, resolved, patterns)
+
+    def _impute_context(
+        self,
+        kg: KnowledgeGraph,
+        table: Table,
+        ref: CellRef,
+        resolved: dict[tuple[int, int], str],
+        patterns: dict[int, tuple[str, str]],
+    ) -> str | None:
+        pattern = patterns.get(ref.col)
+        subject = resolved.get((ref.row, 0))
+        if pattern is None or subject is None:
+            return None
+        property_id, direction = pattern
+        if direction == "out":
+            for fact in kg.facts_about(subject):
+                if fact.property_id == property_id and fact.object_id is not None:
+                    return fact.object_id
+        else:
+            for fact in kg.facts_mentioning(subject):
+                if fact.property_id == property_id:
+                    return fact.subject_id
+        return None
+
+    def _impute_subject(
+        self,
+        kg: KnowledgeGraph,
+        table: Table,
+        ref: CellRef,
+        resolved: dict[tuple[int, int], str],
+        patterns: dict[int, tuple[str, str]],
+    ) -> str | None:
+        # Invert the strongest available context pattern.
+        for c in range(1, table.num_cols):
+            pattern = patterns.get(c)
+            context = resolved.get((ref.row, c))
+            if pattern is None or context is None:
+                continue
+            property_id, direction = pattern
+            if direction == "out":
+                # subject --property--> context; find subjects pointing at it.
+                for fact in kg.facts_mentioning(context):
+                    if fact.property_id == property_id:
+                        return fact.subject_id
+            else:
+                for fact in kg.facts_about(context):
+                    if fact.property_id == property_id and fact.object_id:
+                        return fact.object_id
+        return None

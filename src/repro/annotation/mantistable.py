@@ -1,0 +1,76 @@
+"""MantisTable-style annotator: column-type-consistent scoring.
+
+MantisTable annotates in phases: candidate generation, column-level type
+inference from the candidates' types, then candidate re-scoring that blends
+lexical similarity (Jaro-Winkler in the original) with agreement with the
+inferred column type.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.annotation.base import CeaAnnotator
+from repro.kg.graph import KnowledgeGraph
+from repro.lookup.base import Candidate
+from repro.tables.table import CellRef
+from repro.text.distance import jaro_winkler
+from repro.text.tokenize import normalize
+
+__all__ = ["MantisTableAnnotator"]
+
+
+class MantisTableAnnotator(CeaAnnotator):
+    name = "mantistable"
+
+    def __init__(self, lookup_service, candidate_k: int = 20, type_weight: float = 0.3):
+        super().__init__(lookup_service, candidate_k)
+        if type_weight < 0:
+            raise ValueError("type_weight must be >= 0")
+        self.type_weight = type_weight
+
+    def _disambiguate(
+        self,
+        kg: KnowledgeGraph,
+        table_id: str,
+        refs: list[CellRef],
+        texts: list[str],
+        candidates: list[list[Candidate]],
+    ) -> dict[CellRef, str | None]:
+        # Phase 2: infer the dominant type per column from top candidates.
+        column_votes: dict[int, Counter[str]] = defaultdict(Counter)
+        for ref, cands in zip(refs, candidates):
+            for candidate in cands[:3]:
+                for type_id in kg.entity(candidate.entity_id).type_ids:
+                    column_votes[ref.col][type_id] += 1
+        dominant_type: dict[int, str | None] = {
+            col: (votes.most_common(1)[0][0] if votes else None)
+            for col, votes in column_votes.items()
+        }
+
+        # Phase 3: re-score with type agreement.
+        predictions: dict[CellRef, str | None] = {}
+        for ref, text, cands in zip(refs, texts, candidates):
+            if not cands:
+                predictions[ref] = None
+                continue
+            query = normalize(text)
+            column_type = dominant_type.get(ref.col)
+            best_id: str | None = None
+            best_score = -float("inf")
+            for candidate in cands:
+                entity = kg.entity(candidate.entity_id)
+                lexical = max(
+                    jaro_winkler(query, normalize(m)) for m in entity.mentions
+                )
+                type_bonus = (
+                    1.0
+                    if column_type is not None and column_type in entity.type_ids
+                    else 0.0
+                )
+                score = lexical + self.type_weight * type_bonus
+                if score > best_score:
+                    best_score = score
+                    best_id = candidate.entity_id
+            predictions[ref] = best_id
+        return predictions

@@ -1,0 +1,6 @@
+"""EmbLookup core: configuration and the train -> index -> lookup pipeline."""
+
+from repro.core.config import EmbLookupConfig
+from repro.core.pipeline import EmbLookup, LookupResult
+
+__all__ = ["EmbLookup", "EmbLookupConfig", "LookupResult"]

@@ -1,0 +1,353 @@
+"""The EmbLookup pipeline: train the embedding model, index the entities,
+serve ``lookup(q, k)``.
+
+Stages (paper Figure 1):
+
+1. **fit** — build the alphabet from the KG's surface forms, pre-train the
+   fastText tower on synonym groups, mine triplets, train the dual-tower
+   model with triplet loss (offline triplets first, online hard mining in
+   the second half of the epochs).
+2. **index** — embed every entity's label (optionally its aliases too) and
+   load the vectors into a Flat (EL-NC) or PQ (EL) index.
+3. **lookup** — embed the query string and return the entities whose
+   embeddings are nearest.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.config import EmbLookupConfig
+from repro.embedding.emblookup_model import EmbLookupModel
+from repro.embedding.fasttext import FastTextConfig, FastTextModel
+from repro.index.base import VectorIndex
+from repro.index.flat import FlatIndex
+from repro.index.ivfpq import IVFPQIndex
+from repro.index.pq import PQIndex
+from repro.kg.graph import KnowledgeGraph
+from repro.nn.loss import contrastive_losses, triplet_margin_losses
+from repro.nn.optim import Adam
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+from repro.text.alphabet import Alphabet
+from repro.text.encoding import OneHotEncoder
+from repro.text.tokenize import normalize
+from repro.triplets.mining import Triplet, TripletMiner
+from repro.utils.rng import as_rng
+
+__all__ = ["EmbLookup", "LookupResult"]
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """One candidate entity returned by ``lookup``."""
+
+    entity_id: str
+    distance: float
+
+
+class EmbLookup:
+    """End-to-end entity lookup system.
+
+    >>> from repro.kg import generate_kg, SyntheticKGConfig
+    >>> kg = generate_kg(SyntheticKGConfig(num_entities=200))
+    >>> service = EmbLookup(EmbLookupConfig(epochs=2, triplets_per_entity=4))
+    >>> service.fit(kg)                                   # doctest: +ELLIPSIS
+    <repro.core.pipeline.EmbLookup object at ...>
+    >>> candidates = service.lookup("germony", k=5)
+    >>> len(candidates)
+    5
+    """
+
+    def __init__(self, config: EmbLookupConfig | None = None):
+        self.config = config or EmbLookupConfig()
+        self.rng = as_rng(self.config.seed)
+        self.model: EmbLookupModel | None = None
+        self.index: VectorIndex | None = None
+        self.encoder: OneHotEncoder | None = None
+        self._row_to_entity: list[str] = []
+        self._kg: KnowledgeGraph | None = None
+        self.training_history: list[float] = []
+
+    # -- training -------------------------------------------------------------------
+
+    def fit(
+        self,
+        kg: KnowledgeGraph,
+        triplets: Sequence[Triplet] | None = None,
+    ) -> "EmbLookup":
+        """Train the model on ``kg`` and build the entity index.
+
+        ``triplets`` overrides offline mining when supplied (used by the
+        triplet-budget sweeps of Figure 3).
+        """
+        self._kg = kg
+        corpus = [normalize(m) for e in kg.entities() for m in e.mentions]
+        alphabet = Alphabet.fit(corpus)
+        self.encoder = OneHotEncoder(alphabet, max_length=self.config.max_length)
+
+        fasttext = FastTextModel(
+            FastTextConfig(
+                dim=self.config.embedding_dim,
+                buckets=self.config.fasttext_buckets,
+                epochs=self.config.fasttext_epochs,
+                seed=int(self.rng.integers(0, 2**31)),
+            )
+        )
+        synonym_groups = [list(e.mentions) for e in kg.entities()]
+        if self.config.fasttext_objective == "anchored":
+            fasttext.fit_anchored(synonym_groups)
+        else:
+            fasttext.fit(synonym_groups)
+
+        self.model = EmbLookupModel(
+            self.encoder,
+            fasttext,
+            out_dim=self.config.embedding_dim,
+            finetune_fasttext=self.config.finetune_fasttext,
+            normalize_output=self.config.normalize_output,
+            rng=self.rng,
+        )
+
+        if triplets is None:
+            miner = TripletMiner(kg, self.config.mining)
+            triplets = miner.mine()
+        self._train(list(triplets))
+        self.build_index(kg)
+        return self
+
+    def _train(self, triplets: list[Triplet]) -> None:
+        assert self.model is not None
+        if not triplets or self.config.epochs == 0:
+            return
+        cfg = self.config
+        optimizer = Adam(list(self.model.parameters()), lr=cfg.learning_rate)
+        order = np.arange(len(triplets))
+        hard_from = int(cfg.hard_mining_start * cfg.epochs)
+        self.model.train()
+        for epoch in range(cfg.epochs):
+            online = epoch >= hard_from
+            self.rng.shuffle(order)
+            epoch_loss = 0.0
+            steps = 0
+            for start in range(0, len(order), cfg.batch_size):
+                chunk = order[start : start + cfg.batch_size]
+                batch = [triplets[i] for i in chunk]
+                loss = self._batch_loss(batch, online=online)
+                if loss is None:
+                    continue
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+                steps += 1
+            self.training_history.append(epoch_loss / max(steps, 1))
+        self.model.eval()
+
+    def _batch_loss(self, batch: list[Triplet], online: bool) -> Tensor | None:
+        """Triplet loss for one batch; in online mode easy triplets are
+        masked out so only hard / semi-hard examples contribute."""
+        assert self.model is not None
+        anchors = self.model.forward_mentions([t.anchor for t in batch])
+        positives = self.model.forward_mentions([t.positive for t in batch])
+        negatives = self.model.forward_mentions([t.negative for t in batch])
+        loss_fn = (
+            contrastive_losses
+            if self.config.loss == "contrastive"
+            else triplet_margin_losses
+        )
+        losses = loss_fn(
+            anchors, positives, negatives, margin=self.config.margin
+        )
+        if not online:
+            return losses.mean()
+        mask = (losses.data > 0).astype(np.float64)
+        active = mask.sum()
+        if active == 0:
+            return None
+        return (losses * Tensor(mask)).sum() * (1.0 / active)
+
+    # -- indexing --------------------------------------------------------------------
+
+    def build_index(self, kg: KnowledgeGraph | None = None) -> None:
+        """(Re)build the vector index from the trained model."""
+        if self.model is None:
+            raise RuntimeError("EmbLookup.build_index called before fit()")
+        kg = kg or self._kg
+        if kg is None:
+            raise RuntimeError("no knowledge graph available for indexing")
+        self._kg = kg
+
+        mentions: list[str] = []
+        self._row_to_entity = []
+        for entity in kg.entities():
+            mentions.append(normalize(entity.label))
+            self._row_to_entity.append(entity.entity_id)
+            if self.config.index_entity_aliases:
+                for alias in entity.aliases:
+                    mentions.append(normalize(alias))
+                    self._row_to_entity.append(entity.entity_id)
+
+        vectors = self._embed_in_batches(mentions)
+        self.index = self._make_index()
+        self.index.train(vectors)
+        self.index.add(vectors)
+
+    def _make_index(self) -> VectorIndex:
+        cfg = self.config
+        seed = int(self.rng.integers(0, 2**31))
+        if cfg.compression == "none":
+            return FlatIndex(cfg.embedding_dim)
+        if cfg.compression == "pq":
+            return PQIndex(cfg.embedding_dim, m=cfg.pq_m, nbits=cfg.pq_nbits, seed=seed)
+        return IVFPQIndex(
+            cfg.embedding_dim,
+            nlist=cfg.ivf_nlist,
+            m=cfg.pq_m,
+            nbits=cfg.pq_nbits,
+            nprobe=cfg.ivf_nprobe,
+            seed=seed,
+        )
+
+    def _embed_in_batches(self, mentions: list[str], batch: int = 512) -> np.ndarray:
+        assert self.model is not None
+        chunks = [
+            self.model.embed(mentions[i : i + batch])
+            for i in range(0, len(mentions), batch)
+        ]
+        if not chunks:
+            return np.empty((0, self.config.embedding_dim), dtype=np.float32)
+        return np.concatenate(chunks, axis=0)
+
+    # -- lookup ----------------------------------------------------------------------
+
+    def lookup(self, query: str, k: int = 10) -> list[LookupResult]:
+        """Top-``k`` candidate entities for one query string."""
+        return self.lookup_batch([query], k)[0]
+
+    def lookup_batch(
+        self, queries: Sequence[str], k: int = 10
+    ) -> list[list[LookupResult]]:
+        """Bulk lookup: one candidate list per query.
+
+        Rows mapping to the same entity (when aliases are indexed) are
+        deduplicated, keeping the closest row.
+        """
+        if self.model is None or self.index is None:
+            raise RuntimeError("EmbLookup.lookup called before fit()")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not queries:
+            return []
+        embeddings = self._embed_in_batches([normalize(q) for q in queries])
+        # Over-fetch when aliases are indexed so dedup still yields k.
+        fetch = k * 3 if self.config.index_entity_aliases else k
+        fetch = min(fetch, self.index.ntotal) or k
+        result = self.index.search(embeddings, fetch)
+        out: list[list[LookupResult]] = []
+        for row_ids, row_d in zip(result.ids, result.distances):
+            seen: set[str] = set()
+            candidates: list[LookupResult] = []
+            for idx, dist in zip(row_ids, row_d):
+                if idx < 0:
+                    continue
+                entity_id = self._row_to_entity[int(idx)]
+                if entity_id in seen:
+                    continue
+                seen.add(entity_id)
+                candidates.append(LookupResult(entity_id, float(dist)))
+                if len(candidates) == k:
+                    break
+            out.append(candidates)
+        return out
+
+    def clone_with_compression(self, compression: str) -> "EmbLookup":
+        """A new service sharing this trained model with a different index.
+
+        Used to compare EL (PQ) against EL-NC (flat) without retraining —
+        both variants embed with the identical model, exactly as the paper's
+        EL / EL-NC columns do.
+        """
+        if self.model is None or self.encoder is None or self._kg is None:
+            raise RuntimeError("clone_with_compression requires a fitted service")
+        from dataclasses import replace
+
+        clone = EmbLookup(replace(self.config, compression=compression))
+        clone.model = self.model
+        clone.encoder = self.encoder
+        clone.build_index(self._kg)
+        return clone
+
+    # -- persistence ------------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Persist config, alphabet, model weights, and the row mapping."""
+        if self.model is None or self.encoder is None:
+            raise RuntimeError("EmbLookup.save called before fit()")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "config": {
+                "embedding_dim": self.config.embedding_dim,
+                "max_length": self.config.max_length,
+                "compression": self.config.compression,
+                "pq_m": self.config.pq_m,
+                "pq_nbits": self.config.pq_nbits,
+                "index_entity_aliases": self.config.index_entity_aliases,
+                "fasttext_buckets": self.config.fasttext_buckets,
+                "normalize_output": self.config.normalize_output,
+                "seed": self.config.seed,
+            },
+            "alphabet": "".join(self.encoder.alphabet.chars),
+            "row_to_entity": self._row_to_entity,
+        }
+        (directory / "meta.json").write_text(json.dumps(meta), encoding="utf-8")
+        save_state_dict(self.model.state_dict(), directory / "model.npz")
+
+    @classmethod
+    def load(cls, directory: str | Path, kg: KnowledgeGraph) -> "EmbLookup":
+        """Restore a saved service and rebuild its index over ``kg``."""
+        directory = Path(directory)
+        meta_path = directory / "meta.json"
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no saved EmbLookup at {directory}")
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        cfg_d = meta["config"]
+        config = EmbLookupConfig(
+            embedding_dim=cfg_d["embedding_dim"],
+            max_length=cfg_d["max_length"],
+            compression=cfg_d["compression"],
+            pq_m=cfg_d["pq_m"],
+            pq_nbits=cfg_d["pq_nbits"],
+            index_entity_aliases=cfg_d["index_entity_aliases"],
+            fasttext_buckets=cfg_d["fasttext_buckets"],
+            normalize_output=cfg_d.get("normalize_output", True),
+            seed=cfg_d["seed"],
+        )
+        service = cls(config)
+        alphabet = Alphabet(meta["alphabet"])
+        service.encoder = OneHotEncoder(alphabet, max_length=config.max_length)
+        fasttext = FastTextModel(
+            FastTextConfig(
+                dim=config.embedding_dim,
+                buckets=config.fasttext_buckets,
+                seed=config.seed,
+            )
+        )
+        service.model = EmbLookupModel(
+            service.encoder,
+            fasttext,
+            out_dim=config.embedding_dim,
+            normalize_output=config.normalize_output,
+            rng=config.seed,
+        )
+        state = load_state_dict(directory / "model.npz")
+        service.model.load_state_dict(state)
+        service.model.eval()
+        service.build_index(kg)
+        return service

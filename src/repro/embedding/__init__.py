@@ -1,0 +1,32 @@
+"""Embedding models.
+
+:class:`EmbLookupModel` is the paper's dual-tower architecture (character
+CNN for syntactic similarity + fastText subword model for semantic
+similarity, fused by a two-layer MLP into a 64-d embedding).  The remaining
+embedders are the Table VII baselines: word2vec (whole-word SGNS), fastText
+alone, a wordpiece mean-pooling model standing in for BERT, and a
+character-LSTM encoder.
+"""
+
+from repro.embedding.base import Embedder
+from repro.embedding.cnn import CharCNNEncoder
+from repro.embedding.fasttext import FastTextConfig, FastTextModel, subword_ngrams
+from repro.embedding.emblookup_model import EmbLookupModel
+from repro.embedding.word2vec import Word2VecConfig, Word2VecModel
+from repro.embedding.wordpiece import WordPieceConfig, WordPieceModel
+from repro.embedding.lstm import CharLSTMConfig, CharLSTMEmbedder
+
+__all__ = [
+    "CharCNNEncoder",
+    "CharLSTMConfig",
+    "CharLSTMEmbedder",
+    "EmbLookupModel",
+    "Embedder",
+    "FastTextConfig",
+    "FastTextModel",
+    "Word2VecConfig",
+    "Word2VecModel",
+    "WordPieceConfig",
+    "WordPieceModel",
+    "subword_ngrams",
+]

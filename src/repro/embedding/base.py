@@ -1,0 +1,24 @@
+"""Embedder protocol shared by the EmbLookup model and all baselines."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Embedder"]
+
+
+@runtime_checkable
+class Embedder(Protocol):
+    """Anything that maps mention strings to fixed-size float vectors."""
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        ...
+
+    def embed(self, mentions: Sequence[str]) -> np.ndarray:
+        """Embed a batch of mention strings into ``(len(mentions), dim)``."""
+        ...

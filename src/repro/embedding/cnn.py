@@ -1,0 +1,101 @@
+"""Character-CNN tower for syntactic similarity (paper Section III-B).
+
+The paper specifies 5 convolutional layers with 8 kernels of size 3 and
+max-pooling aggregation; CNN+max-pooling over one-hot strings preserves
+edit-distance bounds (its inductive bias for typos).  We pool the sequence
+length down between layers and project the flattened activations to the
+output dimension with a linear head.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import Conv1d, Linear, Module
+from repro.nn.tensor import Tensor, no_grad
+from repro.text.encoding import OneHotEncoder
+from repro.utils.rng import as_rng
+
+__all__ = ["CharCNNEncoder"]
+
+
+class CharCNNEncoder(Module):
+    """5-layer character CNN: one-hot ``(N, |A|, L)`` -> ``(N, out_dim)``.
+
+    Parameters
+    ----------
+    encoder:
+        One-hot encoder defining the alphabet and max length ``L``.
+    out_dim:
+        Output embedding dimensionality (64 in the paper).
+    channels:
+        Kernels per convolutional layer (8 in the paper).
+    num_layers:
+        Convolutional depth (5 in the paper).
+    pool_every:
+        A stride-2 max-pool is inserted after every ``pool_every``-th conv
+        layer, shrinking the sequence before the flatten + linear head.
+    """
+
+    def __init__(
+        self,
+        encoder: OneHotEncoder,
+        out_dim: int = 64,
+        channels: int = 8,
+        num_layers: int = 5,
+        pool_every: int = 2,
+        rng: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1, got {num_layers}")
+        generator = as_rng(rng)
+        self.encoder = encoder
+        self.out_dim = out_dim
+        self.channels = channels
+        self.num_layers = num_layers
+        self.pool_every = pool_every
+
+        length = encoder.max_length
+        in_channels = encoder.alphabet.size
+        self._convs: list[Conv1d] = []
+        self._pool_after: list[bool] = []
+        for layer in range(num_layers):
+            conv = Conv1d(
+                in_channels, channels, kernel_size=3, padding=1, rng=generator
+            )
+            setattr(self, f"conv{layer}", conv)
+            self._convs.append(conv)
+            in_channels = channels
+            pool_here = pool_every > 0 and (layer + 1) % pool_every == 0 and length >= 2
+            self._pool_after.append(pool_here)
+            if pool_here:
+                length //= 2
+        self._final_length = length
+        self.head = Linear(channels * length, out_dim, rng=generator)
+
+    @property
+    def dim(self) -> int:
+        return self.out_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Encode one-hot batches ``(N, |A|, L)`` to embeddings ``(N, out_dim)``."""
+        for conv, pool in zip(self._convs, self._pool_after):
+            x = conv(x).relu()
+            if pool:
+                x = F.max_pool1d(x, kernel=2, stride=2)
+        n = x.shape[0]
+        flat = x.reshape(n, self.channels * self._final_length)
+        return self.head(flat)
+
+    def embed(self, mentions: Sequence[str]) -> np.ndarray:
+        """Inference helper: strings -> numpy embeddings (no gradients)."""
+        if not mentions:
+            return np.empty((0, self.out_dim), dtype=np.float32)
+        batch = Tensor(self.encoder.encode_batch(mentions))
+        with no_grad():
+            out = self.forward(batch)
+        return out.data.astype(np.float32)

@@ -1,0 +1,115 @@
+"""Character-LSTM baseline encoder (Table VII's "LSTM" row).
+
+A single-layer LSTM reads the one-hot character sequence; the final hidden
+state is projected to the embedding dimension.  Trained with the same
+triplet loss as EmbLookup over the KG labels and aliases, which is why it is
+the strongest baseline in Table VII — it shares the objective but lacks the
+CNN tower's edit-distance inductive bias and the fastText tower's subword
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.loss import triplet_margin_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor, concatenate, no_grad
+from repro.text.encoding import OneHotEncoder
+from repro.utils.rng import as_rng
+
+__all__ = ["CharLSTMConfig", "CharLSTMEmbedder"]
+
+
+@dataclass(frozen=True)
+class CharLSTMConfig:
+    """Hyperparameters for :class:`CharLSTMEmbedder`."""
+
+    dim: int = 64
+    hidden: int = 32
+    epochs: int = 5
+    batch_size: int = 64
+    lr: float = 1e-3
+    margin: float = 1.0
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.dim < 1 or self.hidden < 1:
+            raise ValueError("dim and hidden must be positive")
+
+
+class CharLSTMEmbedder(Module):
+    """LSTM over one-hot characters -> final hidden state -> linear head."""
+
+    def __init__(
+        self, encoder: OneHotEncoder, config: CharLSTMConfig | None = None
+    ):
+        super().__init__()
+        self.config = config or CharLSTMConfig()
+        self.encoder = encoder
+        self.rng = as_rng(self.config.seed)
+        input_size = encoder.alphabet.size
+        hidden = self.config.hidden
+        # Single gate projection producing [i, f, g, o] stacked.
+        self.gates = Linear(input_size + hidden, 4 * hidden, rng=self.rng)
+        self.head = Linear(hidden, self.config.dim, rng=self.rng)
+
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Encode one-hot batches ``(N, |A|, L)`` to ``(N, dim)``."""
+        n, _, length = x.shape
+        hidden = self.config.hidden
+        h = Tensor(np.zeros((n, hidden)))
+        c = Tensor(np.zeros((n, hidden)))
+        for t in range(length):
+            x_t = x[:, :, t]                                    # (N, |A|)
+            combined = concatenate([x_t, h], axis=1)
+            g = self.gates(combined)                            # (N, 4H)
+            i_gate = g[:, 0 * hidden : 1 * hidden].sigmoid()
+            f_gate = g[:, 1 * hidden : 2 * hidden].sigmoid()
+            g_gate = g[:, 2 * hidden : 3 * hidden].tanh()
+            o_gate = g[:, 3 * hidden : 4 * hidden].sigmoid()
+            c = f_gate * c + i_gate * g_gate
+            h = o_gate * c.tanh()
+        return self.head(h)
+
+    def embed(self, mentions: Sequence[str]) -> np.ndarray:
+        """Inference: strings -> float32 embeddings, no gradients."""
+        if not mentions:
+            return np.empty((0, self.config.dim), dtype=np.float32)
+        batch = Tensor(self.encoder.encode_batch(mentions))
+        with no_grad():
+            out = self.forward(batch)
+        return out.data.astype(np.float32)
+
+    def fit(self, triplets: Sequence[tuple[str, str, str]]) -> "CharLSTMEmbedder":
+        """Train on (anchor, positive, negative) string triplets."""
+        if not triplets:
+            return self
+        cfg = self.config
+        optimizer = Adam(self.parameters(), lr=cfg.lr)
+        order = np.arange(len(triplets))
+        self.train()
+        for _ in range(cfg.epochs):
+            self.rng.shuffle(order)
+            for start in range(0, len(order), cfg.batch_size):
+                chunk = order[start : start + cfg.batch_size]
+                anchors = [triplets[i][0] for i in chunk]
+                positives = [triplets[i][1] for i in chunk]
+                negatives = [triplets[i][2] for i in chunk]
+                a = self.forward(Tensor(self.encoder.encode_batch(anchors)))
+                p = self.forward(Tensor(self.encoder.encode_batch(positives)))
+                n = self.forward(Tensor(self.encoder.encode_batch(negatives)))
+                loss = triplet_margin_loss(a, p, n, margin=cfg.margin)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+        self.eval()
+        return self

@@ -1,0 +1,209 @@
+"""TransE knowledge-graph embeddings + string-space distillation.
+
+The paper's closing future-work idea: "bootstrap the embeddings for lookup
+from the corresponding KG embeddings that are optimized for semantic
+similarity and adapt them to handle syntactic similarity."  This module
+implements that direction:
+
+1. :class:`TransEModel` — the classic translational KG embedding
+   (Bordes et al.): facts ``<s, p, o>`` are modelled as ``e_s + r_p ≈ e_o``
+   and trained with a margin ranking loss against corrupted facts.  Pure
+   numpy (closed-form gradients), since the update is sparse and simple.
+2. :func:`distill_into_fasttext` — fine-tunes a fastText subword model so
+   that ``fasttext(label)`` approximates the entity's TransE embedding,
+   transporting graph-structural similarity into *string* space, where the
+   lookup operation lives.
+
+The distilled fastText tower can then seed EmbLookup training
+(``EmbLookup.fit`` accepts any pre-trained :class:`FastTextModel` through
+:class:`repro.embedding.emblookup_model.EmbLookupModel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.fasttext import FastTextModel
+from repro.kg.graph import KnowledgeGraph
+from repro.nn.loss import mse_loss
+from repro.nn.optim import Adam
+from repro.nn.tensor import Tensor
+from repro.text.tokenize import normalize
+from repro.utils.rng import as_rng
+
+__all__ = ["TransEConfig", "TransEModel", "distill_into_fasttext"]
+
+
+@dataclass(frozen=True)
+class TransEConfig:
+    """Hyperparameters for :class:`TransEModel`."""
+
+    dim: int = 64
+    margin: float = 1.0
+    epochs: int = 20
+    lr: float = 0.01
+    seed: int = 61
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError("dim must be positive")
+        if self.margin <= 0:
+            raise ValueError("margin must be positive")
+        if self.epochs < 0:
+            raise ValueError("epochs must be >= 0")
+
+
+class TransEModel:
+    """Margin-ranking TransE over a knowledge graph's entity facts."""
+
+    def __init__(self, config: TransEConfig | None = None):
+        self.config = config or TransEConfig()
+        self.rng = as_rng(self.config.seed)
+        self._entity_index: dict[str, int] = {}
+        self._relation_index: dict[str, int] = {}
+        self.entity_embeddings: np.ndarray | None = None
+        self.relation_embeddings: np.ndarray | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        return self.entity_embeddings is not None
+
+    def fit(self, kg: KnowledgeGraph) -> "TransEModel":
+        """Train on all entity-to-entity facts of ``kg``."""
+        cfg = self.config
+        triples: list[tuple[int, int, int]] = []
+        for fact in kg.facts():
+            if fact.object_id is None:
+                continue
+            s = self._entity_index.setdefault(
+                fact.subject_id, len(self._entity_index)
+            )
+            o = self._entity_index.setdefault(
+                fact.object_id, len(self._entity_index)
+            )
+            p = self._relation_index.setdefault(
+                fact.property_id, len(self._relation_index)
+            )
+            triples.append((s, p, o))
+        # Entities never appearing in facts still get (random) rows.
+        for entity in kg.entities():
+            self._entity_index.setdefault(
+                entity.entity_id, len(self._entity_index)
+            )
+
+        n_entities = len(self._entity_index)
+        n_relations = max(len(self._relation_index), 1)
+        scale = 6.0 / np.sqrt(cfg.dim)
+        entities = self.rng.uniform(-scale, scale, size=(n_entities, cfg.dim))
+        relations = self.rng.uniform(-scale, scale, size=(n_relations, cfg.dim))
+        entities /= np.linalg.norm(entities, axis=1, keepdims=True)
+
+        triple_arr = np.asarray(triples, dtype=np.int64)
+        for _ in range(cfg.epochs):
+            if len(triple_arr) == 0:
+                break
+            order = self.rng.permutation(len(triple_arr))
+            for idx in order:
+                s, p, o = triple_arr[idx]
+                # Corrupt head or tail.
+                if self.rng.random() < 0.5:
+                    s_neg, o_neg = int(self.rng.integers(0, n_entities)), o
+                else:
+                    s_neg, o_neg = s, int(self.rng.integers(0, n_entities))
+                self._margin_step(entities, relations, (s, p, o), (s_neg, p, o_neg))
+            # Re-normalise entity embeddings each epoch (TransE constraint).
+            norms = np.linalg.norm(entities, axis=1, keepdims=True)
+            entities /= np.maximum(norms, 1e-9)
+        self.entity_embeddings = entities.astype(np.float32)
+        self.relation_embeddings = relations.astype(np.float32)
+        return self
+
+    def _margin_step(self, entities, relations, positive, negative) -> None:
+        cfg = self.config
+        s, p, o = positive
+        s2, _, o2 = negative
+        diff_pos = entities[s] + relations[p] - entities[o]
+        diff_neg = entities[s2] + relations[p] - entities[o2]
+        d_pos = (diff_pos**2).sum()
+        d_neg = (diff_neg**2).sum()
+        if d_pos + cfg.margin <= d_neg:
+            return  # already satisfied
+        lr = cfg.lr
+        # d(loss)/d(diff_pos) = 2*diff_pos ; d/d(diff_neg) = -2*diff_neg
+        entities[s] -= lr * 2 * diff_pos
+        entities[o] += lr * 2 * diff_pos
+        relations[p] -= lr * 2 * diff_pos
+        entities[s2] += lr * 2 * diff_neg
+        entities[o2] -= lr * 2 * diff_neg
+        relations[p] += lr * 2 * diff_neg
+
+    def embedding_of(self, entity_id: str) -> np.ndarray:
+        """Embedding row for ``entity_id``; raises on unknown ids."""
+        if self.entity_embeddings is None:
+            raise RuntimeError("TransEModel.embedding_of called before fit()")
+        try:
+            row = self._entity_index[entity_id]
+        except KeyError:
+            raise KeyError(f"unknown entity id {entity_id!r}") from None
+        return self.entity_embeddings[row]
+
+    def score_fact(self, subject_id: str, property_id: str, object_id: str) -> float:
+        """Negative translational distance (higher = more plausible)."""
+        if self.entity_embeddings is None or self.relation_embeddings is None:
+            raise RuntimeError("TransEModel.score_fact called before fit()")
+        s = self.embedding_of(subject_id)
+        o = self.embedding_of(object_id)
+        p_row = self._relation_index.get(property_id)
+        if p_row is None:
+            raise KeyError(f"unknown property id {property_id!r}")
+        r = self.relation_embeddings[p_row]
+        return -float(((s + r - o) ** 2).sum())
+
+
+def distill_into_fasttext(
+    transe: TransEModel,
+    fasttext: FastTextModel,
+    kg: KnowledgeGraph,
+    epochs: int = 5,
+    batch_size: int = 128,
+    lr: float = 0.01,
+    seed: int = 0,
+) -> FastTextModel:
+    """Fine-tune ``fasttext`` so ``fasttext(label) ~ transe(entity)``.
+
+    Every surface form (label and aliases) of an entity regresses onto the
+    entity's TransE embedding, transporting KG-structural similarity into
+    the open-vocabulary string encoder.
+    """
+    if not transe.is_trained:
+        raise RuntimeError("distill_into_fasttext requires a trained TransE model")
+    if transe.config.dim != fasttext.dim:
+        raise ValueError(
+            f"dimension mismatch: TransE {transe.config.dim} vs "
+            f"fastText {fasttext.dim}"
+        )
+    rng = as_rng(seed)
+    pairs: list[tuple[str, np.ndarray]] = []
+    for entity in kg.entities():
+        target = transe.embedding_of(entity.entity_id)
+        for mention in entity.mentions:
+            pairs.append((normalize(mention), target))
+    if not pairs:
+        return fasttext
+
+    optimizer = Adam(list(fasttext.parameters()), lr=lr)
+    order = np.arange(len(pairs))
+    for _ in range(epochs):
+        rng.shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = order[start : start + batch_size]
+            mentions = [pairs[i][0] for i in chunk]
+            targets = np.stack([pairs[i][1] for i in chunk])
+            predicted = fasttext.embed_tensor(mentions)
+            loss = mse_loss(predicted, Tensor(targets))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+    return fasttext

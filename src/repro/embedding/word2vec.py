@@ -1,0 +1,139 @@
+"""Word-level skip-gram-with-negative-sampling baseline (Table VII).
+
+Whole-word vocabulary: a mention embeds as the mean of its word vectors and
+out-of-vocabulary words contribute nothing.  That closed vocabulary is the
+documented failure mode — under typos the word is OOV and the embedding
+collapses, reproducing word2vec's steep error-variant drop in Table VII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.text.tokenize import normalize, word_tokens
+from repro.utils.rng import as_rng
+
+__all__ = ["Word2VecConfig", "Word2VecModel"]
+
+
+@dataclass(frozen=True)
+class Word2VecConfig:
+    """Hyperparameters for :class:`Word2VecModel`."""
+
+    dim: int = 64
+    negatives: int = 4
+    epochs: int = 5
+    lr: float = 0.05
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError("dim must be positive")
+        if self.negatives < 1:
+            raise ValueError("negatives must be >= 1")
+
+
+class Word2VecModel:
+    """SGNS over word co-occurrence within synonym groups.
+
+    Implemented directly with numpy (the closed-form SGNS gradient) rather
+    than the autograd engine — the update is two rank-1 accumulations, and
+    the baseline needs to be fast enough for the Table VII sweep.
+    """
+
+    def __init__(self, config: Word2VecConfig | None = None):
+        self.config = config or Word2VecConfig()
+        self.rng = as_rng(self.config.seed)
+        self._vocab: dict[str, int] = {}
+        self._vectors: np.ndarray | None = None   # input vectors
+        self._context: np.ndarray | None = None   # output vectors
+
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    @property
+    def vocabulary(self) -> dict[str, int]:
+        return dict(self._vocab)
+
+    def fit(self, synonym_groups: Sequence[Sequence[str]]) -> "Word2VecModel":
+        """Train word vectors so words co-occurring in a group align."""
+        cfg = self.config
+        groups_tokens: list[list[str]] = []
+        for group in synonym_groups:
+            tokens: list[str] = []
+            for mention in group:
+                tokens.extend(word_tokens(mention))
+            if tokens:
+                groups_tokens.append(tokens)
+                for token in tokens:
+                    if token not in self._vocab:
+                        self._vocab[token] = len(self._vocab)
+        if not self._vocab:
+            self._vectors = np.zeros((0, cfg.dim), dtype=np.float32)
+            return self
+
+        v = len(self._vocab)
+        scale = 0.5 / cfg.dim
+        vectors = self.rng.uniform(-scale, scale, size=(v, cfg.dim))
+        context = np.zeros((v, cfg.dim))
+
+        pairs: list[tuple[int, int]] = []
+        for tokens in groups_tokens:
+            ids = [self._vocab[t] for t in tokens]
+            for i, a in enumerate(ids):
+                for j, b in enumerate(ids):
+                    if i != j:
+                        pairs.append((a, b))
+        pairs_arr = np.asarray(pairs, dtype=np.int64)
+        if len(pairs_arr) == 0:
+            self._vectors = vectors.astype(np.float32)
+            self._context = context.astype(np.float32)
+            return self
+
+        for _ in range(cfg.epochs):
+            order = self.rng.permutation(len(pairs_arr))
+            for idx in order:
+                centre, target = pairs_arr[idx]
+                self._sgns_update(vectors, context, centre, target, label=1.0)
+                for _ in range(cfg.negatives):
+                    negative = int(self.rng.integers(0, v))
+                    if negative == target:
+                        continue
+                    self._sgns_update(vectors, context, centre, negative, label=0.0)
+        self._vectors = vectors.astype(np.float32)
+        self._context = context.astype(np.float32)
+        return self
+
+    def _sgns_update(
+        self,
+        vectors: np.ndarray,
+        context: np.ndarray,
+        centre: int,
+        target: int,
+        label: float,
+    ) -> None:
+        score = float(vectors[centre] @ context[target])
+        sigma = 1.0 / (1.0 + np.exp(-np.clip(score, -30, 30)))
+        gradient = (sigma - label) * self.config.lr
+        centre_vec = vectors[centre].copy()
+        vectors[centre] -= gradient * context[target]
+        context[target] -= gradient * centre_vec
+
+    def embed(self, mentions: Sequence[str]) -> np.ndarray:
+        """Mean of in-vocabulary word vectors; all-OOV mentions embed to 0."""
+        if self._vectors is None:
+            raise RuntimeError("Word2VecModel.embed called before fit()")
+        out = np.zeros((len(mentions), self.config.dim), dtype=np.float32)
+        for i, mention in enumerate(mentions):
+            rows = [
+                self._vocab[token]
+                for token in word_tokens(normalize(mention))
+                if token in self._vocab
+            ]
+            if rows:
+                out[i] = self._vectors[rows].mean(axis=0)
+        return out

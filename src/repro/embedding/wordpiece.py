@@ -1,0 +1,162 @@
+"""Wordpiece mean-pooling embedder — the reproduction's BERT stand-in.
+
+A true pretrained BERT cannot be shipped offline; the Table VII comparison
+needs its *behavioural signature*: subword tokenisation gives partial typo
+robustness (shared pieces survive an edit), but whole-piece semantics are
+weaker than fastText's dense char n-grams.  We therefore train wordpiece
+vectors with the same SGNS objective over the synonym corpus and mean-pool
+pieces at inference.  DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.text.tokenize import normalize, word_tokens, wordpieces
+from repro.utils.rng import as_rng
+
+__all__ = ["WordPieceConfig", "WordPieceModel"]
+
+
+@dataclass(frozen=True)
+class WordPieceConfig:
+    """Hyperparameters for :class:`WordPieceModel`."""
+
+    dim: int = 64
+    vocab_size: int = 4000
+    max_piece: int = 8
+    negatives: int = 4
+    epochs: int = 5
+    lr: float = 0.05
+    seed: int = 19
+
+    def __post_init__(self) -> None:
+        if self.dim < 1 or self.vocab_size < 30:
+            raise ValueError("dim must be >= 1 and vocab_size >= 30")
+
+
+class WordPieceModel:
+    """Frequency-built wordpiece vocabulary + SGNS piece vectors."""
+
+    def __init__(self, config: WordPieceConfig | None = None):
+        self.config = config or WordPieceConfig()
+        self.rng = as_rng(self.config.seed)
+        self._vocab: dict[str, int] = {}
+        self._vectors: np.ndarray | None = None
+
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    @property
+    def piece_vocabulary(self) -> set[str]:
+        return set(self._vocab)
+
+    def _build_vocab(self, corpus_tokens: list[str]) -> None:
+        """Greedy frequency vocabulary: chars, then frequent substrings."""
+        counts: Counter[str] = Counter()
+        for token in corpus_tokens:
+            # All substrings up to max_piece, in both positions.
+            for start in range(len(token)):
+                for length in range(1, self.config.max_piece + 1):
+                    piece = token[start : start + length]
+                    if not piece:
+                        continue
+                    key = piece if start == 0 else "##" + piece
+                    counts[key] += 1
+        # Always keep single characters so tokenisation never fails.
+        single_chars = {
+            key for key in counts if len(key.removeprefix("##")) == 1
+        }
+        budget = max(self.config.vocab_size - len(single_chars), 0)
+        frequent = [
+            key
+            for key, _ in counts.most_common()
+            if key not in single_chars
+        ][:budget]
+        for key in sorted(single_chars) + frequent:
+            self._vocab.setdefault(key, len(self._vocab))
+
+    def fit(self, synonym_groups: Sequence[Sequence[str]]) -> "WordPieceModel":
+        """Build the vocabulary and train piece vectors with SGNS."""
+        cfg = self.config
+        groups_tokens: list[list[str]] = []
+        corpus_tokens: list[str] = []
+        for group in synonym_groups:
+            tokens: list[str] = []
+            for mention in group:
+                tokens.extend(word_tokens(mention))
+            if tokens:
+                groups_tokens.append(tokens)
+                corpus_tokens.extend(tokens)
+        self._build_vocab(corpus_tokens)
+        v = len(self._vocab)
+        if v == 0:
+            self._vectors = np.zeros((0, cfg.dim), dtype=np.float32)
+            return self
+
+        scale = 0.5 / cfg.dim
+        vectors = self.rng.uniform(-scale, scale, size=(v, cfg.dim))
+        context = np.zeros((v, cfg.dim))
+        vocab_set = self.piece_vocabulary
+
+        pairs: list[tuple[int, int]] = []
+        for tokens in groups_tokens:
+            piece_ids: list[int] = []
+            for token in tokens:
+                for piece in wordpieces(token, vocab_set, cfg.max_piece):
+                    if piece in self._vocab:
+                        piece_ids.append(self._vocab[piece])
+            for i, a in enumerate(piece_ids):
+                for j, b in enumerate(piece_ids):
+                    if i != j and abs(i - j) <= 4:
+                        pairs.append((a, b))
+        for _ in range(cfg.epochs):
+            order = self.rng.permutation(len(pairs))
+            for idx in order:
+                centre, target = pairs[idx]
+                _sgns_update(vectors, context, centre, target, 1.0, cfg.lr)
+                for _ in range(cfg.negatives):
+                    negative = int(self.rng.integers(0, v))
+                    if negative != target:
+                        _sgns_update(
+                            vectors, context, centre, negative, 0.0, cfg.lr
+                        )
+        self._vectors = vectors.astype(np.float32)
+        return self
+
+    def embed(self, mentions: Sequence[str]) -> np.ndarray:
+        """Mean of piece vectors over all tokens of the mention."""
+        if self._vectors is None:
+            raise RuntimeError("WordPieceModel.embed called before fit()")
+        vocab_set = self.piece_vocabulary
+        out = np.zeros((len(mentions), self.config.dim), dtype=np.float32)
+        for i, mention in enumerate(mentions):
+            rows: list[int] = []
+            for token in word_tokens(normalize(mention)):
+                for piece in wordpieces(token, vocab_set, self.config.max_piece):
+                    if piece in self._vocab:
+                        rows.append(self._vocab[piece])
+            if rows:
+                out[i] = self._vectors[rows].mean(axis=0)
+        return out
+
+
+def _sgns_update(
+    vectors: np.ndarray,
+    context: np.ndarray,
+    centre: int,
+    target: int,
+    label: float,
+    lr: float,
+) -> None:
+    score = float(vectors[centre] @ context[target])
+    sigma = 1.0 / (1.0 + np.exp(-np.clip(score, -30, 30)))
+    gradient = (sigma - label) * lr
+    centre_vec = vectors[centre].copy()
+    vectors[centre] -= gradient * context[target]
+    context[target] -= gradient * centre_vec

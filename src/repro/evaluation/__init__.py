@@ -1,0 +1,36 @@
+"""Evaluation: metrics, the experiment harness, and table renderers."""
+
+from repro.evaluation.metrics import (
+    PRF,
+    candidate_recall_at_k,
+    cea_f_score,
+    cta_f_score,
+    disambiguation_f_score,
+    index_recall_overlap,
+    repair_f_score,
+)
+from repro.evaluation.harness import (
+    AnnotationRun,
+    run_cea_system,
+    run_cta_system,
+    run_disambiguation,
+    run_repair,
+)
+from repro.evaluation.reporting import format_table, render_markdown_table
+
+__all__ = [
+    "AnnotationRun",
+    "PRF",
+    "candidate_recall_at_k",
+    "cea_f_score",
+    "cta_f_score",
+    "disambiguation_f_score",
+    "format_table",
+    "index_recall_overlap",
+    "render_markdown_table",
+    "repair_f_score",
+    "run_cea_system",
+    "run_cta_system",
+    "run_disambiguation",
+    "run_repair",
+]

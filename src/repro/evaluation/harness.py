@@ -1,0 +1,173 @@
+"""Experiment harness: run an annotation system, measure accuracy and the
+lookup time, exactly as the paper instruments its five application systems.
+
+Speedups are computed as ``lookup_time(original) / lookup_time(emblookup)``
+over identical query workloads; remote services contribute their modelled
+network latency (see :mod:`repro.lookup.remote`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.timing import Timer
+
+from repro.annotation.base import CeaAnnotator, annotate_column_types
+from repro.annotation.doser import DoSeRDisambiguator
+from repro.annotation.katara import KataraRepairer
+from repro.evaluation.metrics import (
+    PRF,
+    cea_f_score,
+    cta_f_score,
+    disambiguation_f_score,
+    repair_f_score,
+)
+from repro.kg.graph import KnowledgeGraph
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef
+
+__all__ = [
+    "AnnotationRun",
+    "run_cea_system",
+    "run_cta_system",
+    "run_disambiguation",
+    "run_repair",
+]
+
+
+@dataclass(frozen=True)
+class AnnotationRun:
+    """Outcome of one system + lookup-service + dataset combination."""
+
+    task: str
+    system: str
+    lookup_name: str
+    scores: PRF
+    lookup_seconds: float
+    queries: int
+    wall_seconds: float = 0.0
+
+    @property
+    def f_score(self) -> float:
+        return self.scores.f_score
+
+    @property
+    def lookup_fraction(self) -> float:
+        """Share of the run's wall time spent inside lookup calls (can
+        exceed 1.0 for remote services, whose modelled network latency is
+        virtual and not part of the measured wall time)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.lookup_seconds / self.wall_seconds
+
+    def speedup_over(self, other: "AnnotationRun") -> float:
+        """How much faster this run's lookups were than ``other``'s."""
+        if self.lookup_seconds <= 0:
+            return float("inf")
+        return other.lookup_seconds / self.lookup_seconds
+
+
+def run_cea_system(
+    annotator: CeaAnnotator, dataset: TabularDataset, kg: KnowledgeGraph
+) -> AnnotationRun:
+    """Run a CEA system and score it against the dataset ground truth."""
+    annotator.lookup.reset_timers()
+    with Timer() as timer:
+        predictions = annotator.annotate_cells(dataset, kg)
+    scores = cea_f_score(predictions, dataset.cea)
+    return AnnotationRun(
+        task="CEA",
+        system=annotator.name,
+        lookup_name=annotator.lookup.name,
+        scores=scores,
+        lookup_seconds=annotator.lookup.total_lookup_seconds,
+        queries=annotator.lookup.query_time.count,
+        wall_seconds=timer.elapsed,
+    )
+
+
+def run_cta_system(
+    annotator: CeaAnnotator, dataset: TabularDataset, kg: KnowledgeGraph
+) -> AnnotationRun:
+    """Run CEA then derive CTA; scored with ancestor partial credit."""
+    annotator.lookup.reset_timers()
+    with Timer() as timer:
+        cea_predictions = annotator.annotate_cells(dataset, kg)
+        cta_predictions = annotate_column_types(dataset, kg, cea_predictions)
+    scores = cta_f_score(cta_predictions, dataset.cta, kg=kg)
+    return AnnotationRun(
+        task="CTA",
+        system=annotator.name,
+        lookup_name=annotator.lookup.name,
+        scores=scores,
+        lookup_seconds=annotator.lookup.total_lookup_seconds,
+        queries=annotator.lookup.query_time.count,
+        wall_seconds=timer.elapsed,
+    )
+
+
+def run_disambiguation(
+    disambiguator: DoSeRDisambiguator,
+    dataset: TabularDataset,
+    kg: KnowledgeGraph,
+) -> AnnotationRun:
+    """Entity disambiguation over each table's subject column."""
+    disambiguator.lookup.reset_timers()
+    predictions: list[str | None] = []
+    truths: list[str] = []
+    with Timer() as timer:
+        for table in dataset.tables:
+            refs = [
+                CellRef(table.table_id, r, 0)
+                for r in range(table.num_rows)
+                if CellRef(table.table_id, r, 0) in dataset.cea
+            ]
+            mentions = [table.cell(ref.row, ref.col) for ref in refs]
+            keep = [i for i, m in enumerate(mentions) if m]
+            if not keep:
+                continue
+            resolved = disambiguator.disambiguate(
+                [mentions[i] for i in keep], kg
+            )
+            predictions.extend(resolved)
+            truths.extend(dataset.cea[refs[i]] for i in keep)
+    scores = disambiguation_f_score(predictions, truths)
+    return AnnotationRun(
+        task="EA",
+        system=disambiguator.name,
+        lookup_name=disambiguator.lookup.name,
+        scores=scores,
+        lookup_seconds=disambiguator.lookup.total_lookup_seconds,
+        queries=disambiguator.lookup.query_time.count,
+        wall_seconds=timer.elapsed,
+    )
+
+
+def run_repair(
+    repairer: KataraRepairer,
+    dataset: TabularDataset,
+    kg: KnowledgeGraph,
+    mask_fraction: float = 0.1,
+    seed: int = 97,
+) -> AnnotationRun:
+    """Mask cells, repair them, and score recovered entities."""
+    masked_dataset, _ = dataset.with_masked_cells(mask_fraction, seed=seed)
+    masked_refs = {
+        ref
+        for ref in masked_dataset.annotated_cells()
+        if not masked_dataset.cell_text(ref)
+    }
+    truth = {ref: dataset.cea[ref] for ref in masked_refs}
+    repairer.lookup.reset_timers()
+    with Timer() as timer:
+        predictions = repairer.repair(masked_dataset, kg)
+    scores = repair_f_score(predictions, truth)
+    return AnnotationRun(
+        task="DR",
+        system=repairer.name,
+        lookup_name=repairer.lookup.name,
+        scores=scores,
+        lookup_seconds=repairer.lookup.total_lookup_seconds,
+        queries=repairer.lookup.query_time.count,
+        wall_seconds=timer.elapsed,
+    )

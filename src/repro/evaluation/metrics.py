@@ -1,0 +1,166 @@
+"""Accuracy metrics for the four tasks plus index-quality measures.
+
+The SemTab convention: precision counts correct predictions over *made*
+predictions (abstentions excluded); recall counts them over all targets;
+F-score is their harmonic mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.tables.table import CellRef
+
+__all__ = [
+    "PRF",
+    "candidate_recall_at_k",
+    "cea_f_score",
+    "cta_f_score",
+    "disambiguation_f_score",
+    "index_recall_overlap",
+    "repair_f_score",
+]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F-score triple."""
+
+    precision: float
+    recall: float
+    f_score: float
+
+    @classmethod
+    def from_counts(cls, correct: int, predicted: int, total: int) -> "PRF":
+        if correct < 0 or predicted < correct or total < correct:
+            raise ValueError(
+                f"inconsistent counts: correct={correct}, "
+                f"predicted={predicted}, total={total}"
+            )
+        precision = correct / predicted if predicted else 0.0
+        recall = correct / total if total else 0.0
+        if precision + recall == 0:
+            return cls(precision, recall, 0.0)
+        return cls(precision, recall, 2 * precision * recall / (precision + recall))
+
+
+def _prf_over_map(
+    predictions: Mapping, ground_truth: Mapping
+) -> PRF:
+    total = len(ground_truth)
+    predicted = 0
+    correct = 0
+    for key, truth in ground_truth.items():
+        guess = predictions.get(key)
+        if guess is None:
+            continue
+        predicted += 1
+        if guess == truth:
+            correct += 1
+    return PRF.from_counts(correct, predicted, total)
+
+
+def cea_f_score(
+    predictions: Mapping[CellRef, str | None],
+    ground_truth: Mapping[CellRef, str],
+) -> PRF:
+    """Cell-entity annotation accuracy."""
+    return _prf_over_map(predictions, ground_truth)
+
+
+def cta_f_score(
+    predictions: Mapping[tuple[str, int], str | None],
+    ground_truth: Mapping[tuple[str, int], str],
+    kg: KnowledgeGraph | None = None,
+    ancestor_credit: float = 0.5,
+) -> PRF:
+    """Column-type annotation accuracy.
+
+    With ``kg`` supplied, predicting an *ancestor* of the true type earns
+    partial credit (``ancestor_credit``), following SemTab's approximate
+    scoring for okay-but-too-general types.
+    """
+    total = len(ground_truth)
+    predicted = 0
+    score = 0.0
+    for key, truth in ground_truth.items():
+        guess = predictions.get(key)
+        if guess is None:
+            continue
+        predicted += 1
+        if guess == truth:
+            score += 1.0
+        elif kg is not None and guess in kg.ancestor_types(truth):
+            score += ancestor_credit
+    precision = score / predicted if predicted else 0.0
+    recall = score / total if total else 0.0
+    if precision + recall == 0:
+        return PRF(precision, recall, 0.0)
+    return PRF(precision, recall, 2 * precision * recall / (precision + recall))
+
+
+def disambiguation_f_score(
+    predictions: Sequence[str | None], ground_truth: Sequence[str]
+) -> PRF:
+    """Entity-disambiguation accuracy over an aligned mention list."""
+    if len(predictions) != len(ground_truth):
+        raise ValueError(
+            f"predictions ({len(predictions)}) and ground truth "
+            f"({len(ground_truth)}) must align"
+        )
+    total = len(ground_truth)
+    predicted = sum(1 for p in predictions if p is not None)
+    correct = sum(1 for p, t in zip(predictions, ground_truth) if p == t)
+    return PRF.from_counts(correct, predicted, total)
+
+
+def repair_f_score(
+    predictions: Mapping[CellRef, str | None],
+    ground_truth: Mapping[CellRef, str],
+) -> PRF:
+    """Data-repair accuracy over the masked cells."""
+    return _prf_over_map(predictions, ground_truth)
+
+
+def candidate_recall_at_k(
+    candidate_lists: Sequence[Sequence[str]],
+    ground_truth: Sequence[str],
+    k: int,
+) -> float:
+    """Fraction of queries whose true entity appears in the top-``k``."""
+    if len(candidate_lists) != len(ground_truth):
+        raise ValueError("candidate lists and ground truth must align")
+    if not ground_truth:
+        return 0.0
+    hits = sum(
+        1
+        for candidates, truth in zip(candidate_lists, ground_truth)
+        if truth in list(candidates)[:k]
+    )
+    return hits / len(ground_truth)
+
+
+def index_recall_overlap(
+    approx_ids: np.ndarray, exact_ids: np.ndarray, k: int
+) -> float:
+    """Mean overlap of approximate vs exact top-``k`` id sets (Figure 4).
+
+    ``approx_ids`` / ``exact_ids`` are ``(n_queries, >=k)`` matrices; ``-1``
+    entries are padding.
+    """
+    if approx_ids.shape[0] != exact_ids.shape[0]:
+        raise ValueError("query counts differ between approximate and exact ids")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    overlaps = []
+    for approx_row, exact_row in zip(approx_ids, exact_ids):
+        exact_set = {int(i) for i in exact_row[:k] if i >= 0}
+        if not exact_set:
+            continue
+        approx_set = {int(i) for i in approx_row[:k] if i >= 0}
+        overlaps.append(len(approx_set & exact_set) / len(exact_set))
+    return float(np.mean(overlaps)) if overlaps else 0.0

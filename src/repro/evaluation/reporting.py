@@ -1,0 +1,62 @@
+"""Plain-text and markdown table renderers for the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "render_markdown_table"]
+
+
+def _stringify(rows: Sequence[Sequence[object]]) -> list[list[str]]:
+    out: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(f"{value:.2f}")
+            else:
+                rendered.append(str(value))
+        out.append(rendered)
+    return out
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width text table (floats rendered with two decimals)."""
+    str_rows = _stringify(rows)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """GitHub-flavoured markdown table."""
+    str_rows = _stringify(rows)
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

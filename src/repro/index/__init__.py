@@ -1,0 +1,41 @@
+"""Vector similarity-search library (the reproduction's FAISS substitute).
+
+Implements the index families the paper relies on:
+
+- :class:`FlatIndex` — exact brute-force L2 / inner-product search
+  (``IndexFlatL2`` in FAISS); the ground truth for recall experiments.
+- :class:`PQIndex` — product quantization (Jégou et al.), the paper's
+  default 256 B -> 8 B compression (Section III-D).
+- :class:`IVFFlatIndex` / :class:`IVFPQIndex` — inverted-file coarse
+  quantization with optional PQ-compressed residual codes.
+- :class:`LSHIndex` — random-hyperplane signed LSH, used as the Table V
+  baseline family.
+- :class:`HNSWIndex` — hierarchical navigable small-world graphs (the
+  algorithm behind nmslib, the paper's runner-up library).
+- :class:`PCATransform` — the dimensionality-reduction alternative the
+  paper compares against PQ in Figure 5.
+"""
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.flat import FlatIndex
+from repro.index.hnsw import HNSWIndex
+from repro.index.ivf import IVFFlatIndex
+from repro.index.ivfpq import IVFPQIndex
+from repro.index.kmeans import KMeans
+from repro.index.lsh import LSHIndex
+from repro.index.pca import PCATransform
+from repro.index.pq import PQIndex, ProductQuantizer
+
+__all__ = [
+    "FlatIndex",
+    "HNSWIndex",
+    "IVFFlatIndex",
+    "IVFPQIndex",
+    "KMeans",
+    "LSHIndex",
+    "PCATransform",
+    "PQIndex",
+    "ProductQuantizer",
+    "SearchResult",
+    "VectorIndex",
+]

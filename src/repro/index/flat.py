@@ -1,0 +1,81 @@
+"""Exact brute-force index (FAISS ``IndexFlatL2`` equivalent).
+
+This is the "EmbLookup without compression" (EL-NC) index of the paper and
+the ground truth for the Figure 4 recall experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.kmeans import _squared_distances
+
+__all__ = ["FlatIndex"]
+
+
+class FlatIndex(VectorIndex):
+    """Stores vectors verbatim; search is an exact distance scan.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    metric:
+        ``"l2"`` (squared Euclidean) or ``"ip"`` (inner product, returned as
+        a *distance*, i.e. negated similarity).
+    """
+
+    def __init__(self, dim: int, metric: str = "l2"):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if metric not in ("l2", "ip"):
+            raise ValueError(f"metric must be 'l2' or 'ip', got {metric!r}")
+        self.dim = dim
+        self.metric = metric
+        self._vectors = np.empty((0, dim), dtype=np.float32)
+
+    @property
+    def ntotal(self) -> int:
+        return len(self._vectors)
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The stored matrix (read-only view for callers)."""
+        return self._vectors
+
+    def add(self, vectors: np.ndarray) -> None:
+        vectors = self._check_vectors(vectors, "vectors")
+        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+
+    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+        queries = self._check_vectors(queries, "queries")
+        self._check_k(k)
+        n = self.ntotal
+        ids = np.full((len(queries), k), -1, dtype=np.int64)
+        distances = np.full((len(queries), k), np.inf, dtype=np.float64)
+        if n == 0:
+            return SearchResult(ids=ids, distances=distances)
+
+        if self.metric == "l2":
+            d = _squared_distances(queries, self._vectors)
+        else:
+            d = -(queries.astype(np.float64) @ self._vectors.astype(np.float64).T)
+
+        take = min(k, n)
+        if take < n:
+            part = np.argpartition(d, take - 1, axis=1)[:, :take]
+        else:
+            part = np.tile(np.arange(n), (len(queries), 1))
+        part_d = np.take_along_axis(d, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="stable")
+        ids[:, :take] = np.take_along_axis(part, order, axis=1)
+        distances[:, :take] = np.take_along_axis(part_d, order, axis=1)
+        return SearchResult(ids=ids, distances=distances)
+
+    def reconstruct(self, idx: int) -> np.ndarray:
+        """Return the stored vector for row ``idx``."""
+        return self._vectors[idx].copy()
+
+    def memory_bytes(self) -> int:
+        return self._vectors.nbytes

@@ -1,0 +1,30 @@
+"""Knowledge-graph substrate.
+
+Stands in for the Wikidata / DBPedia dumps the paper indexes: a typed
+property graph with entity labels and aliases (the inputs to triplet
+mining), plus a deterministic synthetic generator seeded with a curated
+core of real entities and their true aliases.
+"""
+
+from repro.kg.schema import Entity, EntityType, Fact, Property
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.seed_data import seed_entity_specs, seed_properties, seed_type_specs
+from repro.kg.synthetic import SyntheticKGConfig, generate_kg
+from repro.kg.io import load_kg_json, save_kg_json
+from repro.kg.query import query
+
+__all__ = [
+    "Entity",
+    "EntityType",
+    "Fact",
+    "KnowledgeGraph",
+    "Property",
+    "SyntheticKGConfig",
+    "generate_kg",
+    "load_kg_json",
+    "query",
+    "save_kg_json",
+    "seed_entity_specs",
+    "seed_properties",
+    "seed_type_specs",
+]

@@ -1,0 +1,89 @@
+"""Knowledge-graph persistence (JSON, one document per graph)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.schema import Entity, EntityType, Fact, Property
+
+__all__ = ["load_kg_json", "save_kg_json"]
+
+_FORMAT_VERSION = 1
+
+
+def save_kg_json(kg: KnowledgeGraph, path: str | Path) -> None:
+    """Serialise ``kg`` to a JSON file."""
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "types": [
+            {"type_id": t.type_id, "label": t.label, "parent_id": t.parent_id}
+            for t in kg.types()
+        ],
+        "properties": [
+            {"property_id": p.property_id, "label": p.label}
+            for p in kg.properties()
+        ],
+        "entities": [
+            {
+                "entity_id": e.entity_id,
+                "label": e.label,
+                "aliases": list(e.aliases),
+                "type_ids": list(e.type_ids),
+                "description": e.description,
+            }
+            for e in kg.entities()
+        ],
+        "facts": [
+            {
+                "subject_id": f.subject_id,
+                "property_id": f.property_id,
+                "object_id": f.object_id,
+                "literal": f.literal,
+            }
+            for f in kg.facts()
+        ],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document), encoding="utf-8")
+
+
+def load_kg_json(path: str | Path) -> KnowledgeGraph:
+    """Load a graph written by :func:`save_kg_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no KG file at {path}")
+    document = json.loads(path.read_text(encoding="utf-8"))
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported KG format version {version!r}")
+    return KnowledgeGraph.build(
+        types=(
+            EntityType(t["type_id"], t["label"], t.get("parent_id"))
+            for t in document["types"]
+        ),
+        properties=(
+            Property(p["property_id"], p["label"]) for p in document["properties"]
+        ),
+        entities=(
+            Entity(
+                e["entity_id"],
+                e["label"],
+                tuple(e.get("aliases", ())),
+                tuple(e.get("type_ids", ())),
+                e.get("description", ""),
+            )
+            for e in document["entities"]
+        ),
+        facts=(
+            Fact(
+                f["subject_id"],
+                f["property_id"],
+                object_id=f.get("object_id"),
+                literal=f.get("literal"),
+            )
+            for f in document["facts"]
+        ),
+    )

@@ -1,0 +1,114 @@
+"""Triple-pattern queries over a knowledge graph (mini-SPARQL).
+
+The paper's remote baselines include the SPARQL-based Wikidata Query
+Service; this module provides the local analogue: conjunctive
+triple-pattern matching with variable joins.
+
+A pattern is ``(subject, property, object)`` where each position is a
+constant (entity id / property id / literal) or a variable — a string
+starting with ``?``.  :func:`query` returns one binding dict per solution.
+
+>>> # Who is a capital of what?   (doctest-style sketch)
+>>> # query(kg, [("?city", "capital_of", "?country")])
+>>> # [{"?city": "Q2", "?country": "Q1"}, ...]
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.schema import Fact
+
+__all__ = ["is_variable", "query"]
+
+Pattern = tuple[str, str, str]
+Binding = dict[str, str]
+
+
+def is_variable(term: str) -> bool:
+    """True when ``term`` is a query variable (``?name``)."""
+    return term.startswith("?")
+
+
+def query(
+    kg: KnowledgeGraph,
+    patterns: Sequence[Pattern],
+    limit: int | None = None,
+) -> list[Binding]:
+    """Evaluate conjunctive triple patterns; returns variable bindings.
+
+    Patterns are joined left to right; the candidate fact set for each
+    pattern uses the graph's subject/object adjacency indexes when the
+    corresponding position is already bound or constant.
+    """
+    if not patterns:
+        return []
+    for pattern in patterns:
+        if len(pattern) != 3:
+            raise ValueError(f"pattern must be a 3-tuple, got {pattern!r}")
+
+    solutions: list[Binding] = [{}]
+    for pattern in patterns:
+        next_solutions: list[Binding] = []
+        for binding in solutions:
+            for fact in _candidate_facts(kg, pattern, binding):
+                extended = _match(pattern, fact, binding)
+                if extended is not None:
+                    next_solutions.append(extended)
+        solutions = next_solutions
+        if not solutions:
+            return []
+    if limit is not None:
+        solutions = solutions[:limit]
+    # Deduplicate identical bindings (different facts can yield the same
+    # variable assignment).
+    seen: set[tuple[tuple[str, str], ...]] = set()
+    unique: list[Binding] = []
+    for binding in solutions:
+        key = tuple(sorted(binding.items()))
+        if key not in seen:
+            seen.add(key)
+            unique.append(binding)
+    return unique
+
+
+def _resolve(term: str, binding: Binding) -> str | None:
+    """Constant value of ``term`` under ``binding`` (None if still free)."""
+    if is_variable(term):
+        return binding.get(term)
+    return term
+
+
+def _candidate_facts(
+    kg: KnowledgeGraph, pattern: Pattern, binding: Binding
+):
+    subject = _resolve(pattern[0], binding)
+    obj = _resolve(pattern[2], binding)
+    if subject is not None and kg.has_entity(subject):
+        return kg.facts_about(subject)
+    if obj is not None and kg.has_entity(obj):
+        return kg.facts_mentioning(obj)
+    return kg.facts()
+
+
+def _match(pattern: Pattern, fact: Fact, binding: Binding) -> Binding | None:
+    """Extend ``binding`` so ``pattern`` matches ``fact``, or None."""
+    subject_t, property_t, object_t = pattern
+    fact_object = fact.object_id if fact.object_id is not None else fact.literal
+    assert fact_object is not None
+    extended = dict(binding)
+    for term, value in (
+        (subject_t, fact.subject_id),
+        (property_t, fact.property_id),
+        (object_t, fact_object),
+    ):
+        if is_variable(term):
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif term != value:
+            return None
+    return extended

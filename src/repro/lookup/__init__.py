@@ -1,0 +1,33 @@
+"""Lookup services.
+
+:class:`EmbLookupService` adapts the core pipeline to the common
+:class:`LookupService` interface; the other services implement the paper's
+Table V baselines (FuzzyWuzzy, ElasticSearch-style BM25, LSH, exact match,
+q-gram, Levenshtein scan, and simulated Wikidata / SearX remote endpoints).
+"""
+
+from repro.lookup.base import Candidate, LookupService
+from repro.lookup.embedder_service import EmbedderLookupService
+from repro.lookup.emblookup_service import EmbLookupService
+from repro.lookup.exact import ExactMatchLookup
+from repro.lookup.levenshtein import LevenshteinLookup
+from repro.lookup.fuzzy import FuzzyWuzzyLookup
+from repro.lookup.qgram import QGramLookup
+from repro.lookup.elastic import ElasticLookup
+from repro.lookup.lsh_lookup import LSHStringLookup
+from repro.lookup.remote import RemoteServiceModel, SimulatedRemoteLookup
+
+__all__ = [
+    "Candidate",
+    "ElasticLookup",
+    "EmbLookupService",
+    "EmbedderLookupService",
+    "ExactMatchLookup",
+    "FuzzyWuzzyLookup",
+    "LSHStringLookup",
+    "LevenshteinLookup",
+    "LookupService",
+    "QGramLookup",
+    "RemoteServiceModel",
+    "SimulatedRemoteLookup",
+]

@@ -1,0 +1,86 @@
+"""Common lookup-service interface (paper Section II, "Lookup Operation").
+
+``lookup(q, k)`` returns up to ``k`` candidate entities ordered by
+decreasing relevance ``score``.  Every service tracks the wall-clock time it
+spends answering queries in ``query_time`` plus any *simulated* latency
+(remote services) in ``simulated_latency`` — the evaluation harness sums
+both, matching the paper's instrumentation of each system's lookup calls.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+from collections.abc import Sequence
+
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.timing import Stopwatch
+
+__all__ = ["Candidate", "LookupService"]
+
+
+class Candidate(NamedTuple):
+    """A candidate entity with a relevance score (higher is better)."""
+
+    entity_id: str
+    score: float
+
+
+class LookupService:
+    """Base class for lookup services.
+
+    Subclasses implement :meth:`_lookup_batch`; the public methods add
+    timing instrumentation and argument validation.
+    """
+
+    #: Human-readable service name used in benchmark tables.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.query_time = Stopwatch()
+        self.simulated_latency: float = 0.0
+
+    # -- public API ------------------------------------------------------------
+
+    def lookup(self, query: str, k: int = 10) -> list[Candidate]:
+        """Top-``k`` candidates for one query."""
+        return self.lookup_batch([query], k)[0]
+
+    def lookup_batch(
+        self, queries: Sequence[str], k: int = 10
+    ) -> list[list[Candidate]]:
+        """Bulk lookup, one candidate list per query (instrumented)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if not queries:
+            return []
+        with self.query_time:
+            return self._lookup_batch(list(queries), k)
+
+    @property
+    def total_lookup_seconds(self) -> float:
+        """Measured wall-clock plus simulated (remote) latency."""
+        return self.query_time.total + self.simulated_latency
+
+    def reset_timers(self) -> None:
+        """Zero the measured query time and simulated latency."""
+        self.query_time.reset()
+        self.simulated_latency = 0.0
+
+    def index_bytes(self) -> int:
+        """Approximate index storage (0 when a service keeps no index)."""
+        return 0
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _lookup_batch(
+        self, queries: list[str], k: int
+    ) -> list[list[Candidate]]:
+        raise NotImplementedError
+
+    @classmethod
+    def build(cls, kg: KnowledgeGraph, **kwargs) -> "LookupService":
+        """Construct and index a service over ``kg``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,63 @@
+"""Lookup service over an arbitrary embedder (the Table VII harness).
+
+Wraps any :class:`repro.embedding.base.Embedder` — word2vec, fastText,
+the wordpiece BERT stand-in, the char-LSTM — behind the same index-and-
+query pipeline EmbLookup uses, so the embedding algorithm is the only
+variable in the comparison.
+"""
+
+from __future__ import annotations
+
+from repro.embedding.base import Embedder
+from repro.index.flat import FlatIndex
+from repro.kg.graph import KnowledgeGraph
+from repro.lookup.base import Candidate, LookupService
+from repro.text.tokenize import normalize
+
+__all__ = ["EmbedderLookupService"]
+
+
+class EmbedderLookupService(LookupService):
+    """Flat (uncompressed) k-NN lookup over any embedder's vectors."""
+
+    def __init__(self, embedder: Embedder, name: str = "embedder"):
+        super().__init__()
+        self.embedder = embedder
+        self.name = name
+        self._index = FlatIndex(embedder.dim)
+        self._row_to_entity: list[str] = []
+
+    @classmethod
+    def build(
+        cls,
+        kg: KnowledgeGraph,
+        embedder: Embedder | None = None,
+        name: str = "embedder",
+        **kwargs,
+    ) -> "EmbedderLookupService":
+        if embedder is None:
+            raise ValueError("EmbedderLookupService.build requires an embedder")
+        service = cls(embedder, name=name)
+        labels = []
+        for entity in kg.entities():
+            labels.append(normalize(entity.label))
+            service._row_to_entity.append(entity.entity_id)
+        if labels:
+            service._index.add(embedder.embed(labels))
+        return service
+
+    def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
+        vectors = self.embedder.embed([normalize(q) for q in queries])
+        result = self._index.search(vectors, min(k, max(self._index.ntotal, 1)))
+        out: list[list[Candidate]] = []
+        for row_ids, row_d in zip(result.ids, result.distances):
+            candidates = [
+                Candidate(self._row_to_entity[int(i)], -float(d))
+                for i, d in zip(row_ids, row_d)
+                if i >= 0
+            ]
+            out.append(candidates[:k])
+        return out
+
+    def index_bytes(self) -> int:
+        return self._index.memory_bytes()

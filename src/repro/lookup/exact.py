@@ -1,0 +1,50 @@
+"""Exact-match lookup: a hash index over normalised labels.
+
+The fastest and most brittle baseline: any edit to the query misses.  By
+default only entity labels are indexed (matching the paper's "only entity
+mentions" local-index setting); ``include_aliases=True`` reproduces the
+larger alias-aware index discussed in Section IV-D.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.kg.graph import KnowledgeGraph
+from repro.lookup.base import Candidate, LookupService
+from repro.text.tokenize import normalize
+
+__all__ = ["ExactMatchLookup"]
+
+
+class ExactMatchLookup(LookupService):
+    name = "exact_match"
+
+    def __init__(self, include_aliases: bool = False):
+        super().__init__()
+        self.include_aliases = include_aliases
+        self._index: dict[str, list[str]] = defaultdict(list)
+        self._bytes = 0
+
+    @classmethod
+    def build(
+        cls, kg: KnowledgeGraph, include_aliases: bool = False, **kwargs
+    ) -> "ExactMatchLookup":
+        service = cls(include_aliases=include_aliases)
+        for entity in kg.entities():
+            mentions = entity.mentions if include_aliases else (entity.label,)
+            for mention in mentions:
+                key = normalize(mention)
+                service._index[key].append(entity.entity_id)
+                service._bytes += len(key.encode()) + 16
+        return service
+
+    def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
+        out: list[list[Candidate]] = []
+        for query in queries:
+            matches = self._index.get(normalize(query), ())
+            out.append([Candidate(eid, 1.0) for eid in matches[:k]])
+        return out
+
+    def index_bytes(self) -> int:
+        return self._bytes

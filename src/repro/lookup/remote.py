@@ -1,0 +1,129 @@
+"""Simulated remote lookup services (Wikidata API, SearX).
+
+The paper's remote baselines are dominated by network latency and rate
+limits (Wikidata allows only five parallel queries per IP).  We model that
+explicitly: a remote service wraps a local matcher and *accounts* latency
+on a virtual clock instead of sleeping, so benchmarks finish quickly while
+the reported lookup time reproduces the remote cost structure.  DESIGN.md
+documents this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kg.graph import KnowledgeGraph
+from repro.lookup.base import Candidate, LookupService
+from repro.lookup.elastic import ElasticLookup
+from repro.lookup.exact import ExactMatchLookup
+
+__all__ = ["RemoteServiceModel", "SimulatedRemoteLookup"]
+
+
+@dataclass(frozen=True)
+class RemoteServiceModel:
+    """Latency/rate-limit model of a remote endpoint.
+
+    Attributes
+    ----------
+    latency_seconds:
+        Round-trip time per request.
+    max_parallel:
+        Concurrent requests the endpoint allows per client; a batch of
+        ``n`` queries therefore pays ``ceil(n / max_parallel)`` round trips.
+    requests_per_second:
+        Hard rate limit; when the implied throughput exceeds it, the extra
+        wait is added.
+    """
+
+    latency_seconds: float = 0.05
+    max_parallel: int = 5
+    requests_per_second: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError("latency_seconds must be >= 0")
+        if self.max_parallel < 1:
+            raise ValueError("max_parallel must be >= 1")
+        if self.requests_per_second <= 0:
+            raise ValueError("requests_per_second must be > 0")
+
+    def batch_latency(self, num_queries: int) -> float:
+        """Virtual wall-clock cost of ``num_queries`` lookups."""
+        if num_queries <= 0:
+            return 0.0
+        waves = -(-num_queries // self.max_parallel)  # ceil division
+        latency = waves * self.latency_seconds
+        rate_floor = num_queries / self.requests_per_second
+        return max(latency, rate_floor)
+
+    @classmethod
+    def wikidata(cls) -> "RemoteServiceModel":
+        """Wikidata API: ~60 ms RTT, 5 parallel queries per IP."""
+        return cls(latency_seconds=0.06, max_parallel=5, requests_per_second=25.0)
+
+    @classmethod
+    def searx(cls) -> "RemoteServiceModel":
+        """SearX metasearch: aggregates 70+ engines, slower round trips."""
+        return cls(latency_seconds=0.15, max_parallel=4, requests_per_second=10.0)
+
+
+class SimulatedRemoteLookup(LookupService):
+    """A remote endpoint: local matcher + virtual network latency.
+
+    The default matcher is an alias-aware *word-level* BM25: remote
+    services index the full KG (so aliases resolve and clean queries score
+    well) but, as the paper stresses, offer only "limited support for
+    fuzzy queries" — a mid-word typo misses the word index.  This
+    reproduces the remote rows of Table V: high clean accuracy, a clear
+    drop under errors, and latency-dominated response times.
+    """
+
+    def __init__(
+        self,
+        matcher: LookupService,
+        model: RemoteServiceModel,
+        name: str = "remote",
+    ):
+        super().__init__()
+        self.matcher = matcher
+        self.model = model
+        self.name = name
+
+    @classmethod
+    def build(
+        cls,
+        kg: KnowledgeGraph,
+        model: RemoteServiceModel | None = None,
+        name: str = "wikidata_api",
+        **kwargs,
+    ) -> "SimulatedRemoteLookup":
+        model = model or RemoteServiceModel.wikidata()
+        matcher = ElasticLookup.build(
+            kg,
+            include_aliases=True,
+            fuzziness=0,
+            word_weight=1.0,
+            trigram_weight=0.0,
+        )
+        return cls(matcher, model, name=name)
+
+    @classmethod
+    def build_exactish(
+        cls,
+        kg: KnowledgeGraph,
+        model: RemoteServiceModel | None = None,
+        name: str = "wikidata_api",
+    ) -> "SimulatedRemoteLookup":
+        """Variant backed by exact alias matching only (stricter endpoint)."""
+        model = model or RemoteServiceModel.wikidata()
+        matcher = ExactMatchLookup.build(kg, include_aliases=True)
+        return cls(matcher, model, name=name)
+
+    def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
+        self.simulated_latency += self.model.batch_latency(len(queries))
+        return self.matcher._lookup_batch(queries, k)
+
+    def index_bytes(self) -> int:
+        # Remote index lives server-side; local footprint is zero.
+        return 0

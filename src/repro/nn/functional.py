@@ -1,0 +1,161 @@
+"""Functional ops built on the autograd tensor: conv1d, pooling, softmax.
+
+The 1-D convolution implements the paper's syntactic CNN tower: inputs are
+``(batch, channels, length)`` one-hot mention matrices.  Convolution is
+realised with an im2col transform so the heavy lifting is a single matmul.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "conv1d",
+    "dropout",
+    "global_max_pool1d",
+    "log_softmax",
+    "max_pool1d",
+    "softmax",
+]
+
+
+def _im2col_1d(x: np.ndarray, kernel: int, stride: int) -> np.ndarray:
+    """Unfold ``(N, C, L)`` into ``(N, out_len, C * kernel)`` patches."""
+    n, c, length = x.shape
+    out_len = (length - kernel) // stride + 1
+    windows = np.lib.stride_tricks.sliding_window_view(x, kernel, axis=2)
+    # windows: (N, C, L - k + 1, k) -> stride & reorder -> (N, out_len, C, k)
+    windows = windows[:, :, ::stride, :][:, :, :out_len, :]
+    return windows.transpose(0, 2, 1, 3).reshape(n, out_len, c * kernel)
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """1-D convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, in_channels, length)``.
+    weight:
+        Kernel of shape ``(out_channels, in_channels, kernel_size)``.
+    bias:
+        Optional per-output-channel bias of shape ``(out_channels,)``.
+    """
+    if x.ndim != 3:
+        raise ValueError(f"conv1d expects (N, C, L) input, got shape {x.shape}")
+    if weight.ndim != 3:
+        raise ValueError(f"conv1d expects (Co, Ci, K) weight, got {weight.shape}")
+    n, c_in, length = x.shape
+    c_out, c_in_w, kernel = weight.shape
+    if c_in != c_in_w:
+        raise ValueError(f"channel mismatch: input {c_in}, weight {c_in_w}")
+    if length + 2 * padding < kernel:
+        raise ValueError(
+            f"input length {length} (+{2 * padding} pad) shorter than kernel {kernel}"
+        )
+
+    x_data = x.data
+    if padding:
+        x_data = np.pad(x_data, ((0, 0), (0, 0), (padding, padding)))
+    cols = _im2col_1d(x_data, kernel, stride)          # (N, out_len, C*K)
+    w2d = weight.data.reshape(c_out, c_in * kernel)    # (Co, C*K)
+    out = cols @ w2d.T                                 # (N, out_len, Co)
+    out = out.transpose(0, 2, 1)                       # (N, Co, out_len)
+    if bias is not None:
+        out = out + bias.data[None, :, None]
+    out_len = out.shape[2]
+
+    def backward(grad: np.ndarray):
+        # grad: (N, Co, out_len)
+        grad_out = grad.transpose(0, 2, 1)             # (N, out_len, Co)
+        grad_w2d = np.einsum("nlo,nlk->ok", grad_out, cols)
+        grad_weight = grad_w2d.reshape(weight.data.shape)
+        grad_cols = grad_out @ w2d                     # (N, out_len, C*K)
+        grad_cols = grad_cols.reshape(n, out_len, c_in, kernel)
+        grad_x_padded = np.zeros(
+            (n, c_in, length + 2 * padding), dtype=np.float64
+        )
+        for pos in range(out_len):
+            start = pos * stride
+            grad_x_padded[:, :, start : start + kernel] += grad_cols[
+                :, pos, :, :
+            ]
+        grad_x = (
+            grad_x_padded[:, :, padding : padding + length]
+            if padding
+            else grad_x_padded
+        )
+        grads: list[np.ndarray | None] = [grad_x, grad_weight]
+        if bias is not None:
+            grads.append(grad.sum(axis=(0, 2)))
+        return tuple(grads)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    return x._make(out, parents, backward)
+
+
+def max_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over the time axis of a ``(N, C, L)`` tensor."""
+    if x.ndim != 3:
+        raise ValueError(f"max_pool1d expects (N, C, L) input, got {x.shape}")
+    stride = stride or kernel
+    n, c, length = x.shape
+    out_len = (length - kernel) // stride + 1
+    if out_len <= 0:
+        raise ValueError(f"kernel {kernel} larger than input length {length}")
+
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, kernel, axis=2)
+    windows = windows[:, :, ::stride, :][:, :, :out_len, :]  # (N, C, out, K)
+    out = windows.max(axis=3)
+    argmax = windows.argmax(axis=3)  # (N, C, out)
+
+    def backward(grad: np.ndarray):
+        grad_x = np.zeros((n, c, length), dtype=np.float64)
+        n_idx, c_idx, o_idx = np.indices((n, c, out_len))
+        positions = o_idx * stride + argmax
+        np.add.at(grad_x, (n_idx, c_idx, positions), grad)
+        return (grad_x,)
+
+    return x._make(out, (x,), backward)
+
+
+def global_max_pool1d(x: Tensor) -> Tensor:
+    """Max over the entire time axis: ``(N, C, L)`` -> ``(N, C)``."""
+    return x.max(axis=2)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(
+    x: Tensor, p: float, training: bool, rng: np.random.Generator
+) -> Tensor:
+    """Inverted dropout: identity in eval mode or when ``p == 0``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+
+    def backward(grad: np.ndarray):
+        return (grad * mask,)
+
+    return x._make(x.data * mask, (x,), backward)

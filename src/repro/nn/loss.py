@@ -1,0 +1,86 @@
+"""Loss functions; the triplet margin loss is the paper's training objective.
+
+Paper Eq. (3): ``max(||f(a) - f(p)||^2 - ||f(a) - f(n)||^2 + margin, 0)``.
+The per-triplet loss is also exposed so the online hard-mining schedule can
+filter easy triplets (Section III-B, "Heuristics for Triplet Mining").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "contrastive_losses",
+    "cross_entropy_loss",
+    "mse_loss",
+    "pairwise_squared_distance",
+    "triplet_margin_loss",
+    "triplet_margin_losses",
+]
+
+
+def pairwise_squared_distance(a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise squared Euclidean distance between two ``(N, D)`` tensors."""
+    diff = a - b
+    return (diff * diff).sum(axis=1)
+
+
+def triplet_margin_losses(
+    anchor: Tensor, positive: Tensor, negative: Tensor, margin: float = 1.0
+) -> Tensor:
+    """Per-triplet hinge losses, shape ``(N,)`` (before mean reduction)."""
+    if margin <= 0:
+        raise ValueError(f"margin must be positive, got {margin}")
+    d_pos = pairwise_squared_distance(anchor, positive)
+    d_neg = pairwise_squared_distance(anchor, negative)
+    return (d_pos - d_neg + margin).clamp_min(0.0)
+
+
+def triplet_margin_loss(
+    anchor: Tensor, positive: Tensor, negative: Tensor, margin: float = 1.0
+) -> Tensor:
+    """Mean triplet margin loss over a batch."""
+    return triplet_margin_losses(anchor, positive, negative, margin).mean()
+
+
+def contrastive_losses(
+    anchor: Tensor, positive: Tensor, negative: Tensor, margin: float = 1.0
+) -> Tensor:
+    """Per-triplet contrastive (pair) losses, shape ``(N,)``.
+
+    The paper's future-work alternative to triplet loss: each triplet is
+    decomposed into an attracting pair ``(a, p)`` pulled to distance 0 and
+    a repelling pair ``(a, n)`` pushed beyond ``margin``:
+    ``d(a,p) + max(margin - d(a,n), 0)``.
+    """
+    if margin <= 0:
+        raise ValueError(f"margin must be positive, got {margin}")
+    d_pos = pairwise_squared_distance(anchor, positive)
+    d_neg = pairwise_squared_distance(anchor, negative)
+    return d_pos + (Tensor(margin * 1.0) - d_neg).clamp_min(0.0)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def cross_entropy_loss(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer class ``targets``.
+
+    Used by the word2vec / LSTM baseline embedders' softmax heads.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got {logits.shape}")
+    if targets.shape != (logits.shape[0],):
+        raise ValueError(
+            f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+        )
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(len(targets)), targets]
+    return -picked.mean()

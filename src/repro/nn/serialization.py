@@ -1,0 +1,28 @@
+"""Model persistence: state dicts round-trip through ``numpy.savez``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["load_state_dict", "save_state_dict"]
+
+# Parameter names contain dots ("encoder.conv0.weight"); npz keys keep them
+# verbatim, so nothing needs escaping.
+
+
+def save_state_dict(state: dict[str, np.ndarray], path: str | Path) -> None:
+    """Persist a state dict to ``path`` (``.npz``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state_dict(path: str | Path) -> dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no model checkpoint at {path}")
+    with np.load(path) as archive:
+        return {name: archive[name].copy() for name in archive.files}

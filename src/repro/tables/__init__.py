@@ -1,0 +1,26 @@
+"""Tabular-data substrate.
+
+Stands in for the SemTab 2019/2020 and Tough Tables benchmarks: tables are
+drawn from a knowledge graph with known cell-entity (CEA) and column-type
+(CTA) ground truth — which is exactly how the original benchmarks were
+constructed — plus dataset transforms for the paper's evaluation variants
+(noise injection, alias replacement, cell masking for data repair).
+"""
+
+from repro.tables.table import CellRef, Table
+from repro.tables.dataset import DatasetStatistics, TabularDataset
+from repro.tables.generator import BenchmarkConfig, generate_benchmark
+from repro.tables.io import load_dataset_csv, save_dataset_csv
+from repro.tables.toughtables import generate_tough_tables
+
+__all__ = [
+    "BenchmarkConfig",
+    "CellRef",
+    "DatasetStatistics",
+    "Table",
+    "TabularDataset",
+    "generate_benchmark",
+    "load_dataset_csv",
+    "generate_tough_tables",
+    "save_dataset_csv",
+]

@@ -1,0 +1,222 @@
+"""Benchmark dataset: tables plus CEA/CTA ground truth and transforms.
+
+The transforms implement the paper's evaluation variants:
+
+- :meth:`TabularDataset.with_noise` — the *error* variant (10 % of cells
+  corrupted with the misspelling taxonomy, Section IV-B),
+- :meth:`TabularDataset.with_alias_substitution` — the semantic-lookup
+  variant (cells replaced by a random alias of their entity, Section IV-D),
+- :meth:`TabularDataset.with_masked_cells` — the data-repair workload
+  (10 % of cells blanked for imputation, Section IV "Dataset").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.tables.table import CellRef, Table
+from repro.text.noise import NoiseModel
+from repro.utils.rng import as_rng
+
+__all__ = ["DatasetStatistics", "TabularDataset"]
+
+#: Sentinel for a masked (missing) cell in the data-repair variant.
+MISSING_CELL = ""
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """Row for the paper's Table I."""
+
+    name: str
+    num_tables: int
+    avg_rows: float
+    avg_cols: float
+    cells_to_annotate: int
+
+
+@dataclass
+class TabularDataset:
+    """Tables with ground truth.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``st_wikidata``, ``st_dbpedia``, ``tough_tables``).
+    tables:
+        The benchmark tables.
+    cea:
+        Ground-truth cell -> entity-id mapping; its keys are exactly the
+        "cells to annotate".
+    cta:
+        Ground-truth (table_id, col) -> type-id mapping.
+    """
+
+    name: str
+    tables: list[Table]
+    cea: dict[CellRef, str] = field(default_factory=dict)
+    cta: dict[tuple[str, int], str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        by_id = {t.table_id: t for t in self.tables}
+        if len(by_id) != len(self.tables):
+            raise ValueError("duplicate table ids in dataset")
+        for ref in self.cea:
+            table = by_id.get(ref.table_id)
+            if table is None:
+                raise KeyError(f"CEA ground truth references unknown table {ref.table_id!r}")
+            if not (0 <= ref.row < table.num_rows and 0 <= ref.col < table.num_cols):
+                raise IndexError(f"CEA ground truth out of bounds: {ref}")
+        self._tables_by_id = by_id
+
+    # -- access ---------------------------------------------------------------------
+
+    def table(self, table_id: str) -> Table:
+        """The table with ``table_id`` (KeyError when unknown)."""
+        try:
+            return self._tables_by_id[table_id]
+        except KeyError:
+            raise KeyError(f"unknown table id {table_id!r}") from None
+
+    def cell_text(self, ref: CellRef) -> str:
+        """Current text of the addressed cell."""
+        return self.table(ref.table_id).cell(ref.row, ref.col)
+
+    def annotated_cells(self) -> list[CellRef]:
+        """Cells with CEA ground truth, in deterministic order."""
+        return sorted(self.cea, key=lambda r: (r.table_id, r.row, r.col))
+
+    def statistics(self) -> DatasetStatistics:
+        """Summary row for Table I."""
+        n = len(self.tables)
+        return DatasetStatistics(
+            name=self.name,
+            num_tables=n,
+            avg_rows=(sum(t.num_rows for t in self.tables) / n) if n else 0.0,
+            avg_cols=(sum(t.num_cols for t in self.tables) / n) if n else 0.0,
+            cells_to_annotate=len(self.cea),
+        )
+
+    # -- transforms -------------------------------------------------------------------
+
+    def _copy_tables(self) -> list[Table]:
+        return [t.copy() for t in self.tables]
+
+    def with_noise(
+        self,
+        fraction: float = 0.1,
+        noise: NoiseModel | None = None,
+        seed: int | np.random.Generator | None = None,
+        suffix: str = "errors",
+    ) -> "TabularDataset":
+        """Corrupt ``fraction`` of the annotated cells (the *error* variant)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        rng = as_rng(seed)
+        noise = noise or NoiseModel(seed=rng)
+        tables = self._copy_tables()
+        by_id = {t.table_id: t for t in tables}
+        refs = self.annotated_cells()
+        count = int(round(fraction * len(refs)))
+        chosen = rng.choice(len(refs), size=count, replace=False) if count else []
+        for idx in chosen:
+            ref = refs[int(idx)]
+            table = by_id[ref.table_id]
+            table.set_cell(ref.row, ref.col, noise.corrupt(table.cell(ref.row, ref.col)))
+        return TabularDataset(
+            name=f"{self.name}_{suffix}",
+            tables=tables,
+            cea=dict(self.cea),
+            cta=dict(self.cta),
+        )
+
+    def with_alias_substitution(
+        self,
+        kg: KnowledgeGraph,
+        seed: int | np.random.Generator | None = None,
+        suffix: str = "aliases",
+        prefer_dissimilar: bool = False,
+    ) -> "TabularDataset":
+        """Replace each annotated cell with a random alias of its entity.
+
+        Cells whose entity has no aliases are left unchanged, exactly as in
+        the paper's semantic-lookup protocol (Section IV-D).
+
+        ``prefer_dissimilar`` restricts sampling to *semantically-only*
+        aliases — those sharing no word token with the label and far in
+        edit similarity (ratio < 0.5), e.g. abbreviations and
+        translations (EUROPEAN UNION / EU, GERMANY / DEUTSCHLAND) —
+        whenever such aliases exist.  Real KGs are rich in cross-lingual
+        aliases of this kind; our synthetic alias inventory skews toward
+        derived surface forms, so uniform sampling under-represents the
+        semantic gap the paper's Table VI exercises — this flag restores
+        it (see DESIGN.md).
+        """
+        from repro.text.distance import levenshtein_ratio
+        from repro.text.tokenize import normalize, word_tokens
+
+        rng = as_rng(seed)
+        tables = self._copy_tables()
+        by_id = {t.table_id: t for t in tables}
+        for ref in self.annotated_cells():
+            entity = kg.entity(self.cea[ref])
+            if not entity.aliases:
+                continue
+            pool = list(entity.aliases)
+            if prefer_dissimilar:
+                label = normalize(entity.label)
+                label_tokens = set(word_tokens(label))
+                far = [
+                    a for a in pool
+                    if not (set(word_tokens(a)) & label_tokens)
+                    and levenshtein_ratio(label, normalize(a)) < 0.5
+                ]
+                if far:
+                    pool = far
+            alias = pool[int(rng.integers(0, len(pool)))]
+            by_id[ref.table_id].set_cell(ref.row, ref.col, alias)
+        return TabularDataset(
+            name=f"{self.name}_{suffix}",
+            tables=tables,
+            cea=dict(self.cea),
+            cta=dict(self.cta),
+        )
+
+    def with_masked_cells(
+        self,
+        fraction: float = 0.1,
+        seed: int | np.random.Generator | None = None,
+        suffix: str = "masked",
+    ) -> tuple["TabularDataset", dict[CellRef, str]]:
+        """Blank ``fraction`` of annotated cells; returns (dataset, answers).
+
+        ``answers`` maps each masked cell to its original text — the data-
+        repair task must recover the *entity* (via ``cea``), with the text
+        available for error analysis.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        rng = as_rng(seed)
+        tables = self._copy_tables()
+        by_id = {t.table_id: t for t in tables}
+        refs = self.annotated_cells()
+        count = int(round(fraction * len(refs)))
+        chosen = rng.choice(len(refs), size=count, replace=False) if count else []
+        answers: dict[CellRef, str] = {}
+        for idx in chosen:
+            ref = refs[int(idx)]
+            table = by_id[ref.table_id]
+            answers[ref] = table.cell(ref.row, ref.col)
+            table.set_cell(ref.row, ref.col, MISSING_CELL)
+        return (
+            TabularDataset(
+                name=f"{self.name}_{suffix}",
+                tables=tables,
+                cea=dict(self.cea),
+                cta=dict(self.cta),
+            ),
+            answers,
+        )

@@ -1,0 +1,224 @@
+"""SemTab-style benchmark generator.
+
+Generates entity tables from a knowledge graph with complete CEA/CTA ground
+truth, the same construction recipe as the SemTab datasets: each table has a
+subject column of entities sharing a type, context columns holding related
+entities (reached through KG facts), and literal columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef, Table
+from repro.utils.rng import as_rng
+
+__all__ = ["BenchmarkConfig", "generate_benchmark"]
+
+
+@dataclass(frozen=True)
+class _Template:
+    """A table schema: subject type + context/literal columns."""
+
+    name: str
+    subject_type: str
+    #: (header, property_id, direction) — direction "out" means the fact is
+    #: subject -> object with the row entity as subject; "in" the reverse.
+    entity_columns: tuple[tuple[str, str, str], ...]
+    literal_columns: tuple[tuple[str, str], ...]  # (header, property_id)
+
+
+_TEMPLATES: tuple[_Template, ...] = (
+    _Template(
+        name="countries",
+        subject_type="country",
+        entity_columns=(("capital", "capital_of", "in"),),
+        literal_columns=(("population", "population"),),
+    ),
+    _Template(
+        name="cities",
+        subject_type="city",
+        entity_columns=(("country", "located_in", "out"),),
+        literal_columns=(("population", "population"),),
+    ),
+    _Template(
+        name="people",
+        subject_type="person",
+        entity_columns=(
+            ("country", "citizen_of", "out"),
+            ("birthplace", "born_in", "out"),
+        ),
+        literal_columns=(),
+    ),
+    _Template(
+        name="companies",
+        subject_type="company",
+        entity_columns=(("country", "headquartered_in", "out"),),
+        literal_columns=(("founded", "founded_year"),),
+    ),
+    _Template(
+        name="rivers",
+        subject_type="river",
+        entity_columns=(("country", "flows_through", "out"),),
+        literal_columns=(),
+    ),
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Configuration for :func:`generate_benchmark`.
+
+    ``num_tables`` tables are sampled round-robin over the templates whose
+    subject type has enough entities; each table gets between ``min_rows``
+    and ``max_rows`` rows.
+    """
+
+    name: str = "st_wikidata"
+    num_tables: int = 50
+    min_rows: int = 5
+    max_rows: int = 20
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_tables < 1:
+            raise ValueError("num_tables must be >= 1")
+        if not 1 <= self.min_rows <= self.max_rows:
+            raise ValueError("row bounds must satisfy 1 <= min <= max")
+
+
+def generate_benchmark(
+    kg: KnowledgeGraph, config: BenchmarkConfig | None = None
+) -> TabularDataset:
+    """Generate a benchmark dataset with CEA and CTA ground truth."""
+    config = config or BenchmarkConfig()
+    rng = as_rng(config.seed)
+
+    def population(template: _Template) -> int:
+        try:
+            return len(kg.entities_of_type(template.subject_type, transitive=True))
+        except KeyError:
+            return 0  # graph lacks this type entirely
+
+    usable = [t for t in _TEMPLATES if population(t) >= config.min_rows]
+    if not usable:
+        raise ValueError("knowledge graph too small for any table template")
+
+    tables: list[Table] = []
+    cea: dict[CellRef, str] = {}
+    cta: dict[tuple[str, int], str] = {}
+    for i in range(config.num_tables):
+        template = usable[i % len(usable)]
+        table_id = f"{config.name}_t{i:04d}_{template.name}"
+        table = _generate_table(kg, template, table_id, config, rng, cea, cta)
+        tables.append(table)
+    return TabularDataset(name=config.name, tables=tables, cea=cea, cta=cta)
+
+
+def _generate_table(
+    kg: KnowledgeGraph,
+    template: _Template,
+    table_id: str,
+    config: BenchmarkConfig,
+    rng: np.random.Generator,
+    cea: dict[CellRef, str],
+    cta: dict[tuple[str, int], str],
+) -> Table:
+    pool = kg.entities_of_type(template.subject_type, transitive=True)
+    rows_wanted = int(rng.integers(config.min_rows, config.max_rows + 1))
+    rows_wanted = min(rows_wanted, len(pool))
+    chosen = rng.choice(len(pool), size=rows_wanted, replace=False)
+
+    header = [template.subject_type]
+    header.extend(h for h, _, _ in template.entity_columns)
+    header.extend(h for h, _ in template.literal_columns)
+
+    rows: list[list[str]] = []
+    col_types: list[set[str]] = [set() for _ in template.entity_columns]
+    for r, pick in enumerate(chosen):
+        entity = kg.entity(pool[int(pick)])
+        row = [entity.label]
+        cea[CellRef(table_id, r, 0)] = entity.entity_id
+
+        for c, (_, property_id, direction) in enumerate(template.entity_columns, 1):
+            related = _related_entity(kg, entity.entity_id, property_id, direction, rng)
+            if related is None:
+                row.append("")
+            else:
+                other = kg.entity(related)
+                row.append(other.label)
+                cea[CellRef(table_id, r, c)] = other.entity_id
+                col_types[c - 1].update(other.type_ids)
+
+        offset = 1 + len(template.entity_columns)
+        for c, (_, property_id) in enumerate(template.literal_columns):
+            row.append(_literal_value(kg, entity.entity_id, property_id))
+        rows.append(row)
+
+    cta[(table_id, 0)] = template.subject_type
+    for c, types in enumerate(col_types, 1):
+        if types:
+            cta[(table_id, c)] = _most_common_specific_type(kg, types)
+    return Table(table_id=table_id, header=header, rows=rows)
+
+
+def _related_entity(
+    kg: KnowledgeGraph,
+    entity_id: str,
+    property_id: str,
+    direction: str,
+    rng: np.random.Generator,
+) -> str | None:
+    if direction == "out":
+        candidates = [
+            f.object_id
+            for f in kg.facts_about(entity_id)
+            if f.property_id == property_id and f.object_id is not None
+        ]
+    else:
+        candidates = [
+            f.subject_id
+            for f in kg.facts_mentioning(entity_id)
+            if f.property_id == property_id
+        ]
+    if not candidates:
+        return None
+    return candidates[int(rng.integers(0, len(candidates)))]
+
+
+def _literal_value(kg: KnowledgeGraph, entity_id: str, property_id: str) -> str:
+    for fact in kg.facts_about(entity_id):
+        if fact.property_id == property_id and fact.literal is not None:
+            return fact.literal
+    return ""
+
+
+def _most_common_specific_type(kg: KnowledgeGraph, types: set[str]) -> str:
+    """Pick the most specific type covering a column's entities.
+
+    When a column mixes subtypes (e.g. ``capital`` and ``city``), walk up
+    the hierarchy to the nearest common ancestor, matching CTA's
+    "most specific type" objective.
+    """
+    if len(types) == 1:
+        return next(iter(types))
+    # Candidate chains root-ward for each type.
+    chains = []
+    for type_id in types:
+        chains.append([type_id, *kg.ancestor_types(type_id)])
+    common = set(chains[0])
+    for chain in chains[1:]:
+        common &= set(chain)
+    if not common:
+        return sorted(types)[0]
+    # The most specific common ancestor is the one appearing earliest in
+    # any chain.
+    first_chain = chains[0]
+    for candidate in first_chain:
+        if candidate in common:
+            return candidate
+    return sorted(common)[0]

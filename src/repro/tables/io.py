@@ -1,0 +1,101 @@
+"""Dataset persistence in the SemTab layout.
+
+SemTab distributes its benchmarks as a directory of per-table CSV files
+plus ground-truth CSVs (``cea.csv``: table, row, col, entity;
+``cta.csv``: table, col, type).  This module writes and reads that layout
+so generated benchmarks can be inspected with ordinary tools and shared
+across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef, Table
+
+__all__ = ["load_dataset_csv", "save_dataset_csv"]
+
+_TABLES_DIR = "tables"
+_CEA_FILE = "cea.csv"
+_CTA_FILE = "cta.csv"
+_META_FILE = "dataset.csv"
+
+
+def save_dataset_csv(dataset: TabularDataset, directory: str | Path) -> None:
+    """Write ``dataset`` as SemTab-style CSVs under ``directory``."""
+    directory = Path(directory)
+    tables_dir = directory / _TABLES_DIR
+    tables_dir.mkdir(parents=True, exist_ok=True)
+
+    for table in dataset.tables:
+        with (tables_dir / f"{table.table_id}.csv").open(
+            "w", newline="", encoding="utf-8"
+        ) as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.header)
+            writer.writerows(table.rows)
+
+    with (directory / _CEA_FILE).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["table", "row", "col", "entity"])
+        for ref in dataset.annotated_cells():
+            writer.writerow([ref.table_id, ref.row, ref.col, dataset.cea[ref]])
+
+    with (directory / _CTA_FILE).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["table", "col", "type"])
+        for (table_id, col), type_id in sorted(dataset.cta.items()):
+            writer.writerow([table_id, col, type_id])
+
+    with (directory / _META_FILE).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["name"])
+        writer.writerow([dataset.name])
+
+
+def load_dataset_csv(directory: str | Path) -> TabularDataset:
+    """Read a dataset previously written by :func:`save_dataset_csv`."""
+    directory = Path(directory)
+    tables_dir = directory / _TABLES_DIR
+    if not tables_dir.is_dir():
+        raise FileNotFoundError(f"no tables directory under {directory}")
+
+    tables: list[Table] = []
+    for csv_path in sorted(tables_dir.glob("*.csv")):
+        with csv_path.open(newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            rows = list(reader)
+        if not rows:
+            raise ValueError(f"empty table file {csv_path}")
+        tables.append(
+            Table(table_id=csv_path.stem, header=rows[0], rows=rows[1:])
+        )
+
+    cea: dict[CellRef, str] = {}
+    cea_path = directory / _CEA_FILE
+    if cea_path.exists():
+        with cea_path.open(newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            for record in reader:
+                cea[
+                    CellRef(record["table"], int(record["row"]), int(record["col"]))
+                ] = record["entity"]
+
+    cta: dict[tuple[str, int], str] = {}
+    cta_path = directory / _CTA_FILE
+    if cta_path.exists():
+        with cta_path.open(newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            for record in reader:
+                cta[(record["table"], int(record["col"]))] = record["type"]
+
+    name = directory.name
+    meta_path = directory / _META_FILE
+    if meta_path.exists():
+        lines = meta_path.read_text(encoding="utf-8").strip().splitlines()
+        if len(lines) >= 2:
+            name = lines[1].strip()
+
+    return TabularDataset(name=name, tables=tables, cea=cea, cta=cta)

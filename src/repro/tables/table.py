@@ -1,0 +1,75 @@
+"""Relational table model (paper Section II, "Tabular Data")."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CellRef", "Table"]
+
+
+@dataclass(frozen=True)
+class CellRef:
+    """Address of one cell: table id, 0-based row and column."""
+
+    table_id: str
+    row: int
+    col: int
+
+
+@dataclass
+class Table:
+    """An ``m x n`` table of string cells.
+
+    ``header`` carries column names (not annotated); ``rows`` hold the cell
+    values.  Cells may be entity mentions or literals; which cells refer to
+    entities is recorded in the owning :class:`TabularDataset`'s ground
+    truth, mirroring the SemTab layout.
+    """
+
+    table_id: str
+    header: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.table_id:
+            raise ValueError("table_id must be non-empty")
+        width = len(self.header)
+        for r, row in enumerate(self.rows):
+            if len(row) != width:
+                raise ValueError(
+                    f"table {self.table_id}: row {r} has {len(row)} cells, "
+                    f"expected {width}"
+                )
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_cols(self) -> int:
+        return len(self.header)
+
+    def cell(self, row: int, col: int) -> str:
+        """Cell value at ``(row, col)``."""
+        return self.rows[row][col]
+
+    def set_cell(self, row: int, col: int, value: str) -> None:
+        """Overwrite the cell at ``(row, col)``."""
+        self.rows[row][col] = value
+
+    def column(self, col: int) -> list[str]:
+        """All values of column ``col`` top to bottom."""
+        if not 0 <= col < self.num_cols:
+            raise IndexError(f"column {col} out of range (ncols={self.num_cols})")
+        return [row[col] for row in self.rows]
+
+    def copy(self) -> "Table":
+        """Deep copy (rows are duplicated)."""
+        return Table(
+            table_id=self.table_id,
+            header=list(self.header),
+            rows=[list(row) for row in self.rows],
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({self.table_id!r}, {self.num_rows}x{self.num_cols})"

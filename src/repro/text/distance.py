@@ -1,0 +1,178 @@
+"""Classical string distances used by the baseline lookup services.
+
+These are the similarity metrics the paper's Table V baselines optimise for:
+Levenshtein (FuzzyWuzzy, ElasticSearch fuzzy queries, the LSH variant),
+q-grams, and exact match.  Implementations are pure Python with the usual
+dynamic-programming optimisations (two-row tables, early exit on length
+bounds) so they remain honest comparators for the benchmark harness.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "damerau_levenshtein",
+    "jaccard_qgram_similarity",
+    "jaro_winkler",
+    "levenshtein",
+    "levenshtein_ratio",
+    "qgrams",
+]
+
+
+def levenshtein(a: str, b: str, max_distance: int | None = None) -> int:
+    """Edit distance between ``a`` and ``b`` (insert/delete/substitute).
+
+    When ``max_distance`` is given and the true distance exceeds it, any
+    value strictly greater than ``max_distance`` may be returned — callers
+    use this as a cheap cut-off for candidate filtering.
+    """
+    if a == b:
+        return 0
+    # Ensure a is the shorter string so the DP rows stay small.
+    if len(a) > len(b):
+        a, b = b, a
+    if max_distance is not None and len(b) - len(a) > max_distance:
+        return max_distance + 1
+    if not a:
+        return len(b)
+
+    previous = list(range(len(a) + 1))
+    for i, cb in enumerate(b, start=1):
+        current = [i] + [0] * len(a)
+        row_min = i
+        for j, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost, # substitution
+            )
+            row_min = min(row_min, current[j])
+        if max_distance is not None and row_min > max_distance:
+            return max_distance + 1
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein(a: str, b: str) -> int:
+    """Edit distance that also counts adjacent transposition as one edit.
+
+    (Restricted Damerau-Levenshtein / optimal string alignment.)
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+
+    d = [[0] * (len(b) + 1) for _ in range(len(a) + 1)]
+    for i in range(len(a) + 1):
+        d[i][0] = i
+    for j in range(len(b) + 1):
+        d[0][j] = j
+    for i in range(1, len(a) + 1):
+        for j in range(1, len(b) + 1):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            d[i][j] = min(
+                d[i - 1][j] + 1,
+                d[i][j - 1] + 1,
+                d[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                d[i][j] = min(d[i][j], d[i - 2][j - 2] + 1)
+    return d[-1][-1]
+
+
+def levenshtein_ratio(a: str, b: str) -> float:
+    """Normalised Levenshtein similarity in [0, 1] (1.0 means identical).
+
+    This is FuzzyWuzzy's ``ratio``-style score:
+    ``1 - distance / max(len(a), len(b))``.
+    """
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Character q-grams of ``text``; padded with ``#`` sentinels by default.
+
+    Padding gives boundary grams extra weight, which is how the ElasticSearch
+    trigram analyser behaves.
+    """
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    padded = ("#" * (q - 1) + text + "#" * (q - 1)) if pad else text
+    if len(padded) < q:
+        return [padded] if padded else []
+    return [padded[i : i + q] for i in range(len(padded) - q + 1)]
+
+
+def jaccard_qgram_similarity(a: str, b: str, q: int = 3) -> float:
+    """Jaccard similarity of the q-gram sets of ``a`` and ``b``."""
+    grams_a = set(qgrams(a, q))
+    grams_b = set(qgrams(b, q))
+    if not grams_a and not grams_b:
+        return 1.0
+    union = grams_a | grams_b
+    if not union:
+        return 1.0
+    return len(grams_a & grams_b) / len(union)
+
+
+def jaro_winkler(a: str, b: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity in [0, 1].
+
+    Included because several SemTab systems (e.g. MantisTable's lexical
+    matcher) rank candidates with Jaro-Winkler rather than raw edit distance.
+    """
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+
+    matches = 0
+    for i, ca in enumerate(a):
+        lo = max(0, i - window)
+        hi = min(len(b), i + window + 1)
+        for j in range(lo, hi):
+            if not b_flags[j] and b[j] == ca:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if flagged:
+            while not b_flags[j]:
+                j += 1
+            if a[i] != b[j]:
+                transpositions += 1
+            j += 1
+    transpositions //= 2
+
+    jaro = (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+    prefix = 0
+    for ca, cb in zip(a, b):
+        if ca != cb or prefix == 4:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)

@@ -1,0 +1,173 @@
+"""Error injection implementing the paper's misspelling taxonomy.
+
+Section IV-B injects noise into 10% of cells: "dropping/inserting one or
+more letters, transposing letters, swapping the tokens, abbreviations, and
+so on."  :class:`NoiseModel` implements each of those operators plus keyboard
+-neighbour substitution, with a configurable mixture, and is used both for
+training-time triplet perturbations and evaluation-time noisy datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import as_rng
+
+__all__ = ["NoiseModel", "NoiseSpec", "abbreviate"]
+
+#: QWERTY adjacency used for realistic substitution typos.
+_KEYBOARD_NEIGHBOURS: dict[str, str] = {
+    "q": "wa", "w": "qes", "e": "wrd", "r": "etf", "t": "ryg", "y": "tuh",
+    "u": "yij", "i": "uok", "o": "ipl", "p": "ol", "a": "qsz", "s": "adwx",
+    "d": "sfec", "f": "dgrv", "g": "fhtb", "h": "gjyn", "j": "hkum",
+    "k": "jli", "l": "ko", "z": "xa", "x": "zcs", "c": "xvd", "v": "cbf",
+    "b": "vng", "n": "bmh", "m": "nj",
+}
+
+
+def abbreviate(text: str) -> str:
+    """Initialism of a multi-word mention (``european union`` -> ``eu``).
+
+    Single-word mentions are truncated to a 3-letter prefix instead, which
+    matches how the paper's abbreviation noise behaves on one-token cells.
+    """
+    words = text.split()
+    if len(words) >= 2:
+        return "".join(w[0] for w in words if w)
+    return text[:3]
+
+
+@dataclass(frozen=True)
+class NoiseSpec:
+    """Mixture weights over the error operators.
+
+    Weights need not sum to one; they are normalised when sampling.
+    """
+
+    drop_char: float = 0.25
+    insert_char: float = 0.2
+    transpose: float = 0.2
+    substitute: float = 0.15
+    swap_tokens: float = 0.1
+    abbreviation: float = 0.1
+
+    def operators(self) -> list[tuple[str, float]]:
+        """(name, weight) pairs; validates the weights."""
+        pairs = [
+            ("drop_char", self.drop_char),
+            ("insert_char", self.insert_char),
+            ("transpose", self.transpose),
+            ("substitute", self.substitute),
+            ("swap_tokens", self.swap_tokens),
+            ("abbreviation", self.abbreviation),
+        ]
+        if any(w < 0 for _, w in pairs):
+            raise ValueError("noise weights must be non-negative")
+        if not any(w > 0 for _, w in pairs):
+            raise ValueError("at least one noise weight must be positive")
+        return pairs
+
+
+class NoiseModel:
+    """Samples corrupted variants of a mention.
+
+    Parameters
+    ----------
+    spec:
+        Mixture of error operators.
+    max_edits:
+        Upper bound on how many character-level operators are applied to a
+        single mention ("dropping ... one or more letters").
+    seed:
+        Seed (or generator) for reproducible corruption.
+    """
+
+    def __init__(
+        self,
+        spec: NoiseSpec | None = None,
+        max_edits: int = 2,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if max_edits < 1:
+            raise ValueError(f"max_edits must be >= 1, got {max_edits}")
+        self.spec = spec or NoiseSpec()
+        self.max_edits = max_edits
+        self.rng = as_rng(seed)
+        names, weights = zip(*self.spec.operators())
+        total = float(sum(weights))
+        self._names = list(names)
+        self._probs = [w / total for w in weights]
+
+    # -- individual operators -------------------------------------------------
+
+    def _drop_char(self, text: str) -> str:
+        if len(text) <= 1:
+            return text
+        pos = int(self.rng.integers(0, len(text)))
+        return text[:pos] + text[pos + 1 :]
+
+    def _insert_char(self, text: str) -> str:
+        pos = int(self.rng.integers(0, len(text) + 1))
+        ch = chr(int(self.rng.integers(ord("a"), ord("z") + 1)))
+        return text[:pos] + ch + text[pos:]
+
+    def _transpose(self, text: str) -> str:
+        if len(text) < 2:
+            return text
+        pos = int(self.rng.integers(0, len(text) - 1))
+        return text[:pos] + text[pos + 1] + text[pos] + text[pos + 2 :]
+
+    def _substitute(self, text: str) -> str:
+        if not text:
+            return text
+        pos = int(self.rng.integers(0, len(text)))
+        original = text[pos]
+        neighbours = _KEYBOARD_NEIGHBOURS.get(original)
+        if neighbours:
+            replacement = neighbours[int(self.rng.integers(0, len(neighbours)))]
+        else:
+            replacement = chr(int(self.rng.integers(ord("a"), ord("z") + 1)))
+        return text[:pos] + replacement + text[pos + 1 :]
+
+    def _swap_tokens(self, text: str) -> str:
+        words = text.split()
+        if len(words) < 2:
+            return self._transpose(text)
+        i = int(self.rng.integers(0, len(words) - 1))
+        words[i], words[i + 1] = words[i + 1], words[i]
+        return " ".join(words)
+
+    def _abbreviation(self, text: str) -> str:
+        return abbreviate(text)
+
+    # -- public API ------------------------------------------------------------
+
+    def corrupt(self, mention: str) -> str:
+        """Return a corrupted variant of ``mention``.
+
+        Abbreviation and token swap are applied at most once (they are
+        structural rather than character edits); character operators may be
+        applied up to ``max_edits`` times.
+        """
+        if not mention:
+            return mention
+        operator = self._sample_operator()
+        if operator in ("abbreviation", "swap_tokens"):
+            return getattr(self, f"_{operator}")(mention)
+        edits = int(self.rng.integers(1, self.max_edits + 1))
+        corrupted = mention
+        for _ in range(edits):
+            corrupted = getattr(self, f"_{operator}")(corrupted)
+        return corrupted
+
+    def corrupt_many(self, mention: str, count: int) -> list[str]:
+        """Sample ``count`` independent corruptions of ``mention``."""
+        return [self.corrupt(mention) for _ in range(count)]
+
+    def _sample_operator(self) -> str:
+        return self._names[int(self.rng.choice(len(self._names), p=self._probs))]
+
+    def __repr__(self) -> str:
+        return f"NoiseModel(max_edits={self.max_edits})"

@@ -1,0 +1,60 @@
+"""Online hard / semi-hard triplet selection (paper Section III-B).
+
+Given current embeddings, a triplet ``(a, p, n)`` with margin ``m`` is:
+
+- **easy** when ``d(a,p) + m <= d(a,n)`` (zero loss; skipped),
+- **semi-hard** when ``d(a,p) < d(a,n) < d(a,p) + m``,
+- **hard** when ``d(a,n) <= d(a,p)``.
+
+The second half of EmbLookup's training keeps only the hard and semi-hard
+triplets of each epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["select_hard_triplets", "split_by_hardness"]
+
+
+def _check_shapes(
+    anchors: np.ndarray, positives: np.ndarray, negatives: np.ndarray
+) -> None:
+    if not (anchors.shape == positives.shape == negatives.shape):
+        raise ValueError(
+            "anchor/positive/negative embeddings must share a shape, got "
+            f"{anchors.shape}, {positives.shape}, {negatives.shape}"
+        )
+    if anchors.ndim != 2:
+        raise ValueError(f"embeddings must be 2-D, got {anchors.ndim}-D")
+
+
+def split_by_hardness(
+    anchors: np.ndarray,
+    positives: np.ndarray,
+    negatives: np.ndarray,
+    margin: float = 1.0,
+) -> dict[str, np.ndarray]:
+    """Partition triplet indices into easy / semi-hard / hard sets."""
+    _check_shapes(anchors, positives, negatives)
+    d_pos = ((anchors - positives) ** 2).sum(axis=1)
+    d_neg = ((anchors - negatives) ** 2).sum(axis=1)
+    hard = d_neg <= d_pos
+    easy = d_pos + margin <= d_neg
+    semi_hard = ~hard & ~easy
+    return {
+        "easy": np.flatnonzero(easy),
+        "semi_hard": np.flatnonzero(semi_hard),
+        "hard": np.flatnonzero(hard),
+    }
+
+
+def select_hard_triplets(
+    anchors: np.ndarray,
+    positives: np.ndarray,
+    negatives: np.ndarray,
+    margin: float = 1.0,
+) -> np.ndarray:
+    """Indices of triplets with non-zero loss (hard + semi-hard)."""
+    parts = split_by_hardness(anchors, positives, negatives, margin)
+    return np.sort(np.concatenate([parts["hard"], parts["semi_hard"]]))

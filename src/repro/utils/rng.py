@@ -1,0 +1,54 @@
+"""Deterministic randomness helpers.
+
+Every stochastic component in the library (generators, model initialisation,
+triplet mining, noise injection) accepts a seed or an already-constructed
+``numpy.random.Generator``.  These helpers centralise that convention so that
+experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RngMixin", "as_rng", "derive_rng", "new_rng"]
+
+
+def new_rng(seed: int | None = None) -> np.random.Generator:
+    """Create a new ``numpy.random.Generator`` from an optional seed."""
+    return np.random.default_rng(seed)
+
+
+def as_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce a seed, ``Generator``, or ``None`` into a ``Generator``."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a numbered sub-stream.
+
+    Components that fan out work (e.g. one stream per entity, per epoch)
+    use derived generators so that adding a new consumer does not perturb
+    the random sequence seen by existing ones.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (stream * 0x9E3779B97F4A7C15 % 2**63)
+    return np.random.default_rng(seed)
+
+
+class RngMixin:
+    """Mixin giving a class a lazily-created ``self.rng`` generator."""
+
+    _rng: np.random.Generator | None = None
+    _seed: int | None = None
+
+    def seed(self, seed: int | None) -> None:
+        """Reset the generator to a fresh stream derived from ``seed``."""
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if self._rng is None:
+            self._rng = np.random.default_rng(self._seed)
+        return self._rng

@@ -1,0 +1,90 @@
+"""Wall-clock timing utilities used by the evaluation harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "Timer", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a human-friendly unit (ns/us/ms/s)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f}us"
+    return f"{seconds * 1e9:.0f}ns"
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self.start is not None
+        self.elapsed = time.perf_counter() - self.start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates time across multiple start/stop windows.
+
+    Used to instrument the lookup fraction of an annotation pipeline the way
+    the paper instruments each system's lookup calls.
+    """
+
+    total: float = 0.0
+    count: int = 0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Open a timing window."""
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """Close the window; returns its duration and accumulates it."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        window = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.total += window
+        self.count += 1
+        return window
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean duration per window (0.0 when never run)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated totals."""
+        self.total = 0.0
+        self.count = 0
+        self._started_at = None

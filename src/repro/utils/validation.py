@@ -1,0 +1,45 @@
+"""Lightweight argument-validation helpers.
+
+These raise early, descriptive errors instead of letting bad configuration
+surface as opaque numpy broadcasting failures deep inside training loops.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["check_positive", "check_probability", "check_type", "require"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with ``message`` when ``condition`` is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float, allow_zero: bool = False) -> None:
+    """Validate that a numeric parameter is positive (or non-negative)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> None:
+    """Validate ``isinstance(value, expected)`` with a readable error."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " | ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be {expected_names}, got {type(value).__name__}"
+        )

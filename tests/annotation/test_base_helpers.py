@@ -1,0 +1,77 @@
+"""Tests for annotation.base helpers (grouping, candidate plumbing)."""
+
+import pytest
+
+from repro.annotation.base import CeaAnnotator, group_cells_by_table
+from repro.lookup.base import Candidate, LookupService
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef, Table
+
+
+class TopOneAnnotator(CeaAnnotator):
+    """Minimal CEA system: picks the top candidate, no re-ranking."""
+
+    name = "top1"
+
+    def _disambiguate(self, kg, table_id, refs, texts, candidates):
+        return {
+            ref: (cands[0].entity_id if cands else None)
+            for ref, cands in zip(refs, candidates)
+        }
+
+
+class FixedLookup(LookupService):
+    """Always returns the same candidate; records batch sizes."""
+
+    name = "fixed"
+
+    def __init__(self):
+        super().__init__()
+        self.batch_sizes: list[int] = []
+
+    def _lookup_batch(self, queries, k):
+        self.batch_sizes.append(len(queries))
+        return [[Candidate("Q1", 1.0)] for _ in queries]
+
+
+@pytest.fixture
+def two_table_dataset():
+    tables = [
+        Table("a", ["x"], [["foo"], [""]]),
+        Table("b", ["x"], [["bar"]]),
+    ]
+    cea = {
+        CellRef("a", 0, 0): "Q1",
+        CellRef("a", 1, 0): "Q2",
+        CellRef("b", 0, 0): "Q1",
+    }
+    return TabularDataset("two", tables, cea)
+
+
+class TestGrouping:
+    def test_group_cells_by_table(self, two_table_dataset):
+        grouped = group_cells_by_table(two_table_dataset)
+        assert set(grouped) == {"a", "b"}
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+
+
+class TestCandidatePlumbing:
+    def test_empty_cells_get_empty_candidates(self, two_table_dataset, tiny_kg):
+        lookup = FixedLookup()
+        annotator = TopOneAnnotator(lookup)
+        predictions = annotator.annotate_cells(two_table_dataset, tiny_kg)
+        # The empty cell ("a", 1, 0) must abstain; others get Q1.
+        assert predictions[CellRef("a", 1, 0)] is None
+        assert predictions[CellRef("a", 0, 0)] == "Q1"
+        assert predictions[CellRef("b", 0, 0)] == "Q1"
+
+    def test_lookup_batched_per_table(self, two_table_dataset, tiny_kg):
+        lookup = FixedLookup()
+        TopOneAnnotator(lookup).annotate_cells(two_table_dataset, tiny_kg)
+        # One batch per table, empty cells excluded from the batch.
+        assert sorted(lookup.batch_sizes) == [1, 1]
+
+    def test_candidate_k_validated(self):
+        with pytest.raises(ValueError):
+            TopOneAnnotator(FixedLookup(), candidate_k=0)

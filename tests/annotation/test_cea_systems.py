@@ -1,0 +1,79 @@
+"""Tests for the three CEA systems (bbw, MantisTable, JenTab)."""
+
+import pytest
+
+from repro.annotation.bbw import BbwAnnotator
+from repro.annotation.jentab import JenTabAnnotator
+from repro.annotation.mantistable import MantisTableAnnotator
+from repro.evaluation.metrics import cea_f_score
+from repro.lookup.elastic import ElasticLookup
+
+
+@pytest.fixture(scope="module")
+def elastic(small_kg):
+    return ElasticLookup.build(small_kg)
+
+
+ALL_SYSTEMS = [BbwAnnotator, MantisTableAnnotator, JenTabAnnotator]
+
+
+class TestAccuracyOnCleanData:
+    @pytest.mark.parametrize("system_cls", ALL_SYSTEMS)
+    def test_high_f_score(self, system_cls, elastic, small_dataset, small_kg):
+        annotator = system_cls(elastic)
+        predictions = annotator.annotate_cells(small_dataset, small_kg)
+        score = cea_f_score(predictions, small_dataset.cea)
+        assert score.f_score > 0.9, system_cls.name
+
+    @pytest.mark.parametrize("system_cls", ALL_SYSTEMS)
+    def test_all_cells_predicted(self, system_cls, elastic, small_dataset, small_kg):
+        annotator = system_cls(elastic)
+        predictions = annotator.annotate_cells(small_dataset, small_kg)
+        assert set(predictions) == set(small_dataset.cea)
+
+
+class TestRobustness:
+    @pytest.mark.parametrize("system_cls", ALL_SYSTEMS)
+    def test_empty_cells_abstain(self, system_cls, elastic, small_dataset, small_kg):
+        masked, answers = small_dataset.with_masked_cells(0.2, seed=0)
+        annotator = system_cls(elastic)
+        predictions = annotator.annotate_cells(masked, small_kg)
+        for ref in answers:
+            assert predictions[ref] is None
+
+    def test_invalid_candidate_k(self, elastic):
+        with pytest.raises(ValueError):
+            BbwAnnotator(elastic, candidate_k=0)
+
+
+class TestContextSignals:
+    def test_bbw_context_disambiguates_homonyms(self, small_kg, elastic):
+        """Two cities labelled 'berlin' — row context (country) decides."""
+        from repro.tables.dataset import TabularDataset
+        from repro.tables.table import CellRef, Table
+
+        berlin_de = None
+        for eid in small_kg.exact_lookup("berlin"):
+            entity = small_kg.entity(eid)
+            if "capital" in entity.type_ids:
+                berlin_de = eid
+        if berlin_de is None:
+            pytest.skip("no capital Berlin in this KG build")
+        germany = next(iter(small_kg.exact_lookup("germany")))
+        table = Table("t", ["city", "country"], [["berlin", "germany"]])
+        ds = TabularDataset(
+            "x",
+            [table],
+            {CellRef("t", 0, 0): berlin_de, CellRef("t", 0, 1): germany},
+        )
+        annotator = BbwAnnotator(elastic, context_weight=0.5)
+        predictions = annotator.annotate_cells(ds, small_kg)
+        assert predictions[CellRef("t", 0, 0)] == berlin_de
+
+    def test_mantistable_type_weight_validation(self, elastic):
+        with pytest.raises(ValueError):
+            MantisTableAnnotator(elastic, type_weight=-1)
+
+    def test_bbw_context_weight_validation(self, elastic):
+        with pytest.raises(ValueError):
+            BbwAnnotator(elastic, context_weight=-0.5)

@@ -1,0 +1,41 @@
+"""Tests for column-type annotation (annotate_column_types)."""
+
+import pytest
+
+from repro.annotation.base import annotate_column_types
+from repro.annotation.mantistable import MantisTableAnnotator
+from repro.evaluation.metrics import cta_f_score
+from repro.lookup.elastic import ElasticLookup
+
+
+class TestCta:
+    def test_perfect_cea_gives_strong_cta(self, small_dataset, small_kg):
+        """Feeding ground-truth CEA, CTA should recover (almost) all types."""
+        perfect_cea = dict(small_dataset.cea)
+        cta = annotate_column_types(small_dataset, small_kg, perfect_cea)
+        score = cta_f_score(cta, small_dataset.cta, kg=small_kg)
+        assert score.f_score > 0.85
+
+    def test_specific_type_beats_ancestor(self, small_dataset, small_kg):
+        """Columns of capitals must not be typed as 'place' or 'thing'."""
+        perfect_cea = dict(small_dataset.cea)
+        cta = annotate_column_types(small_dataset, small_kg, perfect_cea)
+        for column, predicted in cta.items():
+            if predicted is not None:
+                assert predicted not in ("thing",), column
+
+    def test_empty_cea_abstains(self, small_dataset, small_kg):
+        cta = annotate_column_types(small_dataset, small_kg, {})
+        assert all(v is None for v in cta.values())
+
+    def test_none_predictions_skipped(self, small_dataset, small_kg):
+        cea = {ref: None for ref in small_dataset.cea}
+        cta = annotate_column_types(small_dataset, small_kg, cea)
+        assert all(v is None for v in cta.values())
+
+    def test_end_to_end_with_system(self, small_dataset, small_kg):
+        annotator = MantisTableAnnotator(ElasticLookup.build(small_kg))
+        cea = annotator.annotate_cells(small_dataset, small_kg)
+        cta = annotate_column_types(small_dataset, small_kg, cea)
+        score = cta_f_score(cta, small_dataset.cta, kg=small_kg)
+        assert score.f_score > 0.7

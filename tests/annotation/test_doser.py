@@ -1,0 +1,48 @@
+"""Tests for the DoSeR collective disambiguator."""
+
+import pytest
+
+from repro.annotation.doser import DoSeRDisambiguator
+from repro.lookup.elastic import ElasticLookup
+from repro.lookup.fuzzy import FuzzyWuzzyLookup
+
+
+@pytest.fixture(scope="module")
+def doser(small_kg):
+    return DoSeRDisambiguator(ElasticLookup.build(small_kg))
+
+
+class TestDisambiguation:
+    def test_clean_mentions_resolved(self, doser, small_kg):
+        mentions = ["germany", "france", "spain", "italy"]
+        resolved = doser.disambiguate(mentions, small_kg)
+        for mention, entity_id in zip(mentions, resolved):
+            assert entity_id is not None
+            assert small_kg.entity(entity_id).label == mention
+
+    def test_empty_input(self, doser, small_kg):
+        assert doser.disambiguate([], small_kg) == []
+
+    def test_unresolvable_mention_is_none_or_guess(self, doser, small_kg):
+        resolved = doser.disambiguate(["zzzzqqqq"], small_kg)
+        assert len(resolved) == 1  # may be None or a weak guess
+
+    def test_coherence_helps_ambiguous_mention(self, small_kg):
+        """'berlin' next to 'germany' should resolve to the German capital
+        rather than a homonym, thanks to the candidate-graph edges."""
+        doser = DoSeRDisambiguator(FuzzyWuzzyLookup.build(small_kg))
+        berlin_de = None
+        for eid in small_kg.exact_lookup("berlin"):
+            if "capital" in small_kg.entity(eid).type_ids:
+                berlin_de = eid
+        if berlin_de is None:
+            pytest.skip("no capital Berlin in this KG build")
+        resolved = doser.disambiguate(["berlin", "germany"], small_kg)
+        assert resolved[0] == berlin_de
+
+    def test_validation(self, small_kg):
+        service = ElasticLookup.build(small_kg)
+        with pytest.raises(ValueError):
+            DoSeRDisambiguator(service, candidate_k=0)
+        with pytest.raises(ValueError):
+            DoSeRDisambiguator(service, damping=1.0)

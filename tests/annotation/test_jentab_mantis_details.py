@@ -1,0 +1,92 @@
+"""Focused tests of JenTab's and MantisTable's distinguishing machinery."""
+
+import pytest
+
+from repro.annotation.jentab import JenTabAnnotator
+from repro.annotation.mantistable import MantisTableAnnotator
+from repro.lookup.base import Candidate, LookupService
+from repro.lookup.elastic import ElasticLookup
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef, Table
+
+
+class CountingLookup(LookupService):
+    """Wraps another service, counting queries (to observe reformulation)."""
+
+    name = "counting"
+
+    def __init__(self, inner):
+        super().__init__()
+        self.inner = inner
+        self.queries_seen: list[str] = []
+
+    def _lookup_batch(self, queries, k):
+        self.queries_seen.extend(queries)
+        return self.inner._lookup_batch(queries, k)
+
+
+class TestJenTabReformulation:
+    def test_retry_with_token_sorted_query(self, small_kg):
+        """Cells whose primary lookup is weak get a token-sorted retry.
+
+        Exact match returns no candidates for the scrambled cell, which
+        forces the reformulation path (elastic's trigram channel would
+        return plenty and skip the retry).
+        """
+        from repro.lookup.exact import ExactMatchLookup
+
+        counting = CountingLookup(ExactMatchLookup.build(small_kg))
+        annotator = JenTabAnnotator(counting, candidate_k=20)
+        germany = next(iter(small_kg.exact_lookup("bill gates")))
+        table = Table("t", ["person"], [["gates zzqq bill"]])
+        ds = TabularDataset("x", [table], {CellRef("t", 0, 0): germany})
+        annotator.annotate_cells(ds, small_kg)
+        # The reformulated (sorted-token) query must have been issued.
+        assert any(
+            q == "bill gates zzqq" for q in counting.queries_seen
+        ), counting.queries_seen
+
+    def test_type_compatibility_spans_hierarchy(self, small_kg):
+        elastic = ElasticLookup.build(small_kg)
+        berlin_candidates = small_kg.exact_lookup("berlin")
+        capital = next(
+            (e for e in berlin_candidates
+             if "capital" in small_kg.entity(e).type_ids),
+            None,
+        )
+        if capital is None:
+            pytest.skip("no capital berlin in KG")
+        # A 'capital' entity is compatible with a 'city' column type.
+        assert JenTabAnnotator._type_compatible(small_kg, capital, "city")
+        assert JenTabAnnotator._type_compatible(small_kg, capital, "place")
+        assert not JenTabAnnotator._type_compatible(small_kg, capital, "person")
+
+
+class TestMantisTableTypeScoring:
+    def test_column_type_bonus_changes_choice(self, small_kg):
+        """With two same-name entities of different types, the dominant
+        column type must tip the decision."""
+        homonyms = [
+            eid for eid in small_kg.exact_lookup("berlin")
+        ]
+        capital = next(
+            (e for e in homonyms if "capital" in small_kg.entity(e).type_ids),
+            None,
+        )
+        if capital is None or len(homonyms) < 1:
+            pytest.skip("needs the berlin homonym")
+
+        elastic = ElasticLookup.build(small_kg)
+        # Column full of unambiguous capitals drives the type vote.
+        rows = [["paris"], ["madrid"], ["rome"], ["berlin"]]
+        cea = {}
+        for r, (label,) in enumerate(rows):
+            ids = [
+                eid for eid in small_kg.exact_lookup(label)
+                if "capital" in small_kg.entity(eid).type_ids
+            ]
+            cea[CellRef("t", r, 0)] = ids[0]
+        ds = TabularDataset("x", [Table("t", ["capital"], rows)], cea)
+        annotator = MantisTableAnnotator(elastic, type_weight=0.5)
+        predictions = annotator.annotate_cells(ds, small_kg)
+        assert predictions[CellRef("t", 3, 0)] == capital

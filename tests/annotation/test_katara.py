@@ -1,0 +1,77 @@
+"""Tests for the Katara data repairer."""
+
+import pytest
+
+from repro.annotation.katara import KataraRepairer
+from repro.lookup.elastic import ElasticLookup
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef, Table
+
+
+@pytest.fixture(scope="module")
+def repairer(small_kg):
+    return KataraRepairer(ElasticLookup.build(small_kg))
+
+
+class TestRepair:
+    def test_recovers_masked_context_cell(self, repairer, small_kg):
+        """Mask a capital; the country column + capital_of pattern recovers it."""
+        rows, cea = [], {}
+        pairs = [("germany", "berlin"), ("france", "paris"), ("spain", "madrid")]
+        for r, (country, capital) in enumerate(pairs):
+            rows.append([country, capital])
+            cea[CellRef("t", r, 0)] = next(iter(small_kg.exact_lookup(country)))
+            capital_ids = [
+                eid for eid in small_kg.exact_lookup(capital)
+                if "capital" in small_kg.entity(eid).type_ids
+            ]
+            cea[CellRef("t", r, 1)] = capital_ids[0]
+        table = Table("t", ["country", "capital"], rows)
+        ds = TabularDataset("x", [table], cea)
+        masked, answers = ds.with_masked_cells(0.0)
+        # Mask one capital manually for a deterministic scenario.
+        target = CellRef("t", 0, 1)
+        masked.table("t").set_cell(0, 1, "")
+        predictions = repairer.repair(masked, small_kg)
+        # capital_of runs capital -> country, so direction is "in".
+        assert predictions[target] == cea[target]
+
+    def test_recovers_masked_subject_cell(self, repairer, small_kg):
+        rows, cea = [], {}
+        pairs = [("germany", "berlin"), ("france", "paris"), ("spain", "madrid")]
+        for r, (country, capital) in enumerate(pairs):
+            rows.append([country, capital])
+            cea[CellRef("t", r, 0)] = next(iter(small_kg.exact_lookup(country)))
+            capital_ids = [
+                eid for eid in small_kg.exact_lookup(capital)
+                if "capital" in small_kg.entity(eid).type_ids
+            ]
+            cea[CellRef("t", r, 1)] = capital_ids[0]
+        table = Table("t", ["country", "capital"], rows)
+        ds = TabularDataset("x", [table], cea)
+        ds.table("t").set_cell(1, 0, "")
+        predictions = repairer.repair(ds, small_kg)
+        assert predictions[CellRef("t", 1, 0)] == cea[CellRef("t", 1, 0)]
+
+    def test_unrepairable_returns_none(self, repairer, small_kg):
+        table = Table("t", ["a"], [[""]])
+        germany = next(iter(small_kg.exact_lookup("germany")))
+        ds = TabularDataset("x", [table], {CellRef("t", 0, 0): germany})
+        predictions = repairer.repair(ds, small_kg)
+        assert predictions[CellRef("t", 0, 0)] is None
+
+    def test_no_masked_cells(self, repairer, small_kg, small_dataset):
+        assert repairer.repair(small_dataset, small_kg) == {}
+
+    def test_reasonable_recovery_on_benchmark(self, repairer, small_kg, small_dataset):
+        masked, answers = small_dataset.with_masked_cells(0.1, seed=3)
+        predictions = repairer.repair(masked, small_kg)
+        truth = {ref: small_dataset.cea[ref] for ref in answers}
+        correct = sum(
+            1 for ref, t in truth.items() if predictions.get(ref) == t
+        )
+        assert correct / len(truth) > 0.4
+
+    def test_validation(self, small_kg):
+        with pytest.raises(ValueError):
+            KataraRepairer(ElasticLookup.build(small_kg), candidate_k=0)

@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+Expensive artefacts (generated KGs, the trained EmbLookup pipeline) are
+session-scoped: built once, shared read-only by every test that needs them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EmbLookup, EmbLookupConfig
+from repro.kg import KnowledgeGraph, SyntheticKGConfig, generate_kg
+from repro.tables import BenchmarkConfig, TabularDataset, generate_benchmark
+
+
+@pytest.fixture(scope="session")
+def tiny_kg() -> KnowledgeGraph:
+    """~160 entities: the curated seed core only (no synthesis beyond it)."""
+    return generate_kg(SyntheticKGConfig(num_entities=160, seed=5))
+
+
+@pytest.fixture(scope="session")
+def small_kg() -> KnowledgeGraph:
+    """400 entities: seed core + synthetic growth."""
+    return generate_kg(SyntheticKGConfig(num_entities=400, seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_kg) -> TabularDataset:
+    """12-table benchmark over ``small_kg``."""
+    return generate_benchmark(small_kg, BenchmarkConfig(num_tables=12, seed=11))
+
+
+@pytest.fixture(scope="session")
+def fast_config() -> EmbLookupConfig:
+    """A training configuration small enough for the test suite."""
+    return EmbLookupConfig(
+        epochs=4,
+        triplets_per_entity=10,
+        fasttext_epochs=6,
+        batch_size=64,
+        seed=2,
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_service(tiny_kg, fast_config) -> EmbLookup:
+    """A (quickly) trained EmbLookup pipeline over the tiny KG."""
+    service = EmbLookup(fast_config)
+    service.fit(tiny_kg)
+    return service

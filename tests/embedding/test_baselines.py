@@ -1,0 +1,129 @@
+"""Tests for the Table VII baseline embedders: word2vec, wordpiece, LSTM."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.lstm import CharLSTMConfig, CharLSTMEmbedder
+from repro.embedding.word2vec import Word2VecConfig, Word2VecModel
+from repro.embedding.wordpiece import WordPieceConfig, WordPieceModel
+from repro.text.alphabet import Alphabet
+from repro.text.encoding import OneHotEncoder
+
+GROUPS = [
+    ["germany", "deutschland germany"],
+    ["france", "france republic"],
+    ["spain", "kingdom spain"],
+    ["berlin", "berlin city"],
+]
+
+
+class TestWord2Vec:
+    def test_embed_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Word2VecModel().embed(["x"])
+
+    def test_embed_shape(self):
+        model = Word2VecModel(Word2VecConfig(dim=16, epochs=1, seed=0))
+        model.fit(GROUPS)
+        assert model.embed(["germany", "france"]).shape == (2, 16)
+
+    def test_oov_embeds_to_zero(self):
+        """The documented failure mode: typos are OOV -> zero vector."""
+        model = Word2VecModel(Word2VecConfig(dim=16, epochs=1, seed=0))
+        model.fit(GROUPS)
+        np.testing.assert_array_equal(
+            model.embed(["germny"]), np.zeros((1, 16), dtype=np.float32)
+        )
+
+    def test_vocabulary_built_from_groups(self):
+        model = Word2VecModel(Word2VecConfig(epochs=0, seed=0))
+        model.fit(GROUPS)
+        assert "germany" in model.vocabulary
+        assert "deutschland" in model.vocabulary
+
+    def test_cooccurring_words_align(self):
+        model = Word2VecModel(Word2VecConfig(dim=16, epochs=20, seed=0))
+        model.fit(GROUPS)
+        def cos(a, b):
+            va, vb = model.embed([a])[0], model.embed([b])[0]
+            return float(va @ vb / (np.linalg.norm(va) * np.linalg.norm(vb) + 1e-9))
+        assert cos("germany", "deutschland") > cos("germany", "spain")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Word2VecConfig(dim=0)
+
+
+class TestWordPiece:
+    def test_embed_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            WordPieceModel().embed(["x"])
+
+    def test_embed_shape(self):
+        model = WordPieceModel(WordPieceConfig(dim=16, epochs=1, seed=0))
+        model.fit(GROUPS)
+        assert model.embed(["germany"]).shape == (1, 16)
+
+    def test_single_chars_always_in_vocab(self):
+        model = WordPieceModel(WordPieceConfig(epochs=0, seed=0))
+        model.fit(GROUPS)
+        for ch in "germany":
+            assert ch in model.piece_vocabulary or f"##{ch}" in model.piece_vocabulary
+
+    def test_typo_does_not_zero_out(self):
+        """Unlike word2vec, shared pieces survive a typo (BERT-ish)."""
+        model = WordPieceModel(WordPieceConfig(dim=16, epochs=2, seed=0))
+        model.fit(GROUPS)
+        out = model.embed(["germny"])
+        assert np.abs(out).sum() > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WordPieceConfig(vocab_size=10)
+
+
+class TestCharLSTM:
+    ENCODER = OneHotEncoder(Alphabet("abcdefghijklmnopqrstuvwxyz "), max_length=12)
+
+    def test_embed_shape(self):
+        model = CharLSTMEmbedder(self.ENCODER, CharLSTMConfig(dim=8, hidden=8, seed=0))
+        assert model.embed(["berlin", "x"]).shape == (2, 8)
+
+    def test_empty_batch(self):
+        model = CharLSTMEmbedder(self.ENCODER, CharLSTMConfig(dim=8, hidden=8))
+        assert model.embed([]).shape == (0, 8)
+
+    def test_different_strings_different_embeddings(self):
+        model = CharLSTMEmbedder(self.ENCODER, CharLSTMConfig(dim=8, hidden=8, seed=0))
+        out = model.embed(["berlin", "madrid"])
+        assert not np.allclose(out[0], out[1])
+
+    def test_fit_reduces_triplet_violations(self):
+        triplets = [
+            ("berlin", "berlni", "madrid"),
+            ("madrid", "madrdi", "berlin"),
+            ("paris", "pariss", "london"),
+            ("london", "londn", "paris"),
+        ] * 4
+        model = CharLSTMEmbedder(
+            self.ENCODER,
+            CharLSTMConfig(dim=8, hidden=12, epochs=8, batch_size=8, seed=0),
+        )
+        def violations():
+            count = 0
+            for a, p, n in triplets[:4]:
+                ea, ep, en = model.embed([a, p, n])
+                if ((ea - ep) ** 2).sum() >= ((ea - en) ** 2).sum():
+                    count += 1
+            return count
+        before = violations()
+        model.fit(triplets)
+        assert violations() <= before
+
+    def test_fit_empty_is_noop(self):
+        model = CharLSTMEmbedder(self.ENCODER, CharLSTMConfig(dim=8, hidden=8))
+        assert model.fit([]) is model
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CharLSTMConfig(dim=0)

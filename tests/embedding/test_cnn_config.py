@@ -1,0 +1,50 @@
+"""Configuration-corner tests for the CNN tower."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.cnn import CharCNNEncoder
+from repro.text.alphabet import Alphabet
+from repro.text.encoding import OneHotEncoder
+
+
+class TestPoolingSchedules:
+    def test_no_pooling(self):
+        encoder = OneHotEncoder(Alphabet("abc"), max_length=8)
+        cnn = CharCNNEncoder(encoder, out_dim=8, pool_every=0, rng=0)
+        assert cnn._final_length == 8
+        assert cnn.embed(["abc"]).shape == (1, 8)
+
+    def test_pool_every_layer(self):
+        encoder = OneHotEncoder(Alphabet("abc"), max_length=32)
+        cnn = CharCNNEncoder(encoder, out_dim=8, pool_every=1, rng=0)
+        # 5 layers, halving each time: 32 -> 1.
+        assert cnn._final_length == 1
+        assert cnn.embed(["abc"]).shape == (1, 8)
+
+    def test_pooling_stops_at_length_one(self):
+        """Short inputs must not pool below one position."""
+        encoder = OneHotEncoder(Alphabet("abc"), max_length=2)
+        cnn = CharCNNEncoder(encoder, out_dim=4, pool_every=1, rng=0)
+        assert cnn._final_length >= 1
+        assert np.isfinite(cnn.embed(["ab"])).all()
+
+    def test_single_layer(self):
+        encoder = OneHotEncoder(Alphabet("abc"), max_length=8)
+        cnn = CharCNNEncoder(encoder, out_dim=8, num_layers=1, rng=0)
+        assert len(cnn._convs) == 1
+        assert cnn.embed(["cba"]).shape == (1, 8)
+
+
+class TestChannelWidths:
+    @pytest.mark.parametrize("channels", [1, 4, 16])
+    def test_channel_variants(self, channels):
+        encoder = OneHotEncoder(Alphabet("abc"), max_length=8)
+        cnn = CharCNNEncoder(encoder, out_dim=8, channels=channels, rng=0)
+        assert cnn.embed(["abc"]).shape == (1, 8)
+
+    def test_parameter_count_scales_with_channels(self):
+        encoder = OneHotEncoder(Alphabet("abc"), max_length=8)
+        small = CharCNNEncoder(encoder, out_dim=8, channels=4, rng=0)
+        large = CharCNNEncoder(encoder, out_dim=8, channels=16, rng=0)
+        assert large.num_parameters() > small.num_parameters()

@@ -1,0 +1,95 @@
+"""Tests for the fastText-style subword model."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.fasttext import FastTextConfig, FastTextModel, subword_ngrams
+
+
+class TestSubwordNgrams:
+    def test_includes_whole_word_and_ngrams(self):
+        ids = subword_ngrams("berlin", min_n=3, max_n=3, buckets=1000)
+        # <berlin> has 6 trigrams + 1 whole word = 7 ids.
+        assert len(ids) == 7
+
+    def test_stable_hashing(self):
+        assert subword_ngrams("germany") == subword_ngrams("germany")
+
+    def test_bucket_range(self):
+        ids = subword_ngrams("knowledge graph", buckets=64)
+        assert all(0 <= i < 64 for i in ids)
+
+    def test_shared_ngrams_under_typo(self):
+        """A one-letter typo must preserve most subword ids — the property
+        that gives fastText partial typo robustness."""
+        clean = set(subword_ngrams("germany"))
+        typo = set(subword_ngrams("germany".replace("m", "n")))
+        assert len(clean & typo) >= len(clean) // 3
+
+    def test_empty_string(self):
+        assert subword_ngrams("") == []
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            subword_ngrams("x", min_n=4, max_n=2)
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            subword_ngrams("x", buckets=0)
+
+
+class TestFastTextModel:
+    def test_embed_shape(self):
+        model = FastTextModel(FastTextConfig(dim=16, epochs=0))
+        out = model.embed(["berlin", "paris"])
+        assert out.shape == (2, 16)
+
+    def test_empty_input(self):
+        model = FastTextModel(FastTextConfig(dim=16))
+        assert model.embed([]).shape == (0, 16)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FastTextConfig(dim=0)
+        with pytest.raises(ValueError):
+            FastTextConfig(negatives=0)
+
+    def test_training_pulls_synonyms_together(self):
+        """After fit, an entity's alias must be closer to its label than
+        a random other label (the semantic tower's contract)."""
+        groups = [
+            ["germany", "deutschland"],
+            ["france", "republique francaise"],
+            ["spain", "espana"],
+            ["japan", "nippon"],
+            ["china", "zhongguo"],
+            ["russia", "rossiya"],
+        ]
+        model = FastTextModel(FastTextConfig(dim=32, epochs=30, seed=0, lr=0.05))
+        model.fit(groups)
+        wins = 0
+        for label, alias in groups:
+            e_label = model.embed([label])[0]
+            e_alias = model.embed([alias])[0]
+            d_alias = ((e_label - e_alias) ** 2).sum()
+            d_others = [
+                ((e_label - model.embed([other])[0]) ** 2).sum()
+                for other, _ in groups
+                if other != label
+            ]
+            if d_alias < min(d_others):
+                wins += 1
+        assert wins >= 4
+
+    def test_fit_marks_trained(self):
+        model = FastTextModel(FastTextConfig(epochs=0))
+        assert not model.is_trained
+        model.fit([["a", "b"]])
+        assert model.is_trained
+
+    def test_handles_unseen_words(self):
+        """Hashing keeps the model open-vocabulary: no crash, finite output."""
+        model = FastTextModel(FastTextConfig(dim=8, epochs=1, seed=1))
+        model.fit([["alpha", "beta"]])
+        out = model.embed(["never seen before zzz"])
+        assert np.isfinite(out).all()

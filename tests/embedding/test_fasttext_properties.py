@@ -1,0 +1,45 @@
+"""Property-based tests for subword hashing (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding.fasttext import subword_ngrams
+
+words = st.text(alphabet="abcdefghijklmnop", min_size=1, max_size=12)
+
+
+class TestSubwordProperties:
+    @given(words)
+    @settings(max_examples=100)
+    def test_deterministic(self, word):
+        assert subword_ngrams(word) == subword_ngrams(word)
+
+    @given(words, st.integers(2, 10))
+    @settings(max_examples=100)
+    def test_bucket_bounds(self, word, log_buckets):
+        buckets = 2**log_buckets
+        ids = subword_ngrams(word, buckets=buckets)
+        assert all(0 <= i < buckets for i in ids)
+
+    @given(words)
+    @settings(max_examples=100)
+    def test_count_matches_ngram_arithmetic(self, word):
+        """#ids = 1 whole-word + sum over n of (len+2 - n + 1) windows."""
+        ids = subword_ngrams(word, min_n=3, max_n=5)
+        wrapped_len = len(word) + 2
+        expected = 1 + sum(
+            max(wrapped_len - n + 1, 0) for n in (3, 4, 5) if wrapped_len >= n
+        )
+        assert len(ids) == expected
+
+    @given(words, words)
+    @settings(max_examples=100)
+    def test_concatenation_is_union_of_word_ids(self, a, b):
+        """Multi-word mentions hash each word independently."""
+        combined = subword_ngrams(f"{a} {b}")
+        assert combined == subword_ngrams(a) + subword_ngrams(b)
+
+    @given(words)
+    @settings(max_examples=60)
+    def test_case_insensitive(self, word):
+        assert subword_ngrams(word.upper()) == subword_ngrams(word)

@@ -1,0 +1,114 @@
+"""Tests for the TransE extension (KG-embedding bootstrap, future work)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.fasttext import FastTextConfig, FastTextModel
+from repro.embedding.transe import TransEConfig, TransEModel, distill_into_fasttext
+
+
+@pytest.fixture(scope="module")
+def transe(tiny_kg):
+    return TransEModel(TransEConfig(dim=16, epochs=15, seed=0)).fit(tiny_kg)
+
+
+class TestTransE:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransEConfig(dim=0)
+        with pytest.raises(ValueError):
+            TransEConfig(margin=0)
+
+    def test_untrained_access_raises(self):
+        model = TransEModel()
+        with pytest.raises(RuntimeError):
+            model.embedding_of("Q1")
+
+    def test_every_entity_embedded(self, transe, tiny_kg):
+        for entity in tiny_kg.entities():
+            vec = transe.embedding_of(entity.entity_id)
+            assert vec.shape == (16,)
+            assert np.isfinite(vec).all()
+
+    def test_unknown_entity_raises(self, transe):
+        with pytest.raises(KeyError):
+            transe.embedding_of("Q999999")
+
+    def test_true_facts_score_above_corrupted(self, transe, tiny_kg):
+        """Core TransE property: real triples beat corrupted ones."""
+        entity_ids = tiny_kg.entity_ids()
+        rng = np.random.default_rng(1)
+        wins = 0
+        total = 0
+        for fact in list(tiny_kg.facts())[:60]:
+            if fact.object_id is None:
+                continue
+            true_score = transe.score_fact(
+                fact.subject_id, fact.property_id, fact.object_id
+            )
+            corrupt = entity_ids[int(rng.integers(0, len(entity_ids)))]
+            if corrupt == fact.object_id:
+                continue
+            fake_score = transe.score_fact(
+                fact.subject_id, fact.property_id, corrupt
+            )
+            total += 1
+            if true_score > fake_score:
+                wins += 1
+        assert total > 30
+        assert wins / total > 0.7
+
+    def test_related_entities_closer_than_random(self, transe, tiny_kg):
+        """Neighbours in the KG should be nearer in embedding space."""
+        rng = np.random.default_rng(2)
+        entity_ids = tiny_kg.entity_ids()
+        related_d, random_d = [], []
+        for entity_id in entity_ids[:60]:
+            neighbours = tiny_kg.neighbors(entity_id)
+            if not neighbours:
+                continue
+            e = transe.embedding_of(entity_id)
+            n = transe.embedding_of(next(iter(neighbours)))
+            r = transe.embedding_of(
+                entity_ids[int(rng.integers(0, len(entity_ids)))]
+            )
+            related_d.append(((e - n) ** 2).sum())
+            random_d.append(((e - r) ** 2).sum())
+        assert np.mean(related_d) < np.mean(random_d)
+
+
+class TestDistillation:
+    def test_dimension_mismatch_rejected(self, transe, tiny_kg):
+        fasttext = FastTextModel(FastTextConfig(dim=32, epochs=0))
+        with pytest.raises(ValueError):
+            distill_into_fasttext(transe, fasttext, tiny_kg)
+
+    def test_untrained_transe_rejected(self, tiny_kg):
+        fasttext = FastTextModel(FastTextConfig(dim=16, epochs=0))
+        with pytest.raises(RuntimeError):
+            distill_into_fasttext(TransEModel(TransEConfig(dim=16)), fasttext, tiny_kg)
+
+    def test_distillation_moves_strings_toward_kg_embeddings(self, transe, tiny_kg):
+        fasttext = FastTextModel(FastTextConfig(dim=16, epochs=0, seed=3))
+        def alignment():
+            errs = []
+            for entity in list(tiny_kg.entities())[:50]:
+                predicted = fasttext.embed([entity.label])[0]
+                target = transe.embedding_of(entity.entity_id)
+                errs.append(((predicted - target) ** 2).sum())
+            return float(np.mean(errs))
+        before = alignment()
+        distill_into_fasttext(transe, fasttext, tiny_kg, epochs=3, seed=0)
+        after = alignment()
+        assert after < before * 0.8
+
+    def test_distilled_model_transfers_alias_similarity(self, transe, tiny_kg):
+        """After distillation, an alias lands near its entity's embedding —
+        the semantic bootstrap the paper's future work proposes."""
+        fasttext = FastTextModel(FastTextConfig(dim=16, epochs=0, seed=3))
+        distill_into_fasttext(transe, fasttext, tiny_kg, epochs=5, seed=0)
+        germany = next(iter(tiny_kg.exact_lookup("germany")))
+        target = transe.embedding_of(germany)
+        alias_vec = fasttext.embed(["deutschland"])[0]
+        random_vec = fasttext.embed(["stratovolcano dynamics"])[0]
+        assert ((alias_vec - target) ** 2).sum() < ((random_vec - target) ** 2).sum()

@@ -1,0 +1,41 @@
+"""Tests for the lookup-fraction instrumentation.
+
+The paper motivates EmbLookup with the observation that lookup accounts
+for "as much as 45% of the time taken" in the annotation systems.  These
+tests pin the instrumentation that measures that share.
+"""
+
+import pytest
+
+from repro.annotation.bbw import BbwAnnotator
+from repro.evaluation.harness import AnnotationRun, run_cea_system
+from repro.evaluation.metrics import PRF
+from repro.lookup.elastic import ElasticLookup
+from repro.lookup.fuzzy import FuzzyWuzzyLookup
+
+
+class TestLookupFraction:
+    def test_property_math(self):
+        run = AnnotationRun("CEA", "s", "l", PRF(1, 1, 1), 2.0, 5, wall_seconds=4.0)
+        assert run.lookup_fraction == 0.5
+
+    def test_zero_wall_time(self):
+        run = AnnotationRun("CEA", "s", "l", PRF(1, 1, 1), 2.0, 5)
+        assert run.lookup_fraction == 0.0
+
+    def test_wall_time_recorded(self, small_dataset, small_kg):
+        run = run_cea_system(
+            BbwAnnotator(ElasticLookup.build(small_kg)), small_dataset, small_kg
+        )
+        assert run.wall_seconds > 0
+        assert run.lookup_seconds <= run.wall_seconds + 1e-6
+
+    def test_scan_lookup_dominates_wall_time(self, small_dataset, small_kg):
+        """With a slow scan matcher the lookup share is large — the paper's
+        motivating bottleneck (its systems spent up to 45% in lookup)."""
+        run = run_cea_system(
+            BbwAnnotator(FuzzyWuzzyLookup.build(small_kg)),
+            small_dataset,
+            small_kg,
+        )
+        assert run.lookup_fraction > 0.45

@@ -1,0 +1,125 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.metrics import (
+    PRF,
+    candidate_recall_at_k,
+    cea_f_score,
+    cta_f_score,
+    disambiguation_f_score,
+    index_recall_overlap,
+    repair_f_score,
+)
+from repro.tables.table import CellRef
+
+
+class TestPRF:
+    def test_from_counts(self):
+        prf = PRF.from_counts(correct=8, predicted=10, total=16)
+        assert prf.precision == 0.8
+        assert prf.recall == 0.5
+        assert prf.f_score == pytest.approx(2 * 0.8 * 0.5 / 1.3)
+
+    def test_zero_everything(self):
+        prf = PRF.from_counts(0, 0, 0)
+        assert prf.f_score == 0.0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PRF.from_counts(correct=5, predicted=3, total=10)
+
+
+class TestCeaFScore:
+    def test_perfect(self):
+        truth = {CellRef("t", 0, 0): "Q1", CellRef("t", 1, 0): "Q2"}
+        assert cea_f_score(dict(truth), truth).f_score == 1.0
+
+    def test_abstention_hits_recall_not_precision(self):
+        truth = {CellRef("t", r, 0): f"Q{r}" for r in range(4)}
+        predictions = {CellRef("t", 0, 0): "Q0", CellRef("t", 1, 0): None}
+        score = cea_f_score(predictions, truth)
+        assert score.precision == 1.0
+        assert score.recall == 0.25
+
+    def test_wrong_prediction_hits_both(self):
+        truth = {CellRef("t", 0, 0): "Q1"}
+        score = cea_f_score({CellRef("t", 0, 0): "Q9"}, truth)
+        assert score.f_score == 0.0
+
+
+class TestCtaFScore:
+    def test_exact_match(self):
+        truth = {("t", 0): "country"}
+        assert cta_f_score({("t", 0): "country"}, truth).f_score == 1.0
+
+    def test_ancestor_partial_credit(self, small_kg):
+        truth = {("t", 0): "capital"}
+        strict = cta_f_score({("t", 0): "city"}, truth)
+        lenient = cta_f_score({("t", 0): "city"}, truth, kg=small_kg)
+        assert strict.f_score == 0.0
+        assert 0.0 < lenient.f_score < 1.0
+
+    def test_descendant_gets_no_credit(self, small_kg):
+        truth = {("t", 0): "city"}
+        score = cta_f_score({("t", 0): "capital"}, truth, kg=small_kg)
+        assert score.f_score == 0.0
+
+
+class TestDisambiguationFScore:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            disambiguation_f_score(["Q1"], ["Q1", "Q2"])
+
+    def test_mixed(self):
+        score = disambiguation_f_score(["Q1", None, "Q9"], ["Q1", "Q2", "Q3"])
+        assert score.precision == 0.5
+        assert score.recall == pytest.approx(1 / 3)
+
+
+class TestRepairFScore:
+    def test_same_semantics_as_cea(self):
+        truth = {CellRef("t", 0, 0): "Q1"}
+        assert repair_f_score({CellRef("t", 0, 0): "Q1"}, truth).f_score == 1.0
+
+
+class TestCandidateRecall:
+    def test_hit_within_k(self):
+        lists = [["Q1", "Q2", "Q3"], ["Q4", "Q5", "Q6"]]
+        assert candidate_recall_at_k(lists, ["Q2", "Q9"], k=3) == 0.5
+
+    def test_k_cuts_list(self):
+        lists = [["Q1", "Q2", "Q3"]]
+        assert candidate_recall_at_k(lists, ["Q3"], k=2) == 0.0
+
+    def test_empty(self):
+        assert candidate_recall_at_k([], [], k=5) == 0.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_recall_at_k([["Q1"]], [], k=1)
+
+
+class TestIndexRecallOverlap:
+    def test_identical_ids(self):
+        ids = np.array([[0, 1, 2], [3, 4, 5]])
+        assert index_recall_overlap(ids, ids, k=3) == 1.0
+
+    def test_partial_overlap(self):
+        approx = np.array([[0, 1, 9]])
+        exact = np.array([[0, 1, 2]])
+        assert index_recall_overlap(approx, exact, k=3) == pytest.approx(2 / 3)
+
+    def test_padding_ignored(self):
+        approx = np.array([[0, -1, -1]])
+        exact = np.array([[0, -1, -1]])
+        assert index_recall_overlap(approx, exact, k=3) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            index_recall_overlap(np.zeros((1, 2)), np.zeros((1, 2)), k=0)
+
+    def test_query_count_mismatch(self):
+        with pytest.raises(ValueError):
+            index_recall_overlap(np.zeros((1, 2)), np.zeros((2, 2)), k=1)

@@ -1,0 +1,38 @@
+"""Tests for the table renderers."""
+
+import pytest
+
+from repro.evaluation.reporting import format_table, render_markdown_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["longer", 22.5]])
+        lines = text.split("\n")
+        assert lines[0].startswith("name")
+        assert "22.50" in text
+
+    def test_title(self):
+        text = format_table(["h"], [["x"]], title="Table II")
+        assert text.startswith("Table II")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.12" in text
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+
+class TestMarkdown:
+    def test_structure(self):
+        md = render_markdown_table(["a", "b"], [["x", 1.5]])
+        lines = md.split("\n")
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| x | 1.50 |"
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown_table(["a"], [["x", "y"]])

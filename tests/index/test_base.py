@@ -1,0 +1,51 @@
+"""Tests for the VectorIndex base plumbing and SearchResult."""
+
+import numpy as np
+import pytest
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.flat import FlatIndex
+
+
+class TestSearchResult:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SearchResult(
+                ids=np.zeros((2, 3), dtype=np.int64),
+                distances=np.zeros((2, 4)),
+            )
+
+    def test_frozen(self):
+        result = SearchResult(
+            ids=np.zeros((1, 1), dtype=np.int64), distances=np.zeros((1, 1))
+        )
+        with pytest.raises(AttributeError):
+            result.ids = np.ones((1, 1), dtype=np.int64)
+
+
+class TestCheckVectors:
+    def test_promotes_1d_to_2d(self):
+        index = FlatIndex(4)
+        checked = index._check_vectors(np.zeros(4, dtype=np.float32), "v")
+        assert checked.shape == (1, 4)
+
+    def test_casts_dtype(self):
+        index = FlatIndex(4)
+        checked = index._check_vectors(np.zeros((2, 4), dtype=np.float64), "v")
+        assert checked.dtype == np.float32
+
+    def test_wrong_dim_rejected_with_context(self):
+        index = FlatIndex(4)
+        with pytest.raises(ValueError, match="queries"):
+            index._check_vectors(np.zeros((2, 5), dtype=np.float32), "queries")
+
+    def test_abstract_methods(self):
+        base = VectorIndex()
+        base.dim = 4
+        with pytest.raises(NotImplementedError):
+            base.add(np.zeros((1, 4), dtype=np.float32))
+        with pytest.raises(NotImplementedError):
+            base.search(np.zeros((1, 4), dtype=np.float32), 1)
+        with pytest.raises(NotImplementedError):
+            base.memory_bytes()
+        base.train(np.zeros((1, 4), dtype=np.float32))  # default: no-op

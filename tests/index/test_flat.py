@@ -1,0 +1,112 @@
+"""Tests for repro.index.flat (the exact ground-truth index)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.index.flat import FlatIndex
+
+
+def make_index(n=100, d=8, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, d)).astype(np.float32)
+    index = FlatIndex(d)
+    index.add(data)
+    return index, data
+
+
+class TestBasics:
+    def test_ntotal_tracks_adds(self):
+        index = FlatIndex(4)
+        assert index.ntotal == 0
+        index.add(np.zeros((3, 4), dtype=np.float32))
+        index.add(np.zeros((2, 4), dtype=np.float32))
+        assert index.ntotal == 5
+
+    def test_dimension_validated(self):
+        index = FlatIndex(4)
+        with pytest.raises(ValueError):
+            index.add(np.zeros((2, 5), dtype=np.float32))
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            FlatIndex(4, metric="cosine")
+
+    def test_invalid_k(self):
+        index, _ = make_index()
+        with pytest.raises(ValueError):
+            index.search(np.zeros((1, 8), dtype=np.float32), 0)
+
+    def test_memory_bytes(self):
+        index, data = make_index(n=10, d=8)
+        assert index.memory_bytes() == 10 * 8 * 4
+
+    def test_reconstruct(self):
+        index, data = make_index()
+        np.testing.assert_array_equal(index.reconstruct(7), data[7])
+
+
+class TestSearch:
+    def test_self_query_returns_self_first(self):
+        index, data = make_index()
+        result = index.search(data[:10], 1)
+        np.testing.assert_array_equal(result.ids[:, 0], np.arange(10))
+        np.testing.assert_allclose(result.distances[:, 0], 0.0, atol=1e-4)
+
+    def test_matches_bruteforce_argsort(self):
+        index, data = make_index(n=50)
+        rng = np.random.default_rng(9)
+        queries = rng.normal(size=(5, 8)).astype(np.float32)
+        result = index.search(queries, 10)
+        for qi in range(5):
+            d = ((data.astype(np.float64) - queries[qi]) ** 2).sum(axis=1)
+            expected = np.argsort(d, kind="stable")[:10]
+            np.testing.assert_array_equal(result.ids[qi], expected)
+
+    def test_distances_sorted_ascending(self):
+        index, data = make_index()
+        result = index.search(data[:5], 20)
+        for row in result.distances:
+            assert (np.diff(row) >= -1e-9).all()
+
+    def test_k_larger_than_ntotal_pads(self):
+        index, _ = make_index(n=3)
+        result = index.search(np.zeros((1, 8), dtype=np.float32), 10)
+        assert (result.ids[0, 3:] == -1).all()
+        assert np.isinf(result.distances[0, 3:]).all()
+
+    def test_empty_index(self):
+        index = FlatIndex(4)
+        result = index.search(np.zeros((2, 4), dtype=np.float32), 3)
+        assert (result.ids == -1).all()
+
+    def test_single_vector_query_shape(self):
+        index, data = make_index()
+        result = index.search(data[0], 5)  # 1-D query is promoted
+        assert result.ids.shape == (1, 5)
+
+    def test_inner_product_metric(self):
+        data = np.eye(4, dtype=np.float32)
+        index = FlatIndex(4, metric="ip")
+        index.add(data)
+        query = np.array([[1.0, 0.0, 0.0, 0.0]], dtype=np.float32)
+        result = index.search(query, 1)
+        assert result.ids[0, 0] == 0
+
+    @given(
+        hnp.arrays(
+            np.float32,
+            st.tuples(st.integers(2, 30), st.just(6)),
+            elements=st.floats(-100, 100, width=32),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_top1_is_global_minimum(self, data):
+        index = FlatIndex(6)
+        index.add(data)
+        query = data[:1]
+        result = index.search(query, 1)
+        d = ((data.astype(np.float64) - query[0]) ** 2).sum(axis=1)
+        assert result.distances[0, 0] == pytest.approx(d.min(), rel=1e-4, abs=1e-4)

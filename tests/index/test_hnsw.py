@@ -1,0 +1,107 @@
+"""Tests for the HNSW graph index."""
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.index.hnsw import HNSWIndex
+
+
+def clustered_data(n=400, d=16, n_clusters=8, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(size=(n_clusters, d)) * 5
+    assignments = rng.integers(0, n_clusters, size=n)
+    return (centres[assignments] + rng.normal(size=(n, d)) * 0.3).astype(np.float32)
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            HNSWIndex(0)
+        with pytest.raises(ValueError):
+            HNSWIndex(8, m=1)
+        with pytest.raises(ValueError):
+            HNSWIndex(8, ef_construction=0)
+
+    def test_ntotal(self):
+        index = HNSWIndex(8, seed=0)
+        index.add(np.zeros((5, 8), dtype=np.float32))
+        assert index.ntotal == 5
+
+    def test_incremental_adds(self):
+        data = clustered_data(n=60, d=8)
+        index = HNSWIndex(8, seed=0)
+        index.add(data[:30])
+        index.add(data[30:])
+        assert index.ntotal == 60
+
+
+class TestSearch:
+    def test_empty_index(self):
+        index = HNSWIndex(8, seed=0)
+        result = index.search(np.zeros((1, 8), dtype=np.float32), 3)
+        assert (result.ids == -1).all()
+
+    def test_self_query_found(self):
+        data = clustered_data(n=200)
+        index = HNSWIndex(16, seed=0)
+        index.add(data)
+        result = index.search(data[:20], 1)
+        hits = (result.ids[:, 0] == np.arange(20)).mean()
+        assert hits > 0.9
+
+    def test_recall_vs_exact(self):
+        data = clustered_data(n=400)
+        index = HNSWIndex(16, m=8, ef_search=48, seed=0)
+        index.add(data)
+        flat = FlatIndex(16)
+        flat.add(data)
+        queries = data[:50] + 0.05 * np.random.default_rng(1).normal(
+            size=(50, 16)
+        ).astype(np.float32)
+        approx = index.search(queries, 10)
+        exact = flat.search(queries, 10)
+        overlap = np.mean([
+            len(set(a.tolist()) & set(e.tolist())) / 10
+            for a, e in zip(approx.ids, exact.ids)
+        ])
+        assert overlap > 0.8
+
+    def test_larger_ef_improves_recall(self):
+        data = clustered_data(n=400, seed=2)
+        index = HNSWIndex(16, m=6, seed=0)
+        index.add(data)
+        flat = FlatIndex(16)
+        flat.add(data)
+        queries = data[:40]
+        exact = flat.search(queries, 10)
+        def recall(ef):
+            approx = index.search(queries, 10, ef=ef)
+            return np.mean([
+                len(set(a.tolist()) & set(e.tolist())) / 10
+                for a, e in zip(approx.ids, exact.ids)
+            ])
+        assert recall(128) >= recall(10) - 0.02
+
+    def test_distances_sorted(self):
+        data = clustered_data(n=100)
+        index = HNSWIndex(16, seed=0)
+        index.add(data)
+        result = index.search(data[:5], 8)
+        for row in result.distances:
+            finite = row[np.isfinite(row)]
+            assert (np.diff(finite) >= -1e-9).all()
+
+    def test_deterministic_given_seed(self):
+        data = clustered_data(n=150)
+        def build():
+            index = HNSWIndex(16, seed=5)
+            index.add(data)
+            return index.search(data[:10], 5).ids
+        np.testing.assert_array_equal(build(), build())
+
+    def test_memory_accounts_links(self):
+        data = clustered_data(n=100)
+        index = HNSWIndex(16, seed=0)
+        index.add(data)
+        assert index.memory_bytes() > data.nbytes

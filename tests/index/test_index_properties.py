@@ -1,0 +1,95 @@
+"""Cross-index property tests (hypothesis) on shared invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.flat import FlatIndex
+from repro.index.pq import PQIndex, ProductQuantizer
+
+
+@st.composite
+def float_matrix(draw, min_rows=4, max_rows=40, dim=8):
+    rows = draw(st.integers(min_rows, max_rows))
+    seed = draw(st.integers(0, 2**16))
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows, dim)).astype(np.float32) * 3
+
+
+class TestFlatInvariants:
+    @given(float_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_results_invariant_under_row_permutation(self, data):
+        """Shuffling insertion order permutes ids but preserves the
+        retrieved *vectors* (modulo exact ties)."""
+        index_a = FlatIndex(8)
+        index_a.add(data)
+        perm = np.random.default_rng(0).permutation(len(data))
+        index_b = FlatIndex(8)
+        index_b.add(data[perm])
+        query = data[:1]
+        res_a = index_a.search(query, 3)
+        res_b = index_b.search(query, 3)
+        np.testing.assert_allclose(
+            res_a.distances, res_b.distances, rtol=1e-5, atol=1e-5
+        )
+
+    @given(float_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_distances_match_reconstruction(self, data):
+        index = FlatIndex(8)
+        index.add(data)
+        query = data[-1:]
+        res = index.search(query, min(5, len(data)))
+        for idx, dist in zip(res.ids[0], res.distances[0]):
+            if idx < 0:
+                continue
+            vec = index.reconstruct(int(idx)).astype(np.float64)
+            manual = ((vec - query[0]) ** 2).sum()
+            assert dist == pytest.approx(manual, rel=1e-4, abs=1e-4)
+
+    @given(float_matrix(), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_growing_k_extends_prefix(self, data, k):
+        """top-k ids are a prefix of top-(k+3) ids (stable ordering)."""
+        index = FlatIndex(8)
+        index.add(data)
+        query = data[:1]
+        small = index.search(query, k).ids[0]
+        large = index.search(query, k + 3).ids[0]
+        np.testing.assert_array_equal(small, large[: len(small)])
+
+
+class TestPQInvariants:
+    @given(float_matrix(min_rows=40, max_rows=80))
+    @settings(max_examples=10, deadline=None)
+    def test_codes_within_range_and_decode_finite(self, data):
+        pq = ProductQuantizer(8, m=2, nbits=4, seed=0)
+        pq.train(data)
+        codes = pq.encode(data)
+        assert codes.max() < 16
+        decoded = pq.decode(codes)
+        assert np.isfinite(decoded).all()
+
+    @given(float_matrix(min_rows=40, max_rows=80))
+    @settings(max_examples=10, deadline=None)
+    def test_quantization_is_idempotent(self, data):
+        """Encoding a decoded vector reproduces the same code."""
+        pq = ProductQuantizer(8, m=2, nbits=4, seed=0)
+        pq.train(data)
+        codes = pq.encode(data[:10])
+        recoded = pq.encode(pq.decode(codes))
+        np.testing.assert_array_equal(codes, recoded)
+
+    @given(float_matrix(min_rows=40, max_rows=80))
+    @settings(max_examples=10, deadline=None)
+    def test_adc_self_distance_is_quantization_error(self, data):
+        pq = ProductQuantizer(8, m=2, seed=0)
+        pq.train(data)
+        codes = pq.encode(data[:5])
+        adc = pq.adc_distances(data[:5], codes)
+        decoded = pq.decode(codes).astype(np.float64)
+        for i in range(5):
+            err = ((data[i] - decoded[i]) ** 2).sum()
+            assert adc[i, i] == pytest.approx(err, rel=1e-4, abs=1e-4)

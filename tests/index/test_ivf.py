@@ -1,0 +1,112 @@
+"""Tests for the IVF indexes (ivf.py and ivfpq.py)."""
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.index.ivf import IVFFlatIndex
+from repro.index.ivfpq import IVFPQIndex
+
+
+def clustered_data(n=500, d=16, n_clusters=10, seed=0):
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(size=(n_clusters, d)) * 6
+    assignments = rng.integers(0, n_clusters, size=n)
+    return (centres[assignments] + rng.normal(size=(n, d)) * 0.4).astype(np.float32)
+
+
+def recall_vs_flat(index, data, queries, k=10):
+    flat = FlatIndex(data.shape[1])
+    flat.add(data)
+    approx = index.search(queries, k)
+    exact = flat.search(queries, k)
+    return np.mean([
+        len(set(a.tolist()) & set(e.tolist())) / k
+        for a, e in zip(approx.ids, exact.ids)
+    ])
+
+
+class TestIVFFlat:
+    def test_requires_training(self):
+        index = IVFFlatIndex(8, nlist=4, nprobe=2)
+        with pytest.raises(RuntimeError):
+            index.add(np.zeros((1, 8), dtype=np.float32))
+        with pytest.raises(RuntimeError):
+            index.search(np.zeros((1, 8), dtype=np.float32), 1)
+
+    def test_full_probe_matches_exact(self):
+        """nprobe == nlist degenerates to exact search."""
+        data = clustered_data()
+        index = IVFFlatIndex(16, nlist=8, nprobe=8, seed=0)
+        index.train(data)
+        index.add(data)
+        assert recall_vs_flat(index, data, data[:30]) == 1.0
+
+    def test_recall_increases_with_nprobe(self):
+        data = clustered_data(n=800)
+        index = IVFFlatIndex(16, nlist=32, nprobe=1, seed=0)
+        index.train(data)
+        index.add(data)
+        queries = data[:50]
+        flat = FlatIndex(16)
+        flat.add(data)
+        exact = flat.search(queries, 10)
+        def recall(nprobe):
+            approx = index.search(queries, 10, nprobe=nprobe)
+            return np.mean([
+                len(set(a.tolist()) & set(e.tolist())) / 10
+                for a, e in zip(approx.ids, exact.ids)
+            ])
+        assert recall(16) >= recall(1)
+        assert recall(32) > 0.95
+
+    def test_nprobe_validation(self):
+        index = IVFFlatIndex(8, nlist=4, nprobe=2, seed=0)
+        index.train(clustered_data(d=8))
+        with pytest.raises(ValueError):
+            index.search(np.zeros((1, 8), dtype=np.float32), 1, nprobe=99)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            IVFFlatIndex(8, nlist=4, nprobe=5)
+        with pytest.raises(ValueError):
+            IVFFlatIndex(0)
+
+    def test_empty_search(self):
+        index = IVFFlatIndex(8, nlist=4, nprobe=2, seed=0)
+        index.train(clustered_data(d=8))
+        result = index.search(np.zeros((1, 8), dtype=np.float32), 3)
+        assert (result.ids == -1).all()
+
+
+class TestIVFPQ:
+    def test_requires_training(self):
+        index = IVFPQIndex(8, nlist=4, m=2, nprobe=2)
+        with pytest.raises(RuntimeError):
+            index.add(np.zeros((1, 8), dtype=np.float32))
+
+    def test_decent_recall_on_clusters(self):
+        data = clustered_data(n=600)
+        index = IVFPQIndex(16, nlist=8, m=4, nprobe=4, seed=0)
+        index.train(data)
+        index.add(data)
+        assert recall_vs_flat(index, data, data[:30]) > 0.5
+
+    def test_ids_are_global(self):
+        data = clustered_data(n=100)
+        index = IVFPQIndex(16, nlist=4, m=4, nprobe=4, seed=0)
+        index.train(data)
+        index.add(data)
+        result = index.search(data[:5], 3)
+        valid = result.ids[result.ids >= 0]
+        assert valid.max() < 100
+
+    def test_memory_smaller_than_flat(self):
+        data = clustered_data(n=500, d=16)
+        index = IVFPQIndex(16, nlist=8, m=4, seed=0)
+        index.train(data)
+        index.add(data)
+        flat = FlatIndex(16)
+        flat.add(data)
+        # Codes themselves are 4 bytes vs 64 bytes per vector.
+        assert index.ntotal * index.pq.m * 16 == flat.memory_bytes()

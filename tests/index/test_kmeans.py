@@ -1,0 +1,93 @@
+"""Tests for repro.index.kmeans."""
+
+import numpy as np
+import pytest
+
+from repro.index.kmeans import KMeans, _squared_distances
+
+
+def blobs(n_per=50, centers=((0, 0), (10, 10), (-10, 10)), seed=0):
+    rng = np.random.default_rng(seed)
+    points = [
+        rng.normal(size=(n_per, 2)) + np.asarray(c) for c in centers
+    ]
+    return np.concatenate(points).astype(np.float32)
+
+
+class TestSquaredDistances:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(5, 3)).astype(np.float32)
+        b = rng.normal(size=(4, 3)).astype(np.float32)
+        d = _squared_distances(a, b)
+        for i in range(5):
+            for j in range(4):
+                expected = ((a[i].astype(np.float64) - b[j]) ** 2).sum()
+                assert d[i, j] == pytest.approx(expected, rel=1e-5)
+
+    def test_non_negative(self):
+        a = np.random.default_rng(2).normal(size=(10, 4)).astype(np.float32)
+        assert (_squared_distances(a, a) >= 0).all()
+
+    def test_self_distance_zero(self):
+        a = np.random.default_rng(3).normal(size=(6, 4)).astype(np.float32)
+        d = _squared_distances(a, a)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-4)
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points = blobs()
+        km = KMeans(3, seed=0).fit(points)
+        # Each true centre should have a centroid nearby.
+        for centre in [(0, 0), (10, 10), (-10, 10)]:
+            d = ((km.centroids - np.asarray(centre)) ** 2).sum(axis=1)
+            assert d.min() < 2.0
+
+    def test_predict_consistent_with_centroids(self):
+        points = blobs()
+        km = KMeans(3, seed=0).fit(points)
+        labels = km.predict(points)
+        d = km.transform(points)
+        np.testing.assert_array_equal(labels, d.argmin(axis=1))
+
+    def test_inertia_decreases_with_more_clusters(self):
+        points = blobs()
+        inertia2 = KMeans(2, seed=0).fit(points).inertia
+        inertia6 = KMeans(6, seed=0).fit(points).inertia
+        assert inertia6 < inertia2
+
+    def test_deterministic_given_seed(self):
+        points = blobs()
+        a = KMeans(3, seed=5).fit(points).centroids
+        b = KMeans(3, seed=5).fit(points).centroids
+        np.testing.assert_array_equal(a, b)
+
+    def test_fewer_points_than_clusters(self):
+        points = np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32)
+        km = KMeans(8, seed=0).fit(points)
+        assert km.centroids.shape == (8, 4)
+
+    def test_duplicate_points_handled(self):
+        points = np.ones((50, 3), dtype=np.float32)
+        km = KMeans(4, seed=0).fit(points)
+        assert km.centroids.shape == (4, 3)
+        assert np.isfinite(km.centroids).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KMeans(2).predict(np.zeros((3, 2)))
+
+    def test_zero_points_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.zeros((0, 2)))
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_all_centroids_retained(self):
+        """Empty-cluster re-seeding keeps exactly k distinct slots."""
+        points = blobs(n_per=30)
+        km = KMeans(10, seed=1).fit(points)
+        assert km.centroids.shape[0] == 10

@@ -1,0 +1,69 @@
+"""Tests for repro.index.lsh."""
+
+import numpy as np
+import pytest
+
+from repro.index.lsh import LSHIndex
+
+
+def data_with_near_duplicates(n=300, d=16, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=(n, d)).astype(np.float32)
+    return base
+
+
+class TestLSHIndex:
+    def test_finds_exact_duplicates(self):
+        data = data_with_near_duplicates()
+        index = LSHIndex(16, nbits=12, ntables=6, seed=0)
+        index.add(data)
+        result = index.search(data[:20], 1)
+        # A vector always collides with itself in every table.
+        np.testing.assert_array_equal(result.ids[:, 0], np.arange(20))
+
+    def test_near_neighbours_usually_found(self):
+        data = data_with_near_duplicates()
+        index = LSHIndex(16, nbits=10, ntables=8, seed=0)
+        index.add(data)
+        queries = data[:50] + 0.01 * np.random.default_rng(1).normal(
+            size=(50, 16)
+        ).astype(np.float32)
+        result = index.search(queries, 5)
+        hits = sum(1 for qi in range(50) if qi in result.ids[qi])
+        assert hits >= 40
+
+    def test_candidates_only_from_colliding_buckets(self):
+        """Orthogonal query far from all data may return nothing."""
+        index = LSHIndex(4, nbits=16, ntables=1, seed=0)
+        index.add(np.eye(4, dtype=np.float32))
+        result = index.search(-np.ones((1, 4), dtype=np.float32) * 100, 2)
+        # Either padding or real ids; shape is stable regardless.
+        assert result.ids.shape == (1, 2)
+
+    def test_empty_index(self):
+        index = LSHIndex(8)
+        result = index.search(np.zeros((1, 8), dtype=np.float32), 3)
+        assert (result.ids == -1).all()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LSHIndex(0)
+        with pytest.raises(ValueError):
+            LSHIndex(8, nbits=0)
+        with pytest.raises(ValueError):
+            LSHIndex(8, ntables=0)
+
+    def test_deterministic_given_seed(self):
+        data = data_with_near_duplicates(n=100)
+        def run():
+            index = LSHIndex(16, seed=3)
+            index.add(data)
+            return index.search(data[:5], 3).ids
+        np.testing.assert_array_equal(run(), run())
+
+    def test_memory_accounts_buckets(self):
+        data = data_with_near_duplicates(n=50)
+        index = LSHIndex(16, seed=0)
+        before = index.memory_bytes()
+        index.add(data)
+        assert index.memory_bytes() > before

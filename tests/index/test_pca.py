@@ -1,0 +1,59 @@
+"""Tests for repro.index.pca."""
+
+import numpy as np
+import pytest
+
+from repro.index.pca import PCATransform
+
+
+def low_rank_data(n=200, d=16, rank=3, seed=0):
+    rng = np.random.default_rng(seed)
+    factors = rng.normal(size=(n, rank))
+    basis = rng.normal(size=(rank, d))
+    return (factors @ basis + 0.01 * rng.normal(size=(n, d))).astype(np.float32)
+
+
+class TestPCATransform:
+    def test_apply_before_train_raises(self):
+        with pytest.raises(RuntimeError):
+            PCATransform(2).apply(np.zeros((3, 4)))
+
+    def test_projection_shape(self):
+        data = low_rank_data()
+        pca = PCATransform(5).train(data)
+        assert pca.apply(data).shape == (200, 5)
+
+    def test_components_orthonormal(self):
+        pca = PCATransform(4).train(low_rank_data())
+        gram = pca.components @ pca.components.T
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_low_rank_data_reconstructs_well(self):
+        data = low_rank_data(rank=3)
+        pca = PCATransform(3).train(data)
+        rebuilt = pca.inverse(pca.apply(data))
+        err = ((data - rebuilt) ** 2).mean()
+        assert err < 1e-3
+
+    def test_variance_sorted_descending(self):
+        pca = PCATransform(5).train(low_rank_data())
+        assert (np.diff(pca.explained_variance) <= 1e-9).all()
+
+    def test_too_many_components_rejected(self):
+        with pytest.raises(ValueError):
+            PCATransform(20).train(low_rank_data(d=16))
+
+    def test_single_sample_rejected(self):
+        with pytest.raises(ValueError):
+            PCATransform(1).train(np.zeros((1, 4)))
+
+    def test_bytes_per_vector(self):
+        assert PCATransform(16).bytes_per_vector() == 64
+
+    def test_more_components_never_worse(self):
+        data = low_rank_data(rank=6)
+        def error(k):
+            pca = PCATransform(k).train(data)
+            rebuilt = pca.inverse(pca.apply(data))
+            return ((data - rebuilt) ** 2).mean()
+        assert error(6) <= error(2) + 1e-12

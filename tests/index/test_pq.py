@@ -1,0 +1,170 @@
+"""Tests for product quantization (repro.index.pq)."""
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.index.pq import PQIndex, ProductQuantizer
+
+
+def clustered_data(n=600, d=16, n_clusters=12, seed=0):
+    """Clustered vectors (PQ behaves poorly on pure noise, well on structure)."""
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(size=(n_clusters, d)) * 5
+    assignments = rng.integers(0, n_clusters, size=n)
+    return (centres[assignments] + rng.normal(size=(n, d)) * 0.3).astype(np.float32)
+
+
+class TestProductQuantizer:
+    def test_dim_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(dim=10, m=3)
+
+    def test_nbits_bounds(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(dim=8, m=2, nbits=9)
+
+    def test_untrained_encode_raises(self):
+        pq = ProductQuantizer(8, m=2)
+        with pytest.raises(RuntimeError):
+            pq.encode(np.zeros((1, 8), dtype=np.float32))
+
+    def test_code_shape_and_dtype(self):
+        data = clustered_data(d=16)
+        pq = ProductQuantizer(16, m=4, seed=0)
+        pq.train(data)
+        codes = pq.encode(data[:10])
+        assert codes.shape == (10, 4)
+        assert codes.dtype == np.uint8
+
+    def test_code_bytes(self):
+        assert ProductQuantizer(64, m=8).code_bytes == 8
+
+    def test_reconstruction_reduces_error_vs_mean(self):
+        """Decoded vectors must beat the trivial 'predict the mean' codec."""
+        data = clustered_data(d=16)
+        pq = ProductQuantizer(16, m=4, seed=0)
+        pq.train(data)
+        decoded = pq.decode(pq.encode(data))
+        pq_err = ((data - decoded) ** 2).sum(axis=1).mean()
+        mean_err = ((data - data.mean(axis=0)) ** 2).sum(axis=1).mean()
+        assert pq_err < 0.25 * mean_err
+
+    def test_decode_uses_codebook_rows(self):
+        data = clustered_data(d=8)
+        pq = ProductQuantizer(8, m=2, nbits=4, seed=0)
+        pq.train(data)
+        codes = pq.encode(data[:3])
+        decoded = pq.decode(codes)
+        for row in range(3):
+            for j in range(2):
+                np.testing.assert_array_equal(
+                    decoded[row, j * 4 : (j + 1) * 4],
+                    pq.codebooks[j][codes[row, j]],
+                )
+
+    def test_adc_matches_decoded_distance(self):
+        """ADC distance == exact distance to the decoded vector."""
+        data = clustered_data(d=8)
+        pq = ProductQuantizer(8, m=2, seed=0)
+        pq.train(data)
+        codes = pq.encode(data[:20])
+        queries = data[30:33]
+        adc = pq.adc_distances(queries, codes)
+        decoded = pq.decode(codes).astype(np.float64)
+        for qi in range(3):
+            exact = ((decoded - queries[qi]) ** 2).sum(axis=1)
+            np.testing.assert_allclose(adc[qi], exact, rtol=1e-4, atol=1e-4)
+
+    def test_more_bits_reduce_distortion(self):
+        data = clustered_data(d=8)
+        errs = {}
+        for nbits in (2, 6):
+            pq = ProductQuantizer(8, m=2, nbits=nbits, seed=0)
+            pq.train(data)
+            decoded = pq.decode(pq.encode(data))
+            errs[nbits] = ((data - decoded) ** 2).mean()
+        assert errs[6] < errs[2]
+
+
+class TestPQIndex:
+    def test_lifecycle_enforced(self):
+        index = PQIndex(8, m=2)
+        with pytest.raises(RuntimeError):
+            index.add(np.zeros((2, 8), dtype=np.float32))
+
+    def test_compression_ratio(self):
+        """The paper's headline: 256 B -> 8 B per vector (64-d, m=8)."""
+        data = clustered_data(n=600, d=64, seed=1)
+        index = PQIndex(64, m=8, seed=0)
+        index.train(data)
+        index.add(data)
+        flat = FlatIndex(64)
+        flat.add(data)
+        code_bytes = index.codes.nbytes / index.ntotal
+        assert code_bytes == 8
+        assert flat.memory_bytes() / index.codes.nbytes == 32.0
+
+    def test_recall_reasonable_on_clustered_data(self):
+        data = clustered_data(n=600, d=16)
+        index = PQIndex(16, m=4, seed=0)
+        index.train(data)
+        index.add(data)
+        flat = FlatIndex(16)
+        flat.add(data)
+        queries = data[:40]
+        approx = index.search(queries, 10)
+        exact = flat.search(queries, 10)
+        overlap = np.mean([
+            len(set(a.tolist()) & set(e.tolist())) / 10
+            for a, e in zip(approx.ids, exact.ids)
+        ])
+        assert overlap > 0.6
+
+    def test_recall_improves_with_k(self):
+        """Figure 4's mechanism: larger k recovers PQ's ranking noise."""
+        data = clustered_data(n=400, d=16, seed=2)
+        index = PQIndex(16, m=4, seed=0)
+        index.train(data)
+        index.add(data)
+        flat = FlatIndex(16)
+        flat.add(data)
+        queries = data[:40] + 0.05 * np.random.default_rng(3).normal(
+            size=(40, 16)
+        ).astype(np.float32)
+        def recall(k):
+            a = index.search(queries, k).ids
+            e = flat.search(queries, k).ids
+            return np.mean([
+                len(set(x.tolist()) & set(y.tolist())) / k
+                for x, y in zip(a, e)
+            ])
+        # Large-k retrieval absorbs PQ's ranking noise (Figure 4's regime):
+        # overlap at k=20 stays high even though individual ranks shuffle.
+        assert recall(20) >= 0.85
+        assert recall(1) >= 0.5
+
+    def test_search_empty(self):
+        index = PQIndex(8, m=2, seed=0)
+        index.train(clustered_data(d=8))
+        result = index.search(np.zeros((1, 8), dtype=np.float32), 4)
+        assert (result.ids == -1).all()
+
+    def test_deterministic_given_seed(self):
+        data = clustered_data(n=200, d=8)
+        def build():
+            index = PQIndex(8, m=2, seed=9)
+            index.train(data)
+            index.add(data)
+            return index.search(data[:5], 3).ids
+        np.testing.assert_array_equal(build(), build())
+
+    def test_reconstruct_returns_decoded(self):
+        data = clustered_data(n=200, d=8)
+        index = PQIndex(8, m=2, seed=0)
+        index.train(data)
+        index.add(data)
+        rec = index.reconstruct(5)
+        assert rec.shape == (8,)
+        # Close to the original (clustered data quantizes well).
+        assert ((rec - data[5]) ** 2).sum() < ((data[5]) ** 2).sum()

@@ -1,0 +1,93 @@
+"""End-to-end integration tests reproducing the paper's claims in miniature.
+
+These tie the whole stack together: KG generation -> EmbLookup training ->
+annotation systems -> metrics, checking the *direction* of each headline
+result (speedup over slow services, robustness to noise, semantic lookup).
+"""
+
+import pytest
+
+from repro.annotation.bbw import BbwAnnotator
+from repro.evaluation.harness import run_cea_system
+from repro.lookup.emblookup_service import EmbLookupService
+from repro.lookup.exact import ExactMatchLookup
+from repro.lookup.fuzzy import FuzzyWuzzyLookup
+from repro.text.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def el_service(trained_service):
+    return EmbLookupService(trained_service)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(tiny_kg):
+    from repro.tables import BenchmarkConfig, generate_benchmark
+
+    return generate_benchmark(
+        tiny_kg, BenchmarkConfig(num_tables=6, min_rows=4, max_rows=8, seed=13)
+    )
+
+
+class TestSpeedupClaim:
+    def test_faster_than_fuzzy_scan(self, el_service, tiny_kg, tiny_dataset):
+        """EmbLookup must beat the Levenshtein-ratio full scan by a wide
+        margin on the same workload (the paper's core speed claim)."""
+        fuzzy = FuzzyWuzzyLookup.build(tiny_kg)
+        original = run_cea_system(BbwAnnotator(fuzzy), tiny_dataset, tiny_kg)
+        replaced = run_cea_system(BbwAnnotator(el_service), tiny_dataset, tiny_kg)
+        assert replaced.speedup_over(original) > 3
+
+    def test_accuracy_close_to_original(self, el_service, tiny_kg, tiny_dataset):
+        fuzzy = FuzzyWuzzyLookup.build(tiny_kg)
+        original = run_cea_system(BbwAnnotator(fuzzy), tiny_dataset, tiny_kg)
+        replaced = run_cea_system(BbwAnnotator(el_service), tiny_dataset, tiny_kg)
+        assert replaced.f_score > original.f_score - 0.15
+
+
+class TestRobustnessClaim:
+    def test_beats_exact_match_under_noise(self, el_service, tiny_kg, tiny_dataset):
+        noisy = tiny_dataset.with_noise(0.5, seed=7)
+        exact = ExactMatchLookup.build(tiny_kg)
+        brittle = run_cea_system(BbwAnnotator(exact), noisy, tiny_kg)
+        robust = run_cea_system(BbwAnnotator(el_service), noisy, tiny_kg)
+        assert robust.f_score > brittle.f_score
+
+    def test_retrieval_survives_typos(self, el_service, tiny_kg):
+        noise = NoiseModel(seed=1)
+        entities = list(tiny_kg.entities())[:60]
+        queries = [noise.corrupt(e.label) for e in entities]
+        results = el_service.lookup_batch(queries, 10)
+        hits = sum(
+            1
+            for entity, row in zip(entities, results)
+            if entity.entity_id in [c.entity_id for c in row]
+        )
+        assert hits / len(entities) > 0.5
+
+
+class TestSemanticClaim:
+    def test_alias_queries_resolve(self, el_service, tiny_kg):
+        """Lookup by alias without the alias being in the index."""
+        cases = 0
+        hits = 0
+        for entity in tiny_kg.entities():
+            for alias in entity.aliases[:1]:
+                cases += 1
+                row = el_service.lookup(alias, 10)
+                if entity.entity_id in [c.entity_id for c in row]:
+                    hits += 1
+        assert cases > 50
+        assert hits / cases > 0.4
+
+
+class TestCompressionClaim:
+    def test_pq_index_32x_smaller_than_flat(self, tiny_kg, trained_service):
+        """256 B/entity (float32, 64-d) -> 8 B/entity (PQ codes)."""
+        from repro.index.flat import FlatIndex
+
+        pq_index = trained_service.index
+        code_bytes = pq_index.codes.nbytes / pq_index.ntotal
+        assert code_bytes == trained_service.config.pq_m == 8
+        flat_equiv = pq_index.ntotal * trained_service.config.embedding_dim * 4
+        assert flat_equiv / pq_index.codes.nbytes == 32.0

@@ -1,0 +1,61 @@
+"""Tests for KG persistence."""
+
+import json
+
+import pytest
+
+from repro.kg.io import load_kg_json, save_kg_json
+from repro.kg.synthetic import SyntheticKGConfig, generate_kg
+
+
+class TestRoundtrip:
+    def test_summary_preserved(self, tmp_path, tiny_kg):
+        path = tmp_path / "kg.json"
+        save_kg_json(tiny_kg, path)
+        loaded = load_kg_json(path)
+        assert loaded.summary() == tiny_kg.summary()
+
+    def test_entities_preserved(self, tmp_path, tiny_kg):
+        path = tmp_path / "kg.json"
+        save_kg_json(tiny_kg, path)
+        loaded = load_kg_json(path)
+        for entity in tiny_kg.entities():
+            other = loaded.entity(entity.entity_id)
+            assert other.label == entity.label
+            assert other.aliases == entity.aliases
+            assert other.type_ids == entity.type_ids
+
+    def test_facts_preserved(self, tmp_path, tiny_kg):
+        path = tmp_path / "kg.json"
+        save_kg_json(tiny_kg, path)
+        loaded = load_kg_json(path)
+        original = {(f.subject_id, f.property_id, f.object_id, f.literal)
+                    for f in tiny_kg.facts()}
+        restored = {(f.subject_id, f.property_id, f.object_id, f.literal)
+                    for f in loaded.facts()}
+        assert original == restored
+
+    def test_mention_index_rebuilt(self, tmp_path, tiny_kg):
+        path = tmp_path / "kg.json"
+        save_kg_json(tiny_kg, path)
+        loaded = load_kg_json(path)
+        assert loaded.exact_lookup("deutschland") == tiny_kg.exact_lookup(
+            "deutschland"
+        )
+
+    def test_creates_parent_dirs(self, tmp_path, tiny_kg):
+        path = tmp_path / "a" / "b" / "kg.json"
+        save_kg_json(tiny_kg, path)
+        assert path.exists()
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_kg_json(tmp_path / "absent.json")
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "kg.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError):
+            load_kg_json(path)

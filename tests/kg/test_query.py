@@ -1,0 +1,114 @@
+"""Tests for the triple-pattern query engine."""
+
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.query import is_variable, query
+from repro.kg.schema import Entity, EntityType, Fact, Property
+
+
+@pytest.fixture
+def kg() -> KnowledgeGraph:
+    return KnowledgeGraph.build(
+        types=[EntityType("thing", "thing"), EntityType("country", "country", "thing"),
+               EntityType("city", "city", "thing")],
+        properties=[Property("capital_of", "capital of"),
+                    Property("member_of", "member of"),
+                    Property("population", "population")],
+        entities=[
+            Entity("Q1", "germany", (), ("country",)),
+            Entity("Q2", "berlin", (), ("city",)),
+            Entity("Q3", "france", (), ("country",)),
+            Entity("Q4", "paris", (), ("city",)),
+            Entity("Q5", "eu", (), ("thing",)),
+        ],
+        facts=[
+            Fact("Q2", "capital_of", object_id="Q1"),
+            Fact("Q4", "capital_of", object_id="Q3"),
+            Fact("Q1", "member_of", object_id="Q5"),
+            Fact("Q3", "member_of", object_id="Q5"),
+            Fact("Q1", "population", literal="83000000"),
+        ],
+    )
+
+
+class TestBasicPatterns:
+    def test_is_variable(self):
+        assert is_variable("?x")
+        assert not is_variable("Q1")
+
+    def test_fully_constant_pattern(self, kg):
+        assert query(kg, [("Q2", "capital_of", "Q1")]) == [{}]
+        assert query(kg, [("Q2", "capital_of", "Q3")]) == []
+
+    def test_single_variable(self, kg):
+        out = query(kg, [("?c", "capital_of", "Q1")])
+        assert out == [{"?c": "Q2"}]
+
+    def test_two_variables(self, kg):
+        out = query(kg, [("?c", "capital_of", "?k")])
+        pairs = {(b["?c"], b["?k"]) for b in out}
+        assert pairs == {("Q2", "Q1"), ("Q4", "Q3")}
+
+    def test_variable_property(self, kg):
+        out = query(kg, [("Q1", "?p", "?o")])
+        props = {b["?p"] for b in out}
+        assert props == {"member_of", "population"}
+
+    def test_literal_object(self, kg):
+        out = query(kg, [("Q1", "population", "?pop")])
+        assert out == [{"?pop": "83000000"}]
+
+    def test_empty_patterns(self, kg):
+        assert query(kg, []) == []
+
+    def test_malformed_pattern_rejected(self, kg):
+        with pytest.raises(ValueError):
+            query(kg, [("?a", "b")])  # type: ignore[list-item]
+
+
+class TestJoins:
+    def test_two_hop_join(self, kg):
+        """Capitals of EU members."""
+        out = query(
+            kg,
+            [("?city", "capital_of", "?country"),
+             ("?country", "member_of", "Q5")],
+        )
+        cities = {b["?city"] for b in out}
+        assert cities == {"Q2", "Q4"}
+
+    def test_join_respects_shared_variable(self, kg):
+        out = query(
+            kg,
+            [("?x", "capital_of", "?y"), ("?y", "population", "?p")],
+        )
+        assert out == [{"?x": "Q2", "?y": "Q1", "?p": "83000000"}]
+
+    def test_repeated_variable_within_pattern(self, kg):
+        # ?x related to itself — no self-loops in this graph.
+        assert query(kg, [("?x", "member_of", "?x")]) == []
+
+    def test_unsatisfiable_join(self, kg):
+        out = query(
+            kg,
+            [("?c", "capital_of", "?k"), ("?k", "capital_of", "?z")],
+        )
+        assert out == []
+
+    def test_limit(self, kg):
+        out = query(kg, [("?s", "?p", "?o")], limit=2)
+        assert len(out) <= 2
+
+
+class TestOnGeneratedGraph:
+    def test_capitals_of_eu_members(self, tiny_kg):
+        eu = next(iter(tiny_kg.exact_lookup("european union")))
+        out = query(
+            tiny_kg,
+            [("?city", "capital_of", "?country"),
+             ("?country", "member_of", eu)],
+        )
+        assert out
+        labels = {tiny_kg.entity(b["?city"]).label for b in out}
+        assert "berlin" in labels

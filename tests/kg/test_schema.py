@@ -1,0 +1,55 @@
+"""Tests for repro.kg.schema."""
+
+import pytest
+
+from repro.kg.schema import Entity, EntityType, Fact, Property
+
+
+class TestEntity:
+    def test_mentions_is_label_plus_aliases(self):
+        entity = Entity("Q1", "germany", ("deutschland", "frg"))
+        assert entity.mentions == ("germany", "deutschland", "frg")
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Entity("", "germany")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            Entity("Q1", "")
+
+    def test_frozen(self):
+        entity = Entity("Q1", "germany")
+        with pytest.raises(AttributeError):
+            entity.label = "france"
+
+
+class TestFact:
+    def test_entity_fact(self):
+        fact = Fact("Q1", "capital_of", object_id="Q2")
+        assert fact.is_entity_fact
+
+    def test_literal_fact(self):
+        fact = Fact("Q1", "population", literal="83000000")
+        assert not fact.is_entity_fact
+
+    def test_both_object_and_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Fact("Q1", "p", object_id="Q2", literal="x")
+
+    def test_neither_rejected(self):
+        with pytest.raises(ValueError):
+            Fact("Q1", "p")
+
+
+class TestTypeAndProperty:
+    def test_type_fields(self):
+        t = EntityType("city", "city", "place")
+        assert t.parent_id == "place"
+
+    def test_root_type(self):
+        assert EntityType("thing", "thing").parent_id is None
+
+    def test_property_fields(self):
+        p = Property("capital_of", "capital of")
+        assert p.property_id == "capital_of"

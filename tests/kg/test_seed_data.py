@@ -1,0 +1,92 @@
+"""Integrity tests for the curated seed data.
+
+The seed core is hand-written; these tests guard against the editing
+mistakes hand-curated data attracts (dangling references, duplicate keys,
+un-normalised strings).
+"""
+
+from repro.kg.seed_data import seed_entity_specs, seed_properties, seed_type_specs
+from repro.text.tokenize import normalize
+
+
+def test_type_ids_unique():
+    types = seed_type_specs()
+    ids = [t[0] for t in types]
+    assert len(ids) == len(set(ids))
+
+
+def test_type_parents_exist():
+    types = seed_type_specs()
+    ids = {t[0] for t in types}
+    for type_id, _, parent in types:
+        assert parent is None or parent in ids, type_id
+
+
+def test_type_hierarchy_acyclic():
+    parents = {t[0]: t[2] for t in seed_type_specs()}
+    for start in parents:
+        seen = set()
+        current = start
+        while current is not None:
+            assert current not in seen, f"cycle through {current}"
+            seen.add(current)
+            current = parents[current]
+
+
+def test_property_ids_unique():
+    props = seed_properties()
+    ids = [p[0] for p in props]
+    assert len(ids) == len(set(ids))
+
+
+def test_entity_keys_unique():
+    entities, _ = seed_entity_specs()
+    keys = [e[0] for e in entities]
+    assert len(keys) == len(set(keys))
+
+
+def test_entity_types_exist():
+    entities, _ = seed_entity_specs()
+    type_ids = {t[0] for t in seed_type_specs()}
+    for key, _, _, types in entities:
+        assert types, key
+        assert all(t in type_ids for t in types), key
+
+
+def test_facts_reference_known_keys_and_properties():
+    entities, facts = seed_entity_specs()
+    keys = {e[0] for e in entities}
+    property_ids = {p[0] for p in seed_properties()}
+    for subject, prop, obj, is_literal in facts:
+        assert subject in keys, subject
+        assert prop in property_ids, prop
+        if not is_literal:
+            assert obj in keys, (subject, prop, obj)
+
+
+def test_strings_pre_normalised():
+    """Labels and aliases must already be lowercase ASCII — the generator
+    relies on this to keep the mention index consistent."""
+    entities, _ = seed_entity_specs()
+    for _, label, aliases, _ in entities:
+        assert label == normalize(label), label
+        for alias in aliases:
+            assert alias == normalize(alias), alias
+
+
+def test_papers_running_examples_present():
+    """The aliases the paper argues with must exist in the core."""
+    entities, _ = seed_entity_specs()
+    by_label = {label: set(aliases) for _, label, aliases, _ in entities}
+    assert {"deutschland", "frg", "brd"} <= by_label["germany"]
+    assert "eu" in by_label["european union"]
+    assert "william gates" in by_label["bill gates"]
+
+
+def test_every_capital_fact_targets_a_country():
+    entities, facts = seed_entity_specs()
+    types_by_key = {e[0]: set(e[3]) for e in entities}
+    for subject, prop, obj, is_literal in facts:
+        if prop == "capital_of" and not is_literal:
+            assert "capital" in types_by_key[subject] or "city" in types_by_key[subject]
+            assert "country" in types_by_key[obj]

@@ -1,0 +1,124 @@
+"""Tests for the synthetic KG generator."""
+
+import numpy as np
+import pytest
+
+from repro.kg.synthetic import SyntheticKGConfig, generate_kg
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        SyntheticKGConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_entities": 0},
+            {"flavour": "freebase"},
+            {"min_aliases": 5, "max_aliases": 2},
+            {"ambiguity_rate": 1.5},
+            {"facts_per_entity": -1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticKGConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_entity_count_honoured(self, small_kg):
+        assert small_kg.num_entities == 400
+
+    def test_deterministic(self):
+        a = generate_kg(SyntheticKGConfig(num_entities=250, seed=9))
+        b = generate_kg(SyntheticKGConfig(num_entities=250, seed=9))
+        assert [e.entity_id for e in a.entities()] == [
+            e.entity_id for e in b.entities()
+        ]
+        assert [e.label for e in a.entities()] == [e.label for e in b.entities()]
+
+    def test_different_seeds_differ(self):
+        a = generate_kg(SyntheticKGConfig(num_entities=250, seed=1))
+        b = generate_kg(SyntheticKGConfig(num_entities=250, seed=2))
+        assert [e.label for e in a.entities()] != [e.label for e in b.entities()]
+
+    def test_seed_core_present(self, small_kg):
+        germany = small_kg.exact_lookup("germany")
+        assert germany
+        entity = small_kg.entity(next(iter(germany)))
+        assert "deutschland" in entity.aliases
+
+    def test_semantic_alias_examples(self, small_kg):
+        """The paper's running examples must resolve through aliases."""
+        for alias, label in [
+            ("deutschland", "germany"),
+            ("eu", "european union"),
+            ("william gates", "bill gates"),
+        ]:
+            ids = small_kg.exact_lookup(alias)
+            assert any(small_kg.entity(i).label == label for i in ids), alias
+
+    def test_all_entities_typed(self, small_kg):
+        assert all(e.type_ids for e in small_kg.entities())
+
+    def test_facts_reference_known_entities(self, small_kg):
+        for fact in small_kg.facts():
+            assert small_kg.has_entity(fact.subject_id)
+            if fact.object_id is not None:
+                assert small_kg.has_entity(fact.object_id)
+
+
+class TestAliasDistribution:
+    def test_matches_paper_statistics(self):
+        """Paper: vast majority of entities have >= 3 aliases; 95 % < 50."""
+        kg = generate_kg(SyntheticKGConfig(num_entities=1200, seed=4))
+        counts = np.asarray(list(kg.alias_counts().values()))
+        assert (counts >= 3).mean() > 0.6
+        assert np.percentile(counts, 95) < 50
+
+    def test_alias_bounds_respected(self):
+        kg = generate_kg(
+            SyntheticKGConfig(num_entities=300, min_aliases=0, max_aliases=2, seed=1)
+        )
+        seed_count = 163  # curated entities keep their real aliases
+        synth = list(kg.entities())[seed_count:]
+        assert all(len(e.aliases) <= 2 for e in synth)
+
+
+class TestFlavours:
+    def test_wikidata_ids(self):
+        kg = generate_kg(SyntheticKGConfig(num_entities=200, flavour="wikidata"))
+        assert all(e.entity_id.startswith("Q") for e in kg.entities())
+
+    def test_dbpedia_ids(self):
+        kg = generate_kg(SyntheticKGConfig(num_entities=200, flavour="dbpedia"))
+        assert all(e.entity_id.startswith("dbr:") for e in kg.entities())
+
+    def test_dbpedia_ids_unique_under_homonyms(self):
+        kg = generate_kg(
+            SyntheticKGConfig(
+                num_entities=400, flavour="dbpedia", ambiguity_rate=0.3, seed=2
+            )
+        )
+        ids = [e.entity_id for e in kg.entities()]
+        assert len(ids) == len(set(ids))
+
+
+class TestAmbiguity:
+    def test_homonyms_generated(self):
+        kg = generate_kg(
+            SyntheticKGConfig(num_entities=600, ambiguity_rate=0.2, seed=3)
+        )
+        labels = [e.label for e in kg.entities()]
+        assert len(set(labels)) < len(labels)
+
+    def test_ambiguity_rate_scales_homonyms(self):
+        def duplicate_fraction(rate):
+            kg = generate_kg(
+                SyntheticKGConfig(num_entities=700, ambiguity_rate=rate, seed=3)
+            )
+            labels = [e.label for e in kg.entities()]
+            return 1.0 - len(set(labels)) / len(labels)
+
+        # Deliberate homonyms dominate accidental name collisions.
+        assert duplicate_fraction(0.3) > duplicate_fraction(0.0) + 0.1

@@ -1,0 +1,50 @@
+"""Tests for the LookupService base machinery."""
+
+import pytest
+
+from repro.lookup.base import Candidate, LookupService
+
+
+class EchoService(LookupService):
+    """Returns a constant candidate; used to test base-class plumbing."""
+
+    name = "echo"
+
+    def _lookup_batch(self, queries, k):
+        return [[Candidate("Q1", 1.0)] for _ in queries]
+
+
+class TestBase:
+    def test_lookup_delegates_to_batch(self):
+        service = EchoService()
+        assert service.lookup("x", 3) == [Candidate("Q1", 1.0)]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            EchoService().lookup("x", 0)
+
+    def test_empty_batch_shortcuts(self):
+        service = EchoService()
+        assert service.lookup_batch([], 5) == []
+        assert service.query_time.count == 0
+
+    def test_timing_instrumented(self):
+        service = EchoService()
+        service.lookup_batch(["a", "b"], 1)
+        service.lookup_batch(["c"], 1)
+        assert service.query_time.count == 2
+        assert service.total_lookup_seconds >= service.query_time.total
+
+    def test_reset_timers(self):
+        service = EchoService()
+        service.lookup("x", 1)
+        service.simulated_latency = 5.0
+        service.reset_timers()
+        assert service.total_lookup_seconds == 0.0
+
+    def test_default_index_bytes_zero(self):
+        assert EchoService().index_bytes() == 0
+
+    def test_abstract_hooks(self):
+        with pytest.raises(NotImplementedError):
+            LookupService().lookup("x", 1)

@@ -1,0 +1,60 @@
+"""Tests for EmbedderLookupService (the Table VII harness adapter)."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.fasttext import FastTextConfig, FastTextModel
+from repro.lookup.embedder_service import EmbedderLookupService
+
+
+@pytest.fixture(scope="module")
+def service(tiny_kg):
+    model = FastTextModel(FastTextConfig(dim=32, epochs=2, seed=0))
+    model.fit([list(e.mentions) for e in tiny_kg.entities()])
+    return EmbedderLookupService.build(tiny_kg, embedder=model, name="fasttext")
+
+
+class TestEmbedderService:
+    def test_build_requires_embedder(self, tiny_kg):
+        with pytest.raises(ValueError):
+            EmbedderLookupService.build(tiny_kg)
+
+    def test_exact_label_recovered(self, service, tiny_kg):
+        germany = next(iter(tiny_kg.exact_lookup("germany")))
+        hits = [c.entity_id for c in service.lookup("germany", 10)]
+        assert germany in hits
+
+    def test_scores_descend(self, service):
+        scores = [c.score for c in service.lookup("berlin", 10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_respected(self, service):
+        assert len(service.lookup("paris", 4)) <= 4
+
+    def test_index_bytes(self, service, tiny_kg):
+        assert service.index_bytes() == tiny_kg.num_entities * 32 * 4
+
+    def test_name(self, service):
+        assert service.name == "fasttext"
+
+
+class TestCloneWithCompression:
+    def test_shares_model_changes_index(self, trained_service, tiny_kg):
+        from repro.index.flat import FlatIndex
+
+        clone = trained_service.clone_with_compression("none")
+        assert clone.model is trained_service.model
+        assert isinstance(clone.index, FlatIndex)
+        assert clone.index.ntotal == trained_service.index.ntotal
+
+    def test_identical_embeddings(self, trained_service):
+        clone = trained_service.clone_with_compression("none")
+        a = trained_service.model.embed(["germany"])
+        b = clone.model.embed(["germany"])
+        np.testing.assert_array_equal(a, b)
+
+    def test_requires_fitted(self):
+        from repro.core.pipeline import EmbLookup
+
+        with pytest.raises(RuntimeError):
+            EmbLookup().clone_with_compression("none")

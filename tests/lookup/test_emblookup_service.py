@@ -1,0 +1,55 @@
+"""Tests for the EmbLookupService adapter."""
+
+import pytest
+
+from repro.core.pipeline import EmbLookup
+from repro.lookup.emblookup_service import GPU_SPEEDUP_MODEL, EmbLookupService
+
+
+@pytest.fixture(scope="module")
+def service(trained_service):
+    return EmbLookupService(trained_service)
+
+
+class TestAdapter:
+    def test_requires_fitted_pipeline(self):
+        with pytest.raises(ValueError):
+            EmbLookupService(EmbLookup())
+
+    def test_candidates_scored_by_negative_distance(self, service):
+        candidates = service.lookup("germany", 5)
+        scores = [c.score for c in candidates]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s <= 0 for s in scores)
+
+    def test_typo_robustness(self, service, tiny_kg):
+        """The headline behaviour: GERMONEY-style typos still retrieve."""
+        germany = next(iter(tiny_kg.exact_lookup("germany")))
+        hits = [c.entity_id for c in service.lookup("germanyy", 10)]
+        assert germany in hits
+
+    def test_semantic_alias_lookup(self, service, tiny_kg):
+        """DEUTSCHLAND retrieves GERMANY without the alias being indexed."""
+        germany = next(iter(tiny_kg.exact_lookup("germany")))
+        hits = [c.entity_id for c in service.lookup("deutschland", 10)]
+        assert germany in hits
+
+    def test_index_bytes_positive(self, service):
+        assert service.index_bytes() > 0
+
+    def test_name_reflects_compression(self, service):
+        assert service.name == "emblookup"
+
+
+class TestGpuModel:
+    def test_gpu_mode_divides_time(self, trained_service):
+        cpu = EmbLookupService(trained_service, gpu_mode=False)
+        gpu = EmbLookupService(trained_service, gpu_mode=True)
+        cpu.lookup_batch(["germany"] * 20, 5)
+        gpu.lookup_batch(["germany"] * 20, 5)
+        ratio = cpu.total_lookup_seconds / gpu.total_lookup_seconds
+        # Same measured work, GPU-modelled time divided by the multiplier.
+        assert ratio == pytest.approx(
+            cpu.query_time.total / (gpu.query_time.total / GPU_SPEEDUP_MODEL),
+            rel=0.2,
+        )

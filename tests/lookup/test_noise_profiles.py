@@ -1,0 +1,86 @@
+"""Behavioural matrix: which lookup service tolerates which error family.
+
+Table V's accuracy columns emerge from these per-family behaviours: exact
+match dies on any edit; edit-distance matchers absorb character edits but
+not abbreviations; only alias-aware indexes (and EmbLookup's embedding)
+handle semantic renames.
+"""
+
+import pytest
+
+from repro.lookup.elastic import ElasticLookup
+from repro.lookup.exact import ExactMatchLookup
+from repro.lookup.fuzzy import FuzzyWuzzyLookup
+from repro.lookup.levenshtein import LevenshteinLookup
+from repro.lookup.qgram import QGramLookup
+
+
+@pytest.fixture(scope="module")
+def germany(tiny_kg):
+    return next(iter(tiny_kg.exact_lookup("germany")))
+
+
+def hit(service, query, truth, k=10):
+    return truth in [c.entity_id for c in service.lookup(query, k)]
+
+
+class TestSingleTypo:
+    """One substitution: 'germany' -> 'germony'."""
+
+    def test_exact_misses(self, tiny_kg, germany):
+        assert not hit(ExactMatchLookup.build(tiny_kg), "germony", germany)
+
+    @pytest.mark.parametrize(
+        "service_cls",
+        [LevenshteinLookup, FuzzyWuzzyLookup, QGramLookup, ElasticLookup],
+    )
+    def test_fuzzy_families_recover(self, service_cls, tiny_kg, germany):
+        assert hit(service_cls.build(tiny_kg), "germony", germany)
+
+
+class TestTokenSwap:
+    """'bill gates' -> 'gates bill'."""
+
+    def test_fuzzywuzzy_token_sort_recovers(self, tiny_kg):
+        gates = next(iter(tiny_kg.exact_lookup("bill gates")))
+        assert hit(FuzzyWuzzyLookup.build(tiny_kg), "gates bill", gates)
+
+    def test_elastic_word_channel_recovers(self, tiny_kg):
+        gates = next(iter(tiny_kg.exact_lookup("bill gates")))
+        assert hit(ElasticLookup.build(tiny_kg), "gates bill", gates)
+
+
+class TestAlias:
+    """Semantic rename: 'deutschland' for 'germany'."""
+
+    @pytest.mark.parametrize(
+        "service_cls",
+        [ExactMatchLookup, LevenshteinLookup, FuzzyWuzzyLookup, QGramLookup],
+    )
+    def test_label_only_indexes_fail(self, service_cls, tiny_kg, germany):
+        service = service_cls.build(tiny_kg)  # label-only index
+        assert not hit(service, "deutschland", germany, k=5)
+
+    @pytest.mark.parametrize(
+        "service_cls",
+        [ExactMatchLookup, FuzzyWuzzyLookup],
+    )
+    def test_alias_indexes_succeed(self, service_cls, tiny_kg, germany):
+        service = service_cls.build(tiny_kg, include_aliases=True)
+        assert hit(service, "deutschland", germany)
+
+
+class TestAbbreviation:
+    """'european union' -> 'eu' — hard for every syntactic matcher."""
+
+    def test_edit_distance_scan_fails(self, tiny_kg):
+        eu = next(iter(tiny_kg.exact_lookup("european union")))
+        service = LevenshteinLookup.build(tiny_kg)
+        # 'eu' is edit-distance-close to many 2-3 letter strings; the true
+        # entity's 14-char label is 12 edits away.
+        assert not hit(service, "eu", eu, k=5)
+
+    def test_alias_aware_index_succeeds(self, tiny_kg):
+        eu = next(iter(tiny_kg.exact_lookup("european union")))
+        service = ExactMatchLookup.build(tiny_kg, include_aliases=True)
+        assert hit(service, "eu", eu, k=5)

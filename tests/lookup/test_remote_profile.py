@@ -1,0 +1,51 @@
+"""Behavioural profile of the simulated remote endpoints after the
+"limited fuzzy support" modelling (paper Section I).
+
+Remote services index the full KG (labels + aliases) but match at the
+word level only: clean and alias queries resolve, mid-word typos miss.
+"""
+
+import pytest
+
+from repro.lookup.remote import RemoteServiceModel, SimulatedRemoteLookup
+
+
+@pytest.fixture(scope="module")
+def remote(tiny_kg):
+    return SimulatedRemoteLookup.build(tiny_kg, name="wikidata_api")
+
+
+class TestRemoteMatcherProfile:
+    def test_clean_label_resolves(self, remote, tiny_kg):
+        germany = next(iter(tiny_kg.exact_lookup("germany")))
+        assert germany in [c.entity_id for c in remote.lookup("germany", 10)]
+
+    def test_alias_resolves(self, remote, tiny_kg):
+        """Remote endpoints know aliases (they index the whole KG)."""
+        germany = next(iter(tiny_kg.exact_lookup("germany")))
+        assert germany in [
+            c.entity_id for c in remote.lookup("deutschland", 10)
+        ]
+
+    def test_single_word_typo_misses(self, remote, tiny_kg):
+        """Limited fuzzy support: a mid-word typo on a one-word label has
+        no matching word token."""
+        germany = next(iter(tiny_kg.exact_lookup("germany")))
+        hits = [c.entity_id for c in remote.lookup("germXny", 10)]
+        assert germany not in hits
+
+    def test_multiword_partial_match_survives(self, remote, tiny_kg):
+        """A typo in one token of a multi-word mention still matches the
+        other token."""
+        gates = next(iter(tiny_kg.exact_lookup("bill gates")))
+        hits = [c.entity_id for c in remote.lookup("bill gatXs", 10)]
+        assert gates in hits
+
+    def test_latency_scales_with_batch(self, remote):
+        remote.reset_timers()
+        remote.lookup_batch(["germany"] * 10, 5)
+        small = remote.simulated_latency
+        remote.reset_timers()
+        remote.lookup_batch(["germany"] * 100, 5)
+        large = remote.simulated_latency
+        assert large > small * 5

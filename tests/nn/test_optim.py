@@ -1,0 +1,97 @@
+"""Tests for repro.nn.optim (SGD and Adam)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU, Sequential
+from repro.nn.loss import mse_loss
+from repro.nn.optim import SGD, Adam
+from repro.nn.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start]), requires_grad=True)
+
+
+def minimise(optimizer, param, steps=200):
+    for _ in range(steps):
+        optimizer.zero_grad()
+        loss = (param * param).sum()
+        loss.backward()
+        optimizer.step()
+    return abs(param.data[0])
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert minimise(SGD([p], lr=0.1), p) < 1e-3
+
+    def test_momentum_accelerates(self):
+        p_plain = quadratic_param()
+        p_momentum = quadratic_param()
+        plain = minimise(SGD([p_plain], lr=0.01), p_plain, steps=50)
+        fast = minimise(SGD([p_momentum], lr=0.01, momentum=0.9), p_momentum, steps=50)
+        assert fast < plain
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        # Zero-gradient step: only decay acts.
+        p.grad = np.zeros(1)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([p], lr=0.1).step()  # no backward() ran
+        assert p.data[0] == 1.0
+
+    def test_invalid_momentum(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = quadratic_param()
+        assert minimise(Adam([p], lr=0.3), p, steps=300) < 1e-2
+
+    def test_bias_correction_first_step(self):
+        """First Adam step should move by ~lr regardless of gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Tensor(np.array([0.0]), requires_grad=True)
+            opt = Adam([p], lr=0.1)
+            p.grad = np.array([scale])
+            opt.step()
+            assert abs(p.data[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.0, 0.9))
+
+    def test_trains_small_regression(self):
+        """End-to-end: Adam fits y = 2x + 1 with a linear model."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 1))
+        y = 2.0 * x + 1.0
+        model = Sequential(Linear(1, 8, rng=1), ReLU(), Linear(8, 1, rng=2))
+        opt = Adam(model.parameters(), lr=0.01)
+        first = None
+        for _ in range(300):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(x)), Tensor(y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.05

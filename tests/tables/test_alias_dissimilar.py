@@ -1,0 +1,56 @@
+"""Tests for the prefer_dissimilar alias-substitution option."""
+
+from repro.text.distance import levenshtein_ratio
+from repro.text.tokenize import normalize
+
+
+class TestPreferDissimilar:
+    def test_picks_semantically_far_alias_when_available(self, tiny_kg):
+        from repro.tables.dataset import TabularDataset
+        from repro.tables.table import CellRef, Table
+
+        germany = next(iter(tiny_kg.exact_lookup("germany")))
+        table = Table("t", ["c"], [["germany"]])
+        ds = TabularDataset("x", [table], {CellRef("t", 0, 0): germany})
+        swapped = ds.with_alias_substitution(
+            tiny_kg, seed=0, prefer_dissimilar=True
+        )
+        replacement = swapped.cell_text(CellRef("t", 0, 0))
+        # Must be one of the genuinely dissimilar aliases, never the
+        # near-identical "federal republic of germany"-style ones alone.
+        assert levenshtein_ratio("germany", normalize(replacement)) < 0.5
+
+    def test_falls_back_to_any_alias(self, tiny_kg):
+        """Entities with only similar aliases still get substituted."""
+        from repro.tables.dataset import TabularDataset
+        from repro.tables.table import CellRef, Table
+
+        target = None
+        for entity in tiny_kg.entities():
+            if entity.aliases and all(
+                levenshtein_ratio(normalize(entity.label), normalize(a)) >= 0.5
+                for a in entity.aliases
+            ):
+                target = entity
+                break
+        if target is None:
+            import pytest
+
+            pytest.skip("no entity with only-similar aliases in this KG")
+        table = Table("t", ["c"], [[target.label]])
+        ds = TabularDataset("x", [table], {CellRef("t", 0, 0): target.entity_id})
+        swapped = ds.with_alias_substitution(
+            tiny_kg, seed=0, prefer_dissimilar=True
+        )
+        assert swapped.cell_text(CellRef("t", 0, 0)) in target.aliases
+
+    def test_default_behaviour_unchanged(self, small_kg, small_dataset):
+        """Uniform sampling stays the default path."""
+        swapped = small_dataset.with_alias_substitution(small_kg, seed=3)
+        assert swapped.name.endswith("_aliases")
+        changed = sum(
+            1
+            for ref in small_dataset.annotated_cells()
+            if swapped.cell_text(ref) != small_dataset.cell_text(ref)
+        )
+        assert changed > 0

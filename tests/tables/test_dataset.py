@@ -1,0 +1,140 @@
+"""Tests for repro.tables.dataset (TabularDataset and its transforms)."""
+
+import pytest
+
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef, Table
+
+
+@pytest.fixture
+def dataset() -> TabularDataset:
+    tables = [
+        Table("t1", ["country", "capital"],
+              [["germany", "berlin"], ["france", "paris"]]),
+        Table("t2", ["person"], [["bill gates"], ["alan turing"]]),
+    ]
+    cea = {
+        CellRef("t1", 0, 0): "Q1",
+        CellRef("t1", 0, 1): "Q2",
+        CellRef("t1", 1, 0): "Q3",
+        CellRef("t1", 1, 1): "Q4",
+        CellRef("t2", 0, 0): "Q5",
+        CellRef("t2", 1, 0): "Q6",
+    }
+    cta = {("t1", 0): "country", ("t1", 1): "capital", ("t2", 0): "person"}
+    return TabularDataset("demo", tables, cea, cta)
+
+
+class TestValidation:
+    def test_duplicate_table_ids_rejected(self):
+        tables = [Table("t", ["a"]), Table("t", ["a"])]
+        with pytest.raises(ValueError):
+            TabularDataset("x", tables)
+
+    def test_cea_unknown_table_rejected(self):
+        with pytest.raises(KeyError):
+            TabularDataset(
+                "x", [Table("t", ["a"], [["v"]])], {CellRef("nope", 0, 0): "Q1"}
+            )
+
+    def test_cea_out_of_bounds_rejected(self):
+        with pytest.raises(IndexError):
+            TabularDataset(
+                "x", [Table("t", ["a"], [["v"]])], {CellRef("t", 5, 0): "Q1"}
+            )
+
+
+class TestAccess:
+    def test_table_by_id(self, dataset):
+        assert dataset.table("t1").num_rows == 2
+
+    def test_unknown_table(self, dataset):
+        with pytest.raises(KeyError):
+            dataset.table("zzz")
+
+    def test_cell_text(self, dataset):
+        assert dataset.cell_text(CellRef("t1", 0, 1)) == "berlin"
+
+    def test_annotated_cells_sorted(self, dataset):
+        cells = dataset.annotated_cells()
+        assert cells == sorted(cells, key=lambda r: (r.table_id, r.row, r.col))
+        assert len(cells) == 6
+
+    def test_statistics(self, dataset):
+        stats = dataset.statistics()
+        assert stats.num_tables == 2
+        assert stats.cells_to_annotate == 6
+        assert stats.avg_rows == 2.0
+        assert stats.avg_cols == 1.5
+
+
+class TestNoiseTransform:
+    def test_fraction_of_cells_corrupted(self, dataset):
+        noisy = dataset.with_noise(fraction=0.5, seed=0)
+        changed = sum(
+            1
+            for ref in dataset.annotated_cells()
+            if dataset.cell_text(ref) != noisy.cell_text(ref)
+        )
+        assert changed == 3
+
+    def test_ground_truth_unchanged(self, dataset):
+        noisy = dataset.with_noise(0.5, seed=0)
+        assert noisy.cea == dataset.cea
+        assert noisy.cta == dataset.cta
+
+    def test_original_untouched(self, dataset):
+        before = dataset.cell_text(CellRef("t1", 0, 0))
+        dataset.with_noise(1.0, seed=0)
+        assert dataset.cell_text(CellRef("t1", 0, 0)) == before
+
+    def test_zero_fraction_is_identity(self, dataset):
+        noisy = dataset.with_noise(0.0, seed=0)
+        for ref in dataset.annotated_cells():
+            assert noisy.cell_text(ref) == dataset.cell_text(ref)
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.with_noise(1.5)
+
+    def test_name_suffix(self, dataset):
+        assert dataset.with_noise(0.1).name == "demo_errors"
+
+    def test_deterministic(self, dataset):
+        a = dataset.with_noise(0.5, seed=3)
+        b = dataset.with_noise(0.5, seed=3)
+        for ref in dataset.annotated_cells():
+            assert a.cell_text(ref) == b.cell_text(ref)
+
+
+class TestAliasTransform:
+    def test_cells_replaced_by_aliases(self, dataset, tiny_kg):
+        """Uses the real KG: germany -> one of its aliases."""
+        germany_id = next(iter(tiny_kg.exact_lookup("germany")))
+        tables = [Table("t", ["c"], [["germany"]])]
+        ds = TabularDataset("x", tables, {CellRef("t", 0, 0): germany_id})
+        swapped = ds.with_alias_substitution(tiny_kg, seed=1)
+        new_text = swapped.cell_text(CellRef("t", 0, 0))
+        assert new_text in tiny_kg.entity(germany_id).aliases
+
+    def test_aliasless_entities_unchanged(self, tiny_kg):
+        # Find an entity with no aliases.
+        target = next(e for e in tiny_kg.entities() if not e.aliases)
+        tables = [Table("t", ["c"], [[target.label]])]
+        ds = TabularDataset("x", tables, {CellRef("t", 0, 0): target.entity_id})
+        swapped = ds.with_alias_substitution(tiny_kg, seed=1)
+        assert swapped.cell_text(CellRef("t", 0, 0)) == target.label
+
+
+class TestMaskTransform:
+    def test_masked_cells_blanked(self, dataset):
+        masked, answers = dataset.with_masked_cells(0.5, seed=0)
+        assert len(answers) == 3
+        for ref, original in answers.items():
+            assert masked.cell_text(ref) == ""
+            assert dataset.cell_text(ref) == original
+
+    def test_answers_align_with_truth(self, dataset):
+        masked, answers = dataset.with_masked_cells(0.5, seed=0)
+        for ref in answers:
+            assert ref in dataset.cea

@@ -1,0 +1,77 @@
+"""Property-based tests of dataset transforms (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tables.dataset import TabularDataset
+from repro.tables.table import CellRef, Table
+
+
+@st.composite
+def small_dataset_strategy(draw):
+    num_rows = draw(st.integers(1, 6))
+    num_cols = draw(st.integers(1, 3))
+    rows = [
+        [
+            draw(st.text(alphabet="abcdef ", min_size=1, max_size=8)).strip() or "x"
+            for _ in range(num_cols)
+        ]
+        for _ in range(num_rows)
+    ]
+    table = Table("t", [f"c{i}" for i in range(num_cols)], rows)
+    cea = {
+        CellRef("t", r, c): f"Q{r}_{c}"
+        for r in range(num_rows)
+        for c in range(num_cols)
+        if draw(st.booleans())
+    }
+    return TabularDataset("prop", [table], cea)
+
+
+class TestNoiseProperties:
+    @given(small_dataset_strategy(), st.floats(0.0, 1.0), st.integers(0, 99))
+    @settings(max_examples=50, deadline=None)
+    def test_noise_preserves_shape_and_truth(self, dataset, fraction, seed):
+        noisy = dataset.with_noise(fraction, seed=seed)
+        assert noisy.cea == dataset.cea
+        assert noisy.cta == dataset.cta
+        for original, corrupted in zip(dataset.tables, noisy.tables):
+            assert corrupted.num_rows == original.num_rows
+            assert corrupted.num_cols == original.num_cols
+
+    @given(small_dataset_strategy(), st.floats(0.0, 1.0), st.integers(0, 99))
+    @settings(max_examples=50, deadline=None)
+    def test_only_annotated_cells_touched(self, dataset, fraction, seed):
+        noisy = dataset.with_noise(fraction, seed=seed)
+        annotated = set(dataset.annotated_cells())
+        table = dataset.tables[0]
+        for r in range(table.num_rows):
+            for c in range(table.num_cols):
+                ref = CellRef("t", r, c)
+                if ref not in annotated:
+                    assert noisy.cell_text(ref) == dataset.cell_text(ref)
+
+    @given(small_dataset_strategy(), st.floats(0.0, 1.0), st.integers(0, 99))
+    @settings(max_examples=50, deadline=None)
+    def test_corruption_count_matches_fraction(self, dataset, fraction, seed):
+        noisy = dataset.with_noise(fraction, seed=seed)
+        expected = int(round(fraction * len(dataset.cea)))
+        changed = sum(
+            1
+            for ref in dataset.annotated_cells()
+            if noisy.cell_text(ref) != dataset.cell_text(ref)
+        )
+        # Corruption may be a no-op for degenerate strings, so changed can
+        # undershoot but never exceed the sampled count.
+        assert changed <= expected
+
+
+class TestMaskProperties:
+    @given(small_dataset_strategy(), st.floats(0.0, 1.0), st.integers(0, 99))
+    @settings(max_examples=50, deadline=None)
+    def test_mask_answers_are_exact(self, dataset, fraction, seed):
+        masked, answers = dataset.with_masked_cells(fraction, seed=seed)
+        assert len(answers) == int(round(fraction * len(dataset.cea)))
+        for ref, original in answers.items():
+            assert masked.cell_text(ref) == ""
+            assert dataset.cell_text(ref) == original

@@ -1,0 +1,79 @@
+"""Tests for the SemTab-style benchmark generator."""
+
+import pytest
+
+from repro.tables.generator import BenchmarkConfig, generate_benchmark
+from repro.tables.table import CellRef
+
+
+class TestConfig:
+    def test_defaults(self):
+        BenchmarkConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"num_tables": 0}, {"min_rows": 0}, {"min_rows": 9, "max_rows": 5}]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_table_count(self, small_dataset):
+        assert len(small_dataset.tables) == 12
+
+    def test_row_bounds(self, small_kg):
+        ds = generate_benchmark(
+            small_kg, BenchmarkConfig(num_tables=8, min_rows=4, max_rows=6, seed=1)
+        )
+        for table in ds.tables:
+            assert 4 <= table.num_rows <= 6
+
+    def test_deterministic(self, small_kg):
+        a = generate_benchmark(small_kg, BenchmarkConfig(num_tables=5, seed=7))
+        b = generate_benchmark(small_kg, BenchmarkConfig(num_tables=5, seed=7))
+        assert [t.rows for t in a.tables] == [t.rows for t in b.tables]
+
+    def test_different_seeds_differ(self, small_kg):
+        a = generate_benchmark(small_kg, BenchmarkConfig(num_tables=5, seed=1))
+        b = generate_benchmark(small_kg, BenchmarkConfig(num_tables=5, seed=2))
+        assert [t.rows for t in a.tables] != [t.rows for t in b.tables]
+
+
+class TestGroundTruth:
+    def test_cea_text_matches_entity_label(self, small_dataset, small_kg):
+        """In the clean dataset each annotated cell holds the entity label."""
+        for ref in small_dataset.annotated_cells():
+            entity = small_kg.entity(small_dataset.cea[ref])
+            assert small_dataset.cell_text(ref) == entity.label
+
+    def test_subject_column_annotated_every_row(self, small_dataset):
+        for table in small_dataset.tables:
+            for r in range(table.num_rows):
+                assert CellRef(table.table_id, r, 0) in small_dataset.cea
+
+    def test_cta_subject_column_present(self, small_dataset):
+        for table in small_dataset.tables:
+            assert (table.table_id, 0) in small_dataset.cta
+
+    def test_cta_types_exist_in_kg(self, small_dataset, small_kg):
+        for type_id in small_dataset.cta.values():
+            small_kg.type(type_id)  # raises on unknown
+
+    def test_context_columns_consistent(self, small_dataset, small_kg):
+        """Context-column entities really are related to the subject."""
+        for table in small_dataset.tables:
+            for r in range(table.num_rows):
+                subject_ref = CellRef(table.table_id, r, 0)
+                subject = small_dataset.cea[subject_ref]
+                for c in range(1, table.num_cols):
+                    ref = CellRef(table.table_id, r, c)
+                    if ref in small_dataset.cea:
+                        other = small_dataset.cea[ref]
+                        assert other in small_kg.neighbors(subject)
+
+    def test_tiny_kg_rejected_when_too_small(self, small_kg):
+        from repro.kg.graph import KnowledgeGraph
+
+        with pytest.raises(ValueError):
+            generate_benchmark(KnowledgeGraph(), BenchmarkConfig())

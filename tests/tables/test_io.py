@@ -1,0 +1,57 @@
+"""Tests for the SemTab-style CSV dataset layout."""
+
+import pytest
+
+from repro.tables.io import load_dataset_csv, save_dataset_csv
+
+
+class TestRoundtrip:
+    def test_tables_preserved(self, tmp_path, small_dataset):
+        save_dataset_csv(small_dataset, tmp_path / "ds")
+        loaded = load_dataset_csv(tmp_path / "ds")
+        assert len(loaded.tables) == len(small_dataset.tables)
+        original = {t.table_id: t for t in small_dataset.tables}
+        for table in loaded.tables:
+            assert table.header == original[table.table_id].header
+            assert table.rows == original[table.table_id].rows
+
+    def test_ground_truth_preserved(self, tmp_path, small_dataset):
+        save_dataset_csv(small_dataset, tmp_path / "ds")
+        loaded = load_dataset_csv(tmp_path / "ds")
+        assert loaded.cea == small_dataset.cea
+        assert loaded.cta == small_dataset.cta
+
+    def test_name_preserved(self, tmp_path, small_dataset):
+        save_dataset_csv(small_dataset, tmp_path / "ds")
+        loaded = load_dataset_csv(tmp_path / "ds")
+        assert loaded.name == small_dataset.name
+
+    def test_layout_is_semtab_style(self, tmp_path, small_dataset):
+        save_dataset_csv(small_dataset, tmp_path / "ds")
+        root = tmp_path / "ds"
+        assert (root / "tables").is_dir()
+        assert (root / "cea.csv").exists()
+        assert (root / "cta.csv").exists()
+        assert list((root / "tables").glob("*.csv"))
+
+    def test_cells_with_commas_survive(self, tmp_path):
+        from repro.tables.dataset import TabularDataset
+        from repro.tables.table import CellRef, Table
+
+        table = Table("t", ["name"], [["gates, bill"], ['say "hi"']])
+        ds = TabularDataset("quoting", [table], {CellRef("t", 0, 0): "Q1"})
+        save_dataset_csv(ds, tmp_path / "ds")
+        loaded = load_dataset_csv(tmp_path / "ds")
+        assert loaded.tables[0].rows == [["gates, bill"], ['say "hi"']]
+
+
+class TestErrors:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset_csv(tmp_path / "absent")
+
+    def test_empty_table_file_rejected(self, tmp_path):
+        (tmp_path / "ds" / "tables").mkdir(parents=True)
+        (tmp_path / "ds" / "tables" / "bad.csv").write_text("")
+        with pytest.raises(ValueError):
+            load_dataset_csv(tmp_path / "ds")

@@ -1,0 +1,59 @@
+"""Tests for repro.tables.table."""
+
+import pytest
+
+from repro.tables.table import CellRef, Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        table_id="t1",
+        header=["country", "capital"],
+        rows=[["germany", "berlin"], ["france", "paris"]],
+    )
+
+
+class TestTable:
+    def test_dimensions(self, table):
+        assert table.num_rows == 2
+        assert table.num_cols == 2
+
+    def test_cell_access(self, table):
+        assert table.cell(0, 1) == "berlin"
+
+    def test_set_cell(self, table):
+        table.set_cell(0, 1, "bonn")
+        assert table.cell(0, 1) == "bonn"
+
+    def test_column(self, table):
+        assert table.column(0) == ["germany", "france"]
+
+    def test_column_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.column(5)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Table("t", ["a", "b"], [["only one"]])
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            Table("", ["a"])
+
+    def test_copy_is_deep(self, table):
+        clone = table.copy()
+        clone.set_cell(0, 0, "changed")
+        assert table.cell(0, 0) == "germany"
+
+    def test_repr(self, table):
+        assert "2x2" in repr(table)
+
+
+class TestCellRef:
+    def test_hashable_and_equal(self):
+        assert CellRef("t", 1, 2) == CellRef("t", 1, 2)
+        assert len({CellRef("t", 1, 2), CellRef("t", 1, 2)}) == 1
+
+    def test_ordering_keys_distinct(self):
+        assert CellRef("t", 0, 1) != CellRef("t", 1, 0)

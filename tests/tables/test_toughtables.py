@@ -1,0 +1,31 @@
+"""Tests for the Tough-Tables-style generator."""
+
+from repro.tables.toughtables import generate_tough_tables
+
+
+class TestToughTables:
+    def test_name(self, small_kg):
+        assert generate_tough_tables(small_kg, num_tables=4).name == "tough_tables"
+
+    def test_larger_tables_than_default(self, small_kg):
+        ds = generate_tough_tables(small_kg, num_tables=4, min_rows=20, max_rows=30)
+        assert all(t.num_rows >= 20 for t in ds.tables)
+
+    def test_substantial_noise(self, small_kg):
+        ds = generate_tough_tables(small_kg, num_tables=4, seed=1)
+        mismatches = 0
+        for ref in ds.annotated_cells():
+            entity = small_kg.entity(ds.cea[ref])
+            if ds.cell_text(ref) != entity.label:
+                mismatches += 1
+        assert mismatches / len(ds.annotated_cells()) > 0.3
+
+    def test_ground_truth_complete(self, small_kg):
+        ds = generate_tough_tables(small_kg, num_tables=4)
+        assert len(ds.cea) > 0
+        assert len(ds.cta) > 0
+
+    def test_deterministic(self, small_kg):
+        a = generate_tough_tables(small_kg, num_tables=3, seed=9)
+        b = generate_tough_tables(small_kg, num_tables=3, seed=9)
+        assert [t.rows for t in a.tables] == [t.rows for t in b.tables]

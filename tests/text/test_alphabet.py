@@ -1,0 +1,81 @@
+"""Tests for repro.text.alphabet."""
+
+import pytest
+
+from repro.text.alphabet import DEFAULT_ALPHABET, Alphabet
+
+
+class TestConstruction:
+    def test_dedupes_preserving_order(self):
+        alphabet = Alphabet("abcabc")
+        assert alphabet.chars == ("a", "b", "c")
+
+    def test_size_includes_unknown_slot(self):
+        assert Alphabet("abc").size == 4
+
+    def test_rejects_multichar_entries(self):
+        with pytest.raises(ValueError):
+            Alphabet(["ab"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Alphabet("")
+
+    def test_rejects_nul(self):
+        with pytest.raises(ValueError):
+            Alphabet("\0a")
+
+
+class TestPositions:
+    def test_positions_start_at_one(self):
+        alphabet = Alphabet("xyz")
+        assert alphabet.position("x") == 1
+        assert alphabet.position("z") == 3
+
+    def test_unknown_maps_to_zero(self):
+        assert Alphabet("abc").position("Z") == 0
+
+    def test_char_at_inverts_position(self):
+        alphabet = Alphabet("abc")
+        for ch in "abc":
+            assert alphabet.char_at(alphabet.position(ch)) == ch
+
+    def test_char_at_zero_is_unknown(self):
+        assert Alphabet("abc").char_at(0) == Alphabet.UNKNOWN
+
+    def test_contains(self):
+        alphabet = Alphabet("abc")
+        assert "a" in alphabet
+        assert "z" not in alphabet
+
+
+class TestFit:
+    def test_collects_corpus_characters(self):
+        alphabet = Alphabet.fit(["abc", "bcd"])
+        assert set(alphabet.chars) == set("abcd")
+
+    def test_min_count_drops_rare(self):
+        alphabet = Alphabet.fit(["aab", "aac"], min_count=2)
+        assert "b" not in alphabet
+        assert "a" in alphabet
+
+    def test_max_size_keeps_most_frequent(self):
+        alphabet = Alphabet.fit(["aaab", "aaac"], max_size=1)
+        assert alphabet.chars == ("a",)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            Alphabet.fit([])
+
+
+class TestEquality:
+    def test_equal_same_chars(self):
+        assert Alphabet("abc") == Alphabet("abc")
+
+    def test_unequal_different_chars(self):
+        assert Alphabet("abc") != Alphabet("abd")
+
+
+def test_default_alphabet_covers_common_labels():
+    for ch in "berlin new-york o'brien & co. (usa)/eu,":
+        assert DEFAULT_ALPHABET.position(ch) > 0, ch

@@ -1,0 +1,169 @@
+"""Tests for repro.text.distance — including metric property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.distance import (
+    damerau_levenshtein,
+    jaccard_qgram_similarity,
+    jaro_winkler,
+    levenshtein,
+    levenshtein_ratio,
+    qgrams,
+)
+
+short_text = st.text(alphabet="abcdef ", max_size=12)
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("abc", "abd", 1),
+            ("abc", "ab", 1),
+            ("abc", "abcd", 1),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("", "abc", 3),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein(a, b) == expected
+
+    def test_symmetric_arguments(self):
+        assert levenshtein("short", "muchlongerstring") == levenshtein(
+            "muchlongerstring", "short"
+        )
+
+    def test_cutoff_allows_overestimate_beyond_bound(self):
+        d = levenshtein("aaaaaaaa", "bbbbbbbb", max_distance=2)
+        assert d > 2
+
+    def test_cutoff_exact_below_bound(self):
+        assert levenshtein("abc", "abd", max_distance=2) == 1
+
+    @given(short_text, short_text)
+    @settings(max_examples=100)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text)
+    @settings(max_examples=100)
+    def test_identity(self, a, b):
+        assert (levenshtein(a, b) == 0) == (a == b)
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text, short_text)
+    @settings(max_examples=100)
+    def test_length_difference_lower_bound(self, a, b):
+        assert levenshtein(a, b) >= abs(len(a) - len(b))
+
+    @given(short_text, short_text)
+    @settings(max_examples=100)
+    def test_max_length_upper_bound(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_is_single_edit(self):
+        assert damerau_levenshtein("abcd", "abdc") == 1
+        assert levenshtein("abcd", "abdc") == 2
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [("", "", 0), ("ca", "ac", 1), ("a", "", 1), ("abc", "ca", 3)],
+    )
+    def test_known_values(self, a, b, expected):
+        assert damerau_levenshtein(a, b) == expected
+
+    @given(short_text, short_text)
+    @settings(max_examples=80)
+    def test_never_exceeds_levenshtein(self, a, b):
+        assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+
+    @given(short_text, short_text)
+    @settings(max_examples=80)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+
+class TestLevenshteinRatio:
+    def test_identical_is_one(self):
+        assert levenshtein_ratio("germany", "germany") == 1.0
+
+    def test_empty_pair_is_one(self):
+        assert levenshtein_ratio("", "") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert levenshtein_ratio("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    @settings(max_examples=100)
+    def test_bounded(self, a, b):
+        assert 0.0 <= levenshtein_ratio(a, b) <= 1.0
+
+
+class TestQGrams:
+    def test_padded_gram_count(self):
+        grams = qgrams("ab", q=3)
+        # "##ab##" -> 4 trigrams
+        assert grams == ["##a", "#ab", "ab#", "b##"]
+
+    def test_unpadded(self):
+        assert qgrams("abcd", q=3, pad=False) == ["abc", "bcd"]
+
+    def test_short_unpadded_returns_whole(self):
+        assert qgrams("ab", q=3, pad=False) == ["ab"]
+
+    def test_empty_string(self):
+        assert qgrams("", q=3, pad=False) == []
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+
+class TestJaccardQGram:
+    def test_identical(self):
+        assert jaccard_qgram_similarity("berlin", "berlin") == 1.0
+
+    def test_bounded_and_symmetric(self):
+        s1 = jaccard_qgram_similarity("berlin", "bellin")
+        s2 = jaccard_qgram_similarity("bellin", "berlin")
+        assert s1 == s2
+        assert 0.0 < s1 < 1.0
+
+    def test_both_empty(self):
+        assert jaccard_qgram_similarity("", "") == 1.0
+
+
+class TestJaroWinkler:
+    def test_identical(self):
+        assert jaro_winkler("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        # Classic example: jaro(martha, marhta) = 0.944..., JW = 0.961...
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_no_overlap_zero(self):
+        assert jaro_winkler("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert jaro_winkler("", "abc") == 0.0
+
+    def test_prefix_boost(self):
+        with_prefix = jaro_winkler("prefixed", "prefixxx")
+        base = jaro_winkler("xprefixed", "yprefixxx")
+        assert with_prefix > base
+
+    @given(short_text, short_text)
+    @settings(max_examples=100)
+    def test_bounded(self, a, b):
+        assert 0.0 <= jaro_winkler(a, b) <= 1.0

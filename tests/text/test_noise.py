@@ -1,0 +1,89 @@
+"""Tests for repro.text.noise (the misspelling taxonomy)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.distance import damerau_levenshtein
+from repro.text.noise import NoiseModel, NoiseSpec, abbreviate
+
+
+class TestAbbreviate:
+    def test_multiword_initialism(self):
+        assert abbreviate("european union") == "eu"
+
+    def test_three_words(self):
+        assert abbreviate("federal republic germany") == "frg"
+
+    def test_single_word_prefix(self):
+        assert abbreviate("germany") == "ger"
+
+
+class TestNoiseSpec:
+    def test_default_operators_positive(self):
+        ops = NoiseSpec().operators()
+        assert len(ops) == 6
+        assert all(w >= 0 for _, w in ops)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(drop_char=-0.1).operators()
+
+    def test_all_zero_rejected(self):
+        spec = NoiseSpec(0, 0, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            spec.operators()
+
+
+class TestNoiseModel:
+    def test_deterministic_given_seed(self):
+        a = NoiseModel(seed=3).corrupt_many("germany", 10)
+        b = NoiseModel(seed=3).corrupt_many("germany", 10)
+        assert a == b
+
+    def test_empty_string_passthrough(self):
+        assert NoiseModel(seed=0).corrupt("") == ""
+
+    def test_corrupt_many_length(self):
+        assert len(NoiseModel(seed=0).corrupt_many("berlin", 7)) == 7
+
+    def test_invalid_max_edits(self):
+        with pytest.raises(ValueError):
+            NoiseModel(max_edits=0)
+
+    def test_char_edits_bounded_by_max_edits(self):
+        """Pure character operators stay within max_edits edit distance."""
+        spec = NoiseSpec(
+            drop_char=1, insert_char=1, transpose=1, substitute=1,
+            swap_tokens=0, abbreviation=0,
+        )
+        model = NoiseModel(spec=spec, max_edits=2, seed=1)
+        for _ in range(50):
+            corrupted = model.corrupt("characters")
+            assert damerau_levenshtein("characters", corrupted) <= 2
+
+    def test_abbreviation_only(self):
+        spec = NoiseSpec(0, 0, 0, 0, 0, abbreviation=1)
+        model = NoiseModel(spec=spec, seed=0)
+        assert model.corrupt("european union") == "eu"
+
+    def test_swap_tokens_preserves_token_set(self):
+        spec = NoiseSpec(0, 0, 0, 0, swap_tokens=1, abbreviation=0)
+        model = NoiseModel(spec=spec, seed=0)
+        corrupted = model.corrupt("alpha beta gamma")
+        assert sorted(corrupted.split()) == ["alpha", "beta", "gamma"]
+        assert corrupted != "alpha beta gamma" or True  # may swap any adjacent pair
+
+    @given(st.text(alphabet="abcdefgh ", min_size=1, max_size=20))
+    @settings(max_examples=60)
+    def test_corrupt_always_returns_string(self, text):
+        model = NoiseModel(seed=5)
+        corrupted = model.corrupt(text)
+        assert isinstance(corrupted, str)
+
+    def test_operator_mixture_reached(self):
+        """Over many samples every operator family should fire."""
+        model = NoiseModel(seed=11)
+        variants = model.corrupt_many("european union", 300)
+        assert "eu" in variants            # abbreviation fires eventually
+        assert any(v != "european union" for v in variants)

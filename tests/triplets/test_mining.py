@@ -1,0 +1,106 @@
+"""Tests for offline triplet mining."""
+
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.triplets.mining import Triplet, TripletMiner, TripletMiningConfig
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = TripletMiningConfig()
+        assert cfg.triplets_per_entity == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"triplets_per_entity": 0},
+            {"alias_fraction": -0.1},
+            {"alias_fraction": 0, "typo_fraction": 0, "type_fraction": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TripletMiningConfig(**kwargs)
+
+
+class TestMiner:
+    def test_budget_respected(self, tiny_kg):
+        miner = TripletMiner(tiny_kg, TripletMiningConfig(triplets_per_entity=10, seed=0))
+        for entity_id in list(tiny_kg.entity_ids())[:20]:
+            assert len(miner.mine_entity(entity_id)) <= 10
+
+    def test_mine_covers_all_entities(self, tiny_kg):
+        miner = TripletMiner(tiny_kg, TripletMiningConfig(triplets_per_entity=3, seed=0))
+        triplets = miner.mine()
+        anchors = {t.anchor for t in triplets}
+        assert len(anchors) >= tiny_kg.num_entities * 0.9  # homonyms collapse
+
+    def test_anchor_is_entity_label(self, tiny_kg):
+        miner = TripletMiner(tiny_kg, TripletMiningConfig(triplets_per_entity=4, seed=0))
+        germany_id = next(iter(tiny_kg.exact_lookup("germany")))
+        triplets = miner.mine_entity(germany_id)
+        assert all(t.anchor == "germany" for t in triplets)
+
+    def test_alias_positives_present(self, tiny_kg):
+        miner = TripletMiner(tiny_kg, TripletMiningConfig(triplets_per_entity=20, seed=0))
+        germany_id = next(iter(tiny_kg.exact_lookup("germany")))
+        positives = {t.positive for t in miner.mine_entity(germany_id)}
+        assert "deutschland" in positives
+
+    def test_negative_differs_from_anchor_and_positive(self, tiny_kg):
+        miner = TripletMiner(tiny_kg, TripletMiningConfig(triplets_per_entity=8, seed=0))
+        for triplet in miner.mine():
+            assert triplet.negative != triplet.anchor
+            assert triplet.negative != triplet.positive
+
+    def test_negatives_are_entity_labels(self, tiny_kg):
+        labels = {e.label for e in tiny_kg.entities()}
+        miner = TripletMiner(tiny_kg, TripletMiningConfig(triplets_per_entity=5, seed=0))
+        for triplet in miner.mine():
+            assert triplet.negative in labels or triplet.negative.endswith(" negative")
+
+    def test_typo_positives_fill_budget(self, tiny_kg):
+        """With zero alias/type fractions the budget goes to typos."""
+        cfg = TripletMiningConfig(
+            triplets_per_entity=6,
+            alias_fraction=0.0,
+            typo_fraction=1.0,
+            type_fraction=0.0,
+            seed=0,
+        )
+        miner = TripletMiner(tiny_kg, cfg)
+        germany_id = next(iter(tiny_kg.exact_lookup("germany")))
+        triplets = miner.mine_entity(germany_id)
+        assert len(triplets) == 6
+        assert "deutschland" not in {t.positive for t in triplets}
+
+    def test_type_positives_share_type(self, tiny_kg):
+        cfg = TripletMiningConfig(
+            triplets_per_entity=8,
+            alias_fraction=0.0,
+            typo_fraction=0.0,
+            type_fraction=1.0,
+            seed=0,
+        )
+        miner = TripletMiner(tiny_kg, cfg)
+        germany_id = next(iter(tiny_kg.exact_lookup("germany")))
+        country_labels = {
+            tiny_kg.entity(eid).label for eid in tiny_kg.entities_of_type("country")
+        }
+        for triplet in miner.mine_entity(germany_id):
+            assert triplet.positive in country_labels
+
+    def test_deterministic(self, tiny_kg):
+        cfg = TripletMiningConfig(triplets_per_entity=5, seed=42)
+        assert TripletMiner(tiny_kg, cfg).mine() == TripletMiner(tiny_kg, cfg).mine()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            TripletMiner(KnowledgeGraph())
+
+
+class TestTripletType:
+    def test_namedtuple_fields(self):
+        t = Triplet("a", "p", "n")
+        assert t.anchor == "a" and t.positive == "p" and t.negative == "n"

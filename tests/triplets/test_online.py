@@ -1,0 +1,67 @@
+"""Tests for online hard/semi-hard triplet selection."""
+
+import numpy as np
+import pytest
+
+from repro.triplets.online import select_hard_triplets, split_by_hardness
+
+
+def embeddings():
+    """Three triplets engineered as easy / semi-hard / hard.
+
+    d(a,p) and d(a,n) per row with margin 1.0:
+      row 0: d_pos=0.01, d_neg=4.0  -> easy   (0.01 + 1 <= 4)
+      row 1: d_pos=0.25, d_neg=1.0  -> semi   (0.25 < 1 < 1.25)
+      row 2: d_pos=1.0,  d_neg=0.25 -> hard   (d_neg <= d_pos)
+    """
+    anchors = np.zeros((3, 2))
+    positives = np.array([[0.1, 0.0], [0.5, 0.0], [1.0, 0.0]])
+    negatives = np.array([[2.0, 0.0], [1.0, 0.0], [0.5, 0.0]])
+    return anchors, positives, negatives
+
+
+class TestSplitByHardness:
+    def test_partitions_correctly(self):
+        a, p, n = embeddings()
+        parts = split_by_hardness(a, p, n, margin=1.0)
+        assert parts["easy"].tolist() == [0]
+        assert parts["semi_hard"].tolist() == [1]
+        assert parts["hard"].tolist() == [2]
+
+    def test_partition_is_exhaustive_and_disjoint(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(50, 4))
+        p = rng.normal(size=(50, 4))
+        n = rng.normal(size=(50, 4))
+        parts = split_by_hardness(a, p, n)
+        combined = np.concatenate(list(parts.values()))
+        assert sorted(combined.tolist()) == list(range(50))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            split_by_hardness(np.zeros((2, 3)), np.zeros((3, 3)), np.zeros((2, 3)))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            split_by_hardness(np.zeros(3), np.zeros(3), np.zeros(3))
+
+
+class TestSelectHardTriplets:
+    def test_excludes_easy(self):
+        a, p, n = embeddings()
+        selected = select_hard_triplets(a, p, n, margin=1.0)
+        assert selected.tolist() == [1, 2]
+
+    def test_matches_nonzero_loss(self):
+        """Selected indices are exactly those with positive triplet loss."""
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(80, 8))
+        p = rng.normal(size=(80, 8))
+        n = rng.normal(size=(80, 8))
+        margin = 1.0
+        d_pos = ((a - p) ** 2).sum(axis=1)
+        d_neg = ((a - n) ** 2).sum(axis=1)
+        losses = np.maximum(d_pos - d_neg + margin, 0.0)
+        expected = np.flatnonzero(losses > 0)
+        selected = select_hard_triplets(a, p, n, margin=margin)
+        np.testing.assert_array_equal(selected, expected)

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, as_rng, derive_rng, new_rng
+
+
+class TestNewRng:
+    def test_returns_generator(self):
+        assert isinstance(new_rng(0), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        assert new_rng(7).integers(0, 1000) == new_rng(7).integers(0, 1000)
+
+    def test_different_seeds_diverge(self):
+        a = new_rng(1).integers(0, 2**60)
+        b = new_rng(2).integers(0, 2**60)
+        assert a != b
+
+    def test_none_seed_allowed(self):
+        assert isinstance(new_rng(None), np.random.Generator)
+
+
+class TestAsRng:
+    def test_passes_through_generator(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+    def test_coerces_int(self):
+        assert isinstance(as_rng(5), np.random.Generator)
+
+    def test_coerces_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestDeriveRng:
+    def test_derived_streams_differ_by_stream_id(self):
+        parent1 = np.random.default_rng(0)
+        parent2 = np.random.default_rng(0)
+        child_a = derive_rng(parent1, 1)
+        child_b = derive_rng(parent2, 2)
+        assert child_a.integers(0, 2**60) != child_b.integers(0, 2**60)
+
+    def test_deterministic_given_parent_state(self):
+        a = derive_rng(np.random.default_rng(9), 4).integers(0, 2**60)
+        b = derive_rng(np.random.default_rng(9), 4).integers(0, 2**60)
+        assert a == b
+
+
+class TestRngMixin:
+    def test_lazy_rng_creation(self):
+        class Thing(RngMixin):
+            pass
+
+        thing = Thing()
+        assert isinstance(thing.rng, np.random.Generator)
+
+    def test_seed_resets_stream(self):
+        class Thing(RngMixin):
+            pass
+
+        thing = Thing()
+        thing.seed(11)
+        first = thing.rng.integers(0, 2**60)
+        thing.seed(11)
+        assert thing.rng.integers(0, 2**60) == first

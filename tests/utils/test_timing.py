@@ -1,0 +1,72 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, Timer, format_duration
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(2.5) == "2.50s"
+
+    def test_milliseconds(self):
+        assert format_duration(0.0125) == "12.50ms"
+
+    def test_microseconds(self):
+        assert format_duration(3.4e-5) == "34.00us"
+
+    def test_nanoseconds(self):
+        assert format_duration(5e-8) == "50ns"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_initial_elapsed_zero(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestStopwatch:
+    def test_accumulates_windows(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                time.sleep(0.002)
+        assert sw.count == 3
+        assert sw.total >= 0.005
+
+    def test_mean(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        assert sw.mean == pytest.approx(sw.total)
+
+    def test_mean_zero_when_unused(self):
+        assert Stopwatch().mean == 0.0
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.total == 0.0
+        assert sw.count == 0

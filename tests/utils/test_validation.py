@@ -1,0 +1,58 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_positive,
+    check_probability,
+    check_type,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1.5)
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+
+    def test_allows_zero_when_flagged(self):
+        check_positive("x", 0, allow_zero=True)
+
+    def test_rejects_negative_even_with_flag(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1, allow_zero=True)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ValueError, match="p"):
+            check_probability("p", value)
+
+
+class TestCheckType:
+    def test_accepts_match(self):
+        check_type("n", 3, int)
+
+    def test_accepts_tuple_of_types(self):
+        check_type("n", 3.0, (int, float))
+
+    def test_rejects_mismatch_with_names(self):
+        with pytest.raises(TypeError, match="str"):
+            check_type("n", 3, str)

@@ -1,0 +1,43 @@
+"""Assemble EXPERIMENTS.md from the template + benchmarks/results/*.txt.
+
+Usage:  python tools/build_experiments.py
+
+Replaces ``{{name}}`` placeholders in ``tools/EXPERIMENTS.template.md``
+with the content of ``benchmarks/results/<name>.txt`` (fenced as code)
+and writes the result to ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TEMPLATE = ROOT / "tools" / "EXPERIMENTS.template.md"
+RESULTS = ROOT / "benchmarks" / "results"
+OUTPUT = ROOT / "EXPERIMENTS.md"
+
+
+def main() -> int:
+    text = TEMPLATE.read_text(encoding="utf-8")
+    missing: list[str] = []
+
+    def substitute(match: re.Match[str]) -> str:
+        name = match.group(1)
+        path = RESULTS / f"{name}.txt"
+        if not path.exists():
+            missing.append(name)
+            return f"*(results file {name}.txt not found — run the benchmarks)*"
+        return "```\n" + path.read_text(encoding="utf-8").rstrip() + "\n```"
+
+    rendered = re.sub(r"\{\{(\w+)\}\}", substitute, text)
+    OUTPUT.write_text(rendered, encoding="utf-8")
+    if missing:
+        print(f"WARNING: missing results: {', '.join(missing)}", file=sys.stderr)
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
