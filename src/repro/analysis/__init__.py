@@ -1,0 +1,57 @@
+"""Static analysis for the reproduction: lint rules + shape checking.
+
+Two complementary passes keep the embedding pipeline's invariants true as
+the codebase grows:
+
+- an **AST lint** (:mod:`repro.analysis.rules` driven by
+  :mod:`repro.analysis.engine`) enforcing float32 dtype discipline,
+  autograd-safe tensor usage, centralised seeded randomness, and API
+  hygiene, with ``# repro: noqa[RULE]`` suppressions and a committed
+  baseline so CI fails only on *new* violations;
+- a **shape/dtype abstract interpreter**
+  (:mod:`repro.analysis.shapecheck`) that propagates symbolic
+  ``(shape, dtype)`` through the dual-tower layer stack and rejects
+  mis-sized configurations before any training run starts.
+
+Entry points: ``repro lint`` / ``repro shapecheck`` (CLI) and
+``tools/run_lint.py`` (CI wrapper).
+"""
+
+from repro.analysis.baseline import (
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+from repro.analysis.engine import iter_python_files, lint_paths, lint_source
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.reporters import render_json, render_text, summarize
+from repro.analysis.rules import RULES, LintContext, LintRule
+from repro.analysis.shapecheck import (
+    AbstractTensor,
+    DualTowerSpec,
+    ShapeError,
+    ShapeReport,
+    check_dual_tower,
+)
+
+__all__ = [
+    "AbstractTensor",
+    "DualTowerSpec",
+    "Finding",
+    "LintContext",
+    "LintRule",
+    "RULES",
+    "Severity",
+    "ShapeError",
+    "ShapeReport",
+    "check_dual_tower",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "partition_findings",
+    "render_json",
+    "render_text",
+    "summarize",
+    "write_baseline",
+]

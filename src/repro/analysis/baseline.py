@@ -1,0 +1,79 @@
+"""Baseline file support: freeze known findings, fail only on new ones.
+
+A baseline is a committed JSON file listing the fingerprints of accepted
+findings (deliberate float64 accumulation in the index distance kernels,
+for example).  CI lints the tree, subtracts the baseline, and fails only
+when *new* violations appear — so the rule set can be strict without
+requiring a big-bang cleanup, and the baseline can be burned down over
+time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "partition_findings", "write_baseline"]
+
+_VERSION = 1
+
+
+def write_baseline(findings: Iterable[Finding], path: str | Path) -> None:
+    """Write ``findings`` to ``path`` as a baseline JSON document.
+
+    Entries keep the human-readable context (rule/path/line/message) next
+    to the fingerprint so reviewers can audit what is being accepted; only
+    the fingerprint participates in matching.
+    """
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "message": f.message,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    document = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Load the set of baselined fingerprints from ``path``.
+
+    A missing file is an empty baseline (every finding is new); a file
+    with the wrong structure raises ``ValueError`` rather than silently
+    accepting everything.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        return frozenset()
+    document = json.loads(file_path.read_text(encoding="utf-8"))
+    if not isinstance(document, dict) or "findings" not in document:
+        raise ValueError(f"malformed baseline file: {file_path}")
+    entries = document["findings"]
+    if not isinstance(entries, list):
+        raise ValueError(f"malformed baseline file: {file_path}")
+    fingerprints: set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"malformed baseline entry in {file_path}")
+        fingerprints.add(str(entry["fingerprint"]))
+    return frozenset(fingerprints)
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: frozenset[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into ``(new, baselined)`` against ``baseline``."""
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        (known if finding.fingerprint in baseline else new).append(finding)
+    return new, known

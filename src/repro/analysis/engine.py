@@ -1,0 +1,168 @@
+"""Lint driver: walk files, parse, run rules, honour suppressions.
+
+The engine parses each Python file once, hands the AST to every rule whose
+``applies_to`` matches the path, filters findings through ``# repro:
+noqa[RULE]`` line suppressions, and stamps each surviving finding with a
+content-based fingerprint (see :mod:`repro.analysis.findings`) so the
+baseline mechanism is robust to line-number churn.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity, compute_fingerprint
+from repro.analysis.rules import RULES, LintContext, LintRule, module_tail
+
+__all__ = ["iter_python_files", "lint_paths", "lint_source"]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[REP101,REP301]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+def _noqa_for_line(line: str) -> frozenset[str] | None:
+    """Suppressed rule ids on ``line``.
+
+    Returns ``None`` when the line has no noqa marker, an empty frozenset
+    for a blanket ``# repro: noqa``, and the named ids otherwise.
+    """
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
+
+
+def _is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    suppressed = _noqa_for_line(lines[finding.line - 1])
+    if suppressed is None:
+        return False
+    return not suppressed or finding.rule in suppressed
+
+
+def _select_rules(select: Iterable[str] | None) -> list[LintRule]:
+    if select is None:
+        return list(RULES.values())
+    chosen: list[LintRule] = []
+    for rule_id in select:
+        wanted = rule_id.strip().upper()
+        matched = [
+            rule
+            for known, rule in RULES.items()
+            if known == wanted or known.startswith(wanted)
+        ]
+        if not matched:
+            raise KeyError(f"unknown rule id or prefix: {rule_id!r}")
+        chosen.extend(matched)
+    # Deduplicate while preserving registry order.
+    seen: set[str] = set()
+    ordered: list[LintRule] = []
+    for rule in RULES.values():
+        if rule in chosen and rule.rule_id not in seen:
+            seen.add(rule.rule_id)
+            ordered.append(rule)
+    return ordered
+
+
+def _fingerprint_all(findings: list[Finding], lines_by_path: dict[str, Sequence[str]]) -> list[Finding]:
+    """Stamp content fingerprints, disambiguating identical lines by count."""
+    occurrences: Counter[tuple[str, str, str]] = Counter()
+    stamped: list[Finding] = []
+    for finding in findings:
+        lines = lines_by_path.get(finding.path, ())
+        source_line = (
+            lines[finding.line - 1] if 1 <= finding.line <= len(lines) else ""
+        )
+        # Hash the repro/... module tail, not the as-invoked path, so the
+        # same baseline matches runs started from any working directory.
+        tail = module_tail(finding.path)
+        key = (finding.rule, tail, source_line.strip())
+        occurrence = occurrences[key]
+        occurrences[key] += 1
+        stamped.append(
+            finding.with_fingerprint(
+                compute_fingerprint(finding.rule, tail, source_line, occurrence)
+            )
+        )
+    return stamped
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source string as if it lived at ``path``.
+
+    Findings are noqa-filtered, sorted by location, and fingerprinted.
+    A syntax error yields a single ``REP000`` error finding rather than
+    raising, so one broken file cannot hide findings in the rest of a run.
+    """
+    posix = path.replace("\\", "/")
+    lines: tuple[str, ...] = tuple(source.splitlines())
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        finding = Finding(
+            rule="REP000",
+            path=posix,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            severity=Severity.ERROR,
+            message=f"syntax error: {exc.msg}",
+        )
+        return _fingerprint_all([finding], {posix: lines})
+    ctx = LintContext(path=posix, tree=tree, source=source, lines=lines)
+    findings: list[Finding] = []
+    for rule in _select_rules(select):
+        if not rule.applies_to(posix):
+            continue
+        findings.extend(rule.check(ctx))
+    findings = [f for f in findings if not _is_suppressed(f, lines)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return _fingerprint_all(findings, {posix: lines})
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py" and path.is_file():
+            out.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def _display_path(path: Path) -> str:
+    """Posix path relative to the current directory when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; returns sorted findings."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, _display_path(file_path), select))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

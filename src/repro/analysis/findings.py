@@ -1,0 +1,91 @@
+"""The :class:`Finding` record emitted by every lint rule.
+
+A finding pins a rule violation to a file/line/column and carries a
+content-based *fingerprint* so the committed baseline survives unrelated
+line-number churn: the fingerprint hashes the rule id, the file path, the
+stripped source line, and an occurrence counter (for identical lines in
+the same file) — never the line number itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "SEVERITIES", "Severity"]
+
+
+class Severity:
+    """Finding severity levels, ordered from most to least severe."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+SEVERITIES: tuple[str, ...] = (Severity.ERROR, Severity.WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location.
+
+    Attributes
+    ----------
+    rule:
+        Rule identifier (e.g. ``REP101``).
+    path:
+        File path as linted (posix-style, relative where possible).
+    line / col:
+        1-based line and 0-based column of the offending node.
+    severity:
+        ``"error"`` (breaks an invariant) or ``"warning"`` (hygiene).
+    message:
+        Human-readable description of the violation.
+    fingerprint:
+        Stable content hash used by the baseline; filled in by the engine
+        (empty for findings constructed directly in rule unit tests).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    severity: str
+    message: str
+    fingerprint: str = field(default="", compare=False)
+
+    def location(self) -> str:
+        """``path:line:col`` display form."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable representation (used by reporter + baseline)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def with_fingerprint(self, fingerprint: str) -> "Finding":
+        """A copy of this finding carrying ``fingerprint``."""
+        return Finding(
+            rule=self.rule,
+            path=self.path,
+            line=self.line,
+            col=self.col,
+            severity=self.severity,
+            message=self.message,
+            fingerprint=fingerprint,
+        )
+
+
+def compute_fingerprint(
+    rule: str, path: str, source_line: str, occurrence: int
+) -> str:
+    """Content hash identifying a finding independently of line numbers."""
+    payload = f"{rule}::{path}::{source_line.strip()}::{occurrence}"
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]

@@ -6,6 +6,8 @@ Subcommands cover the full lifecycle a downstream user needs:
 - ``train``         — train an EmbLookup model over a KG and save it.
 - ``lookup``        — query a saved model interactively or one-shot.
 - ``evaluate``      — score the model's lookup success on noisy queries.
+- ``lint``          — run the repo's static-analysis rules over source trees.
+- ``shapecheck``    — statically verify a dual-tower config's shapes/dtypes.
 
 Example::
 
@@ -13,6 +15,8 @@ Example::
     python -m repro train --kg kg.json --out model/ --epochs 10
     python -m repro lookup --kg kg.json --model model/ germany germoney
     python -m repro evaluate --kg kg.json --model model/ --noise 0.5
+    python -m repro lint src/repro --baseline tools/lint_baseline.json
+    python -m repro shapecheck --dim 64 --max-length 32
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import analysis
 from repro.core import EmbLookup, EmbLookupConfig
 from repro.evaluation.reporting import format_table
 from repro.kg import SyntheticKGConfig, generate_kg, load_kg_json, save_kg_json
@@ -108,6 +113,64 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Lint source trees; exit non-zero when new (non-baselined) findings exist."""
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = analysis.lint_paths(args.paths, select=select)
+    except (FileNotFoundError, KeyError) as exc:
+        # str(KeyError) wraps the message in quotes; print the bare text.
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        analysis.write_baseline(findings, args.baseline)
+        print(f"wrote {len(findings)} finding(s) to baseline {args.baseline}")
+        return 0
+    baseline = (
+        analysis.load_baseline(args.baseline)
+        if args.baseline and not args.no_baseline
+        else frozenset()
+    )
+    new, known = analysis.partition_findings(findings, baseline)
+    if args.format == "json":
+        print(analysis.render_json(new, known))
+    else:
+        print(analysis.render_text(new, known))
+    return 1 if new else 0
+
+
+def _cmd_shapecheck(args: argparse.Namespace) -> int:
+    """Statically validate a dual-tower configuration's shapes and dtypes."""
+    try:
+        config = EmbLookupConfig(
+            embedding_dim=args.dim,
+            max_length=args.max_length,
+            compression=args.compression,
+            pq_m=args.pq_m,
+        )
+        spec = analysis.DualTowerSpec.from_config(
+            config,
+            alphabet_size=args.alphabet_size,
+            cnn_channels=args.channels,
+            cnn_layers=args.layers,
+            dtype=args.dtype,
+            **(
+                {"mlp_in": args.mlp_in} if args.mlp_in is not None else {}
+            ),
+            **(
+                {"mlp_hidden": args.mlp_hidden}
+                if args.mlp_hidden is not None
+                else {}
+            ),
+        )
+        report = analysis.check_dual_tower(spec)
+    except (analysis.ShapeError, ValueError) as exc:
+        print(f"shapecheck FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(report.format())
+    return 0
+
+
 def _read_stdin_queries() -> list[str]:
     if sys.stdin.isatty():
         return []
@@ -153,6 +216,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--noise", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("lint", help="run static-analysis rules over source trees")
+    p.add_argument("paths", nargs="*", default=["src/repro"])
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--baseline", default=None, help="baseline JSON to honor")
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept current findings: write them to --baseline and exit 0",
+    )
+    p.add_argument(
+        "--select", default=None, help="comma-separated rule ids/prefixes"
+    )
+    p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "shapecheck", help="statically verify dual-tower shapes and dtypes"
+    )
+    p.add_argument("--dim", type=int, default=64)
+    p.add_argument("--max-length", type=int, default=32)
+    p.add_argument("--alphabet-size", type=int, default=40)
+    p.add_argument("--channels", type=int, default=8)
+    p.add_argument("--layers", type=int, default=5)
+    p.add_argument("--compression", choices=["pq", "none", "ivfpq"], default="pq")
+    p.add_argument("--pq-m", type=int, default=8)
+    p.add_argument("--dtype", choices=["float32", "float64"], default="float32")
+    p.add_argument("--mlp-in", type=int, default=None)
+    p.add_argument("--mlp-hidden", type=int, default=None)
+    p.set_defaults(func=_cmd_shapecheck)
 
     return parser
 

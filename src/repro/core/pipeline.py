@@ -166,7 +166,7 @@ class EmbLookup:
         )
         if not online:
             return losses.mean()
-        mask = (losses.data > 0).astype(np.float64)
+        mask = (losses.data > 0).astype(losses.data.dtype)
         active = mask.sum()
         if active == 0:
             return None

@@ -153,7 +153,7 @@ class FastTextModel(Module):
         from repro.nn.loss import mse_loss
 
         optimizer = Adam(self.parameters(), lr=max(cfg.lr / 5.0, 1e-3))
-        order = np.arange(len(pairs))
+        order = np.arange(len(pairs), dtype=np.int64)
         for _ in range(max(cfg.epochs, 1)):
             self.rng.shuffle(order)
             for start in range(0, len(order), cfg.batch_size):
@@ -194,7 +194,7 @@ class FastTextModel(Module):
 
         optimizer = Adam(self.parameters(), lr=self.config.lr)
         cfg = self.config
-        pair_arr = np.arange(len(pairs))
+        pair_arr = np.arange(len(pairs), dtype=np.int64)
         for _ in range(cfg.epochs):
             self.rng.shuffle(pair_arr)
             for start in range(0, len(pair_arr), cfg.batch_size):

@@ -66,8 +66,8 @@ class CharLSTMEmbedder(Module):
         """Encode one-hot batches ``(N, |A|, L)`` to ``(N, dim)``."""
         n, _, length = x.shape
         hidden = self.config.hidden
-        h = Tensor(np.zeros((n, hidden)))
-        c = Tensor(np.zeros((n, hidden)))
+        h = Tensor(np.zeros((n, hidden), dtype=np.float32))
+        c = Tensor(np.zeros((n, hidden), dtype=np.float32))
         for t in range(length):
             x_t = x[:, :, t]                                    # (N, |A|)
             combined = concatenate([x_t, h], axis=1)
@@ -95,7 +95,7 @@ class CharLSTMEmbedder(Module):
             return self
         cfg = self.config
         optimizer = Adam(self.parameters(), lr=cfg.lr)
-        order = np.arange(len(triplets))
+        order = np.arange(len(triplets), dtype=np.int64)
         self.train()
         for _ in range(cfg.epochs):
             self.rng.shuffle(order)

@@ -194,7 +194,7 @@ def distill_into_fasttext(
         return fasttext
 
     optimizer = Adam(list(fasttext.parameters()), lr=lr)
-    order = np.arange(len(pairs))
+    order = np.arange(len(pairs), dtype=np.int64)
     for _ in range(epochs):
         rng.shuffle(order)
         for start in range(0, len(order), batch_size):

@@ -79,7 +79,7 @@ class Word2VecModel:
         v = len(self._vocab)
         scale = 0.5 / cfg.dim
         vectors = self.rng.uniform(-scale, scale, size=(v, cfg.dim))
-        context = np.zeros((v, cfg.dim))
+        context = np.zeros((v, cfg.dim), dtype=vectors.dtype)
 
         pairs: list[tuple[int, int]] = []
         for tokens in groups_tokens:

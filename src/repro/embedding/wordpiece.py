@@ -101,7 +101,7 @@ class WordPieceModel:
 
         scale = 0.5 / cfg.dim
         vectors = self.rng.uniform(-scale, scale, size=(v, cfg.dim))
-        context = np.zeros((v, cfg.dim))
+        context = np.zeros((v, cfg.dim), dtype=vectors.dtype)
         vocab_set = self.piece_vocabulary
 
         pairs: list[tuple[int, int]] = []

@@ -66,7 +66,7 @@ class FlatIndex(VectorIndex):
         if take < n:
             part = np.argpartition(d, take - 1, axis=1)[:, :take]
         else:
-            part = np.tile(np.arange(n), (len(queries), 1))
+            part = np.tile(np.arange(n, dtype=np.int64), (len(queries), 1))
         part_d = np.take_along_axis(d, part, axis=1)
         order = np.argsort(part_d, axis=1, kind="stable")
         ids[:, :take] = np.take_along_axis(part, order, axis=1)

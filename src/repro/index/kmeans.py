@@ -119,7 +119,7 @@ class KMeans:
     ) -> tuple[np.ndarray, np.ndarray]:
         d = _squared_distances(points, centroids)
         assignments = d.argmin(axis=1)
-        return assignments, d[np.arange(len(points)), assignments]
+        return assignments, d[np.arange(len(points), dtype=np.int64), assignments]
 
     def _update(
         self, points: np.ndarray, assignments: np.ndarray, centroids: np.ndarray

@@ -44,7 +44,7 @@ class LSHIndex(VectorIndex):
             defaultdict(list) for _ in range(ntables)
         ]
         self._vectors = np.empty((0, dim), dtype=np.float32)
-        self._bit_weights = (1 << np.arange(nbits)).astype(np.int64)
+        self._bit_weights = 1 << np.arange(nbits, dtype=np.int64)
 
     @property
     def ntotal(self) -> int:

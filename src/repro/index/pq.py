@@ -100,7 +100,7 @@ class ProductQuantizer:
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """Reconstruct approximate vectors from codes."""
         self._require_trained()
-        codes = np.asarray(codes)
+        codes = np.asarray(codes)  # repro: noqa[REP101] -- keep caller's integer code dtype
         if codes.ndim != 2 or codes.shape[1] != self.m:
             raise ValueError(f"expected (n, {self.m}) code matrix")
         out = np.empty((len(codes), self.dim), dtype=np.float32)
@@ -203,7 +203,7 @@ class PQIndex(VectorIndex):
         if take < n:
             part = np.argpartition(d, take - 1, axis=1)[:, :take]
         else:
-            part = np.tile(np.arange(n), (len(queries), 1))
+            part = np.tile(np.arange(n, dtype=np.int64), (len(queries), 1))
         part_d = np.take_along_axis(d, part, axis=1)
         order = np.argsort(part_d, axis=1, kind="stable")
         ids[:, :take] = np.take_along_axis(part, order, axis=1)

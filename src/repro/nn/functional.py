@@ -81,7 +81,7 @@ def conv1d(
         grad_cols = grad_out @ w2d                     # (N, out_len, C*K)
         grad_cols = grad_cols.reshape(n, out_len, c_in, kernel)
         grad_x_padded = np.zeros(
-            (n, c_in, length + 2 * padding), dtype=np.float64
+            (n, c_in, length + 2 * padding), dtype=grad.dtype
         )
         for pos in range(out_len):
             start = pos * stride
@@ -118,7 +118,7 @@ def max_pool1d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
     argmax = windows.argmax(axis=3)  # (N, C, out)
 
     def backward(grad: np.ndarray):
-        grad_x = np.zeros((n, c, length), dtype=np.float64)
+        grad_x = np.zeros((n, c, length), dtype=grad.dtype)
         n_idx, c_idx, o_idx = np.indices((n, c, out_len))
         positions = o_idx * stride + argmax
         np.add.at(grad_x, (n_idx, c_idx, positions), grad)

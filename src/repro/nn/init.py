@@ -1,8 +1,15 @@
-"""Weight initialisers (Glorot/Xavier and He/Kaiming schemes)."""
+"""Weight initialisers (Glorot/Xavier and He/Kaiming schemes).
+
+All initialisers return :data:`repro.nn.tensor.DEFAULT_DTYPE` (float32)
+arrays by default; pass ``dtype=np.float64`` explicitly for gradient
+checking (see :mod:`repro.nn.gradcheck`).
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.tensor import DEFAULT_DTYPE
 
 __all__ = ["kaiming_uniform", "xavier_uniform", "zeros"]
 
@@ -12,28 +19,32 @@ def xavier_uniform(
     rng: np.random.Generator,
     fan_in: int | None = None,
     fan_out: int | None = None,
+    dtype: np.dtype | type = DEFAULT_DTYPE,
 ) -> np.ndarray:
     """Glorot uniform initialisation: U(-a, a), a = sqrt(6 / (fan_in + fan_out))."""
     fan_in = fan_in if fan_in is not None else _default_fan(shape, "in")
     fan_out = fan_out if fan_out is not None else _default_fan(shape, "out")
     bound = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(dtype, copy=False)
 
 
 def kaiming_uniform(
     shape: tuple[int, ...],
     rng: np.random.Generator,
     fan_in: int | None = None,
+    dtype: np.dtype | type = DEFAULT_DTYPE,
 ) -> np.ndarray:
     """He uniform initialisation for ReLU networks: U(-a, a), a = sqrt(6 / fan_in)."""
     fan_in = fan_in if fan_in is not None else _default_fan(shape, "in")
     bound = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-bound, bound, size=shape)
+    return rng.uniform(-bound, bound, size=shape).astype(dtype, copy=False)
 
 
-def zeros(shape: tuple[int, ...]) -> np.ndarray:
-    """All-zero float64 array (bias initialiser)."""
-    return np.zeros(shape, dtype=np.float64)
+def zeros(
+    shape: tuple[int, ...], dtype: np.dtype | type = DEFAULT_DTYPE
+) -> np.ndarray:
+    """All-zero array (bias initialiser); float32 unless overridden."""
+    return np.zeros(shape, dtype=dtype)
 
 
 def _default_fan(shape: tuple[int, ...], which: str) -> int:

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn import init
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import DEFAULT_DTYPE, Tensor
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -96,7 +96,7 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, param in own.items():
-            value = np.asarray(state[name])
+            value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, "
@@ -229,8 +229,8 @@ class LayerNorm(Module):
     def __init__(self, features: int, eps: float = 1e-5):
         super().__init__()
         self.eps = eps
-        self.gamma = Tensor(np.ones(features), requires_grad=True)
-        self.beta = Tensor(np.zeros(features), requires_grad=True)
+        self.gamma = Tensor(np.ones(features, dtype=DEFAULT_DTYPE), requires_grad=True)
+        self.beta = Tensor(np.zeros(features, dtype=DEFAULT_DTYPE), requires_grad=True)
 
     def forward(self, x: Tensor) -> Tensor:
         """Normalise the last dimension, then scale and shift."""
@@ -284,14 +284,16 @@ class EmbeddingBag(Module):
         self.embedding_dim = embedding_dim
         scale = 1.0 / np.sqrt(embedding_dim)
         self.weight = Tensor(
-            generator.uniform(-scale, scale, size=(num_embeddings, embedding_dim)),
+            generator.uniform(
+                -scale, scale, size=(num_embeddings, embedding_dim)
+            ).astype(DEFAULT_DTYPE, copy=False),
             requires_grad=True,
         )
 
     def forward_bags(self, bags: Sequence[Sequence[int]]) -> Tensor:
         """Embed a batch of index bags into a ``(batch, dim)`` tensor."""
         batch = len(bags)
-        out = np.zeros((batch, self.embedding_dim), dtype=np.float64)
+        out = np.zeros((batch, self.embedding_dim), dtype=self.weight.data.dtype)
         weight = self.weight
         flat_rows: list[np.ndarray] = []
         for b, bag in enumerate(bags):

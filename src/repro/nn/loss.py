@@ -82,5 +82,5 @@ def cross_entropy_loss(logits: Tensor, targets: np.ndarray) -> Tensor:
             f"targets shape {targets.shape} incompatible with logits {logits.shape}"
         )
     log_probs = F.log_softmax(logits, axis=1)
-    picked = log_probs[np.arange(len(targets)), targets]
+    picked = log_probs[np.arange(len(targets), dtype=np.int64), targets]
     return -picked.mean()

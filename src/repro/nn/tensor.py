@@ -18,7 +18,12 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Tensor", "concatenate", "no_grad", "stack"]
+__all__ = ["DEFAULT_DTYPE", "Tensor", "concatenate", "no_grad", "stack"]
+
+#: Default payload dtype.  The paper's memory model (64-d vectors = 256 B,
+#: PQ-compressed to 8 B) assumes float32 end-to-end; float64 remains an
+#: explicit opt-in (numerical gradient checking passes float64 arrays in).
+DEFAULT_DTYPE = np.float32
 
 _grad_enabled: bool = True
 
@@ -51,11 +56,12 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
 
 def _as_array(value: Any) -> np.ndarray:
-    if isinstance(value, np.ndarray):
-        if value.dtype != np.float64 and value.dtype != np.float32:
-            return value.astype(np.float64)
-        return value
-    return np.asarray(value, dtype=np.float64)
+    if isinstance(value, (np.ndarray, np.generic)):
+        array = np.asarray(value)  # repro: noqa[REP101] -- dtype-preserving path
+        if array.dtype != np.float64 and array.dtype != np.float32:  # repro: noqa[REP102]
+            return array.astype(DEFAULT_DTYPE)
+        return array
+    return np.asarray(value, dtype=DEFAULT_DTYPE)
 
 
 class Tensor:
@@ -141,7 +147,7 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=np.float64)
+            self.grad = np.zeros_like(self.data)
         self.grad += grad
 
     def backward(self, grad: np.ndarray | None = None) -> None:
@@ -156,9 +162,9 @@ class Tensor:
                     "backward() without an explicit gradient requires a "
                     f"scalar tensor, got shape {self.shape}"
                 )
-            grad = np.ones_like(self.data, dtype=np.float64)
+            grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
                 raise ValueError(
                     f"gradient shape {grad.shape} does not match tensor "
@@ -214,8 +220,17 @@ class Tensor:
 
     # -- arithmetic ops ------------------------------------------------------------
 
+    def _as_operand(self, other: Any) -> "Tensor":
+        """Wrap ``other`` as a Tensor; bare python scalars adopt this
+        tensor's dtype so constants never promote a float32 graph."""
+        if isinstance(other, Tensor):
+            return other
+        if isinstance(other, (int, float)):
+            return Tensor(np.asarray(other, dtype=self.data.dtype))
+        return Tensor(other)
+
     def __add__(self, other: Any) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._as_operand(other)
         data = self.data + other_t.data
 
         def backward(grad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -236,7 +251,7 @@ class Tensor:
         return self._make(-self.data, (self,), backward)
 
     def __sub__(self, other: Any) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._as_operand(other)
         data = self.data - other_t.data
 
         def backward(grad: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -248,10 +263,10 @@ class Tensor:
         return self._make(data, (self, other_t), backward)
 
     def __rsub__(self, other: Any) -> "Tensor":
-        return Tensor(other).__sub__(self)
+        return self._as_operand(other).__sub__(self)
 
     def __mul__(self, other: Any) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._as_operand(other)
         data = self.data * other_t.data
         a, b = self.data, other_t.data
 
@@ -267,7 +282,7 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: Any) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._as_operand(other)
         a, b = self.data, other_t.data
         data = a / b
 
@@ -280,7 +295,7 @@ class Tensor:
         return self._make(data, (self, other_t), backward)
 
     def __rtruediv__(self, other: Any) -> "Tensor":
-        return Tensor(other).__truediv__(self)
+        return self._as_operand(other).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -453,7 +468,7 @@ class Tensor:
         shape = self.data.shape
 
         def backward(grad: np.ndarray) -> tuple[np.ndarray]:
-            full = np.zeros(shape, dtype=np.float64)
+            full = np.zeros(shape, dtype=grad.dtype)
             np.add.at(full, index, grad)
             return (full,)
 

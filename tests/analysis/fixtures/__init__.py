@@ -1,0 +1,16 @@
+"""Lint fixtures: deliberately good/bad sources read as text, never imported.
+
+Each ``*_violations.py`` file trips one rule family; the paired
+``*_clean.py`` file does the same work idiomatically and must lint clean.
+Tests feed these through ``lint_source`` under virtual ``repro/...`` paths
+(rules match on the path tail), so the fixtures can live here untouched.
+"""
+
+from pathlib import Path
+
+FIXTURES_DIR = Path(__file__).parent
+
+
+def fixture_source(name: str) -> str:
+    """Read fixture ``name`` (e.g. ``"dtype_violations.py"``) as text."""
+    return (FIXTURES_DIR / name).read_text(encoding="utf-8")

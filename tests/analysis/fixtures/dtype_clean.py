@@ -1,0 +1,12 @@
+"""Fixture: dtype-disciplined numpy usage that must lint clean."""
+
+import numpy as np
+
+
+def explicit_constructors(n, prototype):
+    """Explicit dtypes and dtype-inheriting *_like constructors."""
+    a = np.zeros(n, dtype=np.float32)
+    b = np.arange(n, dtype=np.int64)
+    c = np.zeros_like(prototype)
+    d = np.ones_like(prototype)
+    return a, b, c, d

@@ -1,0 +1,20 @@
+"""Fixture: dtype-discipline violations (REP101 implicit, REP102 float64)."""
+
+import numpy as np
+
+
+def implicit_constructors(n):
+    """Four REP101 hits: constructors with no dtype kwarg."""
+    a = np.zeros(n)
+    b = np.arange(n)
+    c = np.array([1.0, 2.0])
+    d = np.empty((n, n))
+    return a, b, c, d
+
+
+def float64_leaks(n):
+    """Three REP102 hits: explicit float64 in a hot path."""
+    a = np.zeros(n, dtype=np.float64)
+    b = np.ones(n, dtype="float64")
+    c = a.astype(np.float64)
+    return a, b, c

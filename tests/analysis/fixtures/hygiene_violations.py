@@ -1,0 +1,22 @@
+"""Fixture: API-hygiene violations (REP401/REP402/REP403)."""
+
+
+def swallow_everything(risky):
+    """REP401: bare except hides SystemExit/KeyboardInterrupt."""
+    try:
+        return risky()
+    except:
+        return None
+
+
+def accumulate(item, bucket=[], index={}):
+    """Two REP402 hits: mutable defaults shared across calls."""
+    bucket.append(item)
+    index[item] = len(bucket)
+    return bucket
+
+
+def chatty(value):
+    """REP403: print() in library code."""
+    print(value)
+    return value

@@ -1,0 +1,10 @@
+"""Fixture: reads of tensor payloads that must lint clean (REP201)."""
+
+
+def read_payloads(t):
+    """Reading .data / .grad and calling methods on them is fine."""
+    value = t.data.copy()
+    gradient = t.grad
+    norm = (t.data ** 2).sum()
+    t.zero_grad()
+    return value, gradient, norm

@@ -1,0 +1,10 @@
+"""Fixture: autograd-payload mutations (REP201) outside the engine."""
+
+
+def clobber_payloads(t, update):
+    """Five REP201 hits: write/augment/delete through .data / .grad."""
+    t.data = update
+    t.data[0] = 0.0
+    t.data += update
+    t.grad = None
+    del t.grad

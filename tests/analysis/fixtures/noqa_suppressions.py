@@ -1,0 +1,16 @@
+"""Fixture: noqa suppression forms against real violations.
+
+Line 1 of the body: blanket suppression kills every rule on the line.
+Line 2: rule-scoped suppression kills only the named rule.
+Line 3: a mismatched rule id suppresses nothing.
+"""
+
+import numpy as np
+
+
+def suppressed(n):
+    """One surviving REP101 (the mismatched-id line); the rest suppressed."""
+    a = np.zeros(n)  # repro: noqa
+    b = np.zeros(n)  # repro: noqa[REP101]
+    c = np.zeros(n)  # repro: noqa[REP999]
+    return a, b, c

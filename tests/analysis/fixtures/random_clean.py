@@ -1,0 +1,9 @@
+"""Fixture: seeded randomness through repro.utils.rng (lints clean)."""
+
+from repro.utils.rng import new_rng
+
+
+def draw_seeded(n, seed):
+    """All draws go through a seeded Generator: no REP301."""
+    rng = new_rng(seed)
+    return rng.normal(size=n), rng.integers(0, 10, size=n)

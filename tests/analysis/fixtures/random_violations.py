@@ -1,0 +1,13 @@
+"""Fixture: unmanaged randomness (REP301) outside repro.utils.rng."""
+
+import random
+
+import numpy as np
+
+
+def draw_everything(n):
+    """REP301 hits: stdlib-random import + call, np.random.* calls."""
+    a = random.random()
+    b = np.random.rand(n)
+    c = np.random.default_rng().normal(size=n)
+    return a, b, c

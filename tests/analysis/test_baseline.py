@@ -1,0 +1,82 @@
+"""Baseline mechanism: write/load round-trip and new/known partitioning."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    lint_source,
+    load_baseline,
+    partition_findings,
+    write_baseline,
+)
+
+from tests.analysis.fixtures import fixture_source
+
+HOT_PATH = "src/repro/nn/fake.py"
+
+
+def findings_for_fixture():
+    """The dtype fixture's findings (fingerprinted by the engine)."""
+    return lint_source(fixture_source("dtype_violations.py"), HOT_PATH)
+
+
+class TestRoundTrip:
+    def test_write_then_load_recovers_fingerprints(self, tmp_path):
+        findings = findings_for_fixture()
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        assert load_baseline(path) == frozenset(f.fingerprint for f in findings)
+
+    def test_written_document_is_auditable(self, tmp_path):
+        """Entries keep rule/path/line/message next to the fingerprint."""
+        path = tmp_path / "baseline.json"
+        write_baseline(findings_for_fixture(), path)
+        document = json.loads(path.read_text())
+        assert document["version"] == 1
+        entry = document["findings"][0]
+        assert set(entry) == {"fingerprint", "rule", "path", "line", "message"}
+
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == frozenset()
+
+    @pytest.mark.parametrize(
+        "payload",
+        ['[1, 2, 3]', '{"version": 1}', '{"findings": {"not": "a list"}}',
+         '{"findings": [{"rule": "REP101"}]}'],
+    )
+    def test_malformed_baseline_raises(self, tmp_path, payload):
+        path = tmp_path / "baseline.json"
+        path.write_text(payload)
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestPartition:
+    def test_full_baseline_suppresses_everything(self, tmp_path):
+        findings = findings_for_fixture()
+        path = tmp_path / "baseline.json"
+        write_baseline(findings, path)
+        new, known = partition_findings(findings, load_baseline(path))
+        assert new == []
+        assert known == findings
+
+    def test_new_violation_escapes_baseline(self, tmp_path):
+        """Adding one more violation after baselining surfaces exactly it."""
+        path = tmp_path / "baseline.json"
+        write_baseline(findings_for_fixture(), path)
+        grown = lint_source(
+            fixture_source("dtype_violations.py")
+            + "\n\nimport numpy as np\nextra = np.linspace(0, 1)\n",
+            HOT_PATH,
+        )
+        new, known = partition_findings(grown, load_baseline(path))
+        assert len(known) == len(findings_for_fixture())
+        assert [f.rule for f in new] == ["REP101"]
+        assert "linspace" in new[0].message
+
+    def test_empty_baseline_marks_all_new(self):
+        findings = findings_for_fixture()
+        new, known = partition_findings(findings, frozenset())
+        assert new == findings
+        assert known == []

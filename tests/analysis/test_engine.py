@@ -1,0 +1,108 @@
+"""Engine tests: noqa suppression, fingerprints, selection, file walking."""
+
+import pytest
+
+from repro.analysis import iter_python_files, lint_paths, lint_source
+
+from tests.analysis.fixtures import fixture_source
+
+HOT_PATH = "src/repro/nn/fake.py"
+
+
+class TestNoqa:
+    def test_suppression_forms(self):
+        """Blanket and rule-scoped noqa suppress; a mismatched id does not."""
+        findings = lint_source(fixture_source("noqa_suppressions.py"), HOT_PATH)
+        assert len(findings) == 1
+        assert findings[0].rule == "REP101"
+        # The surviving finding is the one guarded by the wrong rule id.
+        assert "REP999" in fixture_source("noqa_suppressions.py").splitlines()[
+            findings[0].line - 1
+        ]
+
+    def test_noqa_is_case_insensitive(self):
+        source = "import numpy as np\nx = np.zeros(3)  # REPRO: NOQA\n"
+        assert lint_source(source, HOT_PATH) == []
+
+    def test_scoped_noqa_leaves_other_rules(self):
+        """noqa[REP102] on a line with both violations keeps the REP101."""
+        source = (
+            "import numpy as np\n"
+            "x = np.zeros(3, dtype=np.float64)  # repro: noqa[REP101]\n"
+        )
+        findings = lint_source(source, HOT_PATH)
+        assert [f.rule for f in findings] == ["REP102"]
+
+
+class TestSyntaxError:
+    def test_broken_file_yields_rep000(self):
+        findings = lint_source("def broken(:\n", HOT_PATH)
+        assert len(findings) == 1
+        assert findings[0].rule == "REP000"
+        assert findings[0].severity == "error"
+        assert "syntax error" in findings[0].message
+
+
+class TestSelection:
+    def test_unknown_rule_raises(self):
+        with pytest.raises(KeyError):
+            lint_source("x = 1\n", HOT_PATH, select=["REP777"])
+
+    def test_prefix_selection(self):
+        """``REP1`` selects the whole dtype family."""
+        findings = lint_source(
+            fixture_source("dtype_violations.py"), HOT_PATH, select=["REP1"]
+        )
+        assert {f.rule for f in findings} == {"REP101", "REP102"}
+
+
+class TestFingerprints:
+    def test_stable_across_checkout_location(self):
+        """Fingerprints hash the repro/... tail, not the as-invoked path."""
+        source = fixture_source("dtype_violations.py")
+        here = lint_source(source, "src/repro/nn/fake.py")
+        elsewhere = lint_source(source, "/tmp/clone/repro/nn/fake.py")
+        assert [f.fingerprint for f in here] == [f.fingerprint for f in elsewhere]
+
+    def test_stable_under_line_churn(self):
+        """Inserting unrelated lines above does not change the fingerprint."""
+        base = "import numpy as np\nx = np.zeros(3)\n"
+        shifted = "import numpy as np\n\n\n# padding\nx = np.zeros(3)\n"
+        (a,) = lint_source(base, HOT_PATH)
+        (b,) = lint_source(shifted, HOT_PATH)
+        assert a.line != b.line
+        assert a.fingerprint == b.fingerprint
+
+    def test_identical_lines_get_distinct_fingerprints(self):
+        source = "import numpy as np\nx = np.zeros(3)\ny = np.zeros(3)\n"
+        first, second = lint_source(source, HOT_PATH)
+        assert first.line != second.line
+        assert first.fingerprint != second.fingerprint
+
+
+class TestFileWalking:
+    def test_iter_python_files_expands_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        sub = tmp_path / "sub"
+        sub.mkdir()
+        (sub / "c.py").write_text("x = 1\n")
+        files = iter_python_files([tmp_path])
+        assert [p.name for p in files] == ["a.py", "b.py", "c.py"]
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            iter_python_files([tmp_path / "missing"])
+
+    def test_lint_paths_end_to_end(self, tmp_path):
+        """A file under a repro/nn/ directory on disk trips hot-path rules."""
+        pkg = tmp_path / "repro" / "nn"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import numpy as np\nx = np.zeros(3)\n")
+        (pkg / "good.py").write_text(
+            "import numpy as np\nx = np.zeros(3, dtype=np.float32)\n"
+        )
+        findings = lint_paths([tmp_path])
+        assert [f.rule for f in findings] == ["REP101"]
+        assert findings[0].path.endswith("repro/nn/bad.py")

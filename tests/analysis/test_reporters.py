@@ -1,0 +1,67 @@
+"""Reporter tests: text grouping/footers and the JSON document shape."""
+
+import json
+
+from repro.analysis import lint_source, render_json, render_text, summarize
+
+from tests.analysis.fixtures import fixture_source
+
+HOT_PATH = "src/repro/nn/fake.py"
+
+
+def sample_findings():
+    """Mixed-severity findings from the hygiene + dtype fixtures."""
+    return lint_source(
+        fixture_source("hygiene_violations.py"), "src/repro/lookup/fake.py"
+    ) + lint_source(fixture_source("dtype_violations.py"), HOT_PATH)
+
+
+class TestSummarize:
+    def test_counts_by_severity(self):
+        counts = summarize(sample_findings())
+        # hygiene: 1 error (REP401) + 3 warnings; dtype: 7 warnings.
+        assert counts == {"total": 11, "errors": 1, "warnings": 10}
+
+    def test_empty(self):
+        assert summarize([]) == {"total": 0, "errors": 0, "warnings": 0}
+
+
+class TestTextReporter:
+    def test_groups_by_file_with_footer(self):
+        report = render_text(sample_findings())
+        assert "src/repro/lookup/fake.py" in report
+        assert "src/repro/nn/fake.py" in report
+        assert "11 new finding(s): 1 error(s), 10 warning(s)" in report
+
+    def test_clean_run(self):
+        assert render_text([]) == "no new findings"
+
+    def test_baselined_counts_in_footer_only(self):
+        findings = sample_findings()
+        new, baselined = findings[:1], findings[1:]
+        report = render_text(new, baselined)
+        assert f"{len(baselined)} baselined finding(s) suppressed" in report
+        assert render_text([], baselined) == (
+            f"no new findings ({len(baselined)} baselined)"
+        )
+
+
+class TestJsonReporter:
+    def test_document_shape(self):
+        findings = sample_findings()
+        document = json.loads(render_json(findings))
+        assert document["version"] == 1
+        assert document["summary"]["total"] == len(findings)
+        assert document["summary"]["baselined"] == 0
+        assert len(document["findings"]) == len(findings)
+        record = document["findings"][0]
+        assert set(record) == {
+            "rule", "path", "line", "col", "severity", "message", "fingerprint",
+        }
+        assert record["fingerprint"]
+
+    def test_baselined_count_in_summary(self):
+        findings = sample_findings()
+        document = json.loads(render_json(findings[:2], findings[2:]))
+        assert document["summary"]["baselined"] == len(findings) - 2
+        assert len(document["findings"]) == 2

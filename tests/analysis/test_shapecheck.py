@@ -1,0 +1,98 @@
+"""Shape/dtype abstract-interpretation tests for the dual-tower stack."""
+
+import pytest
+
+from repro.analysis import DualTowerSpec, ShapeError, check_dual_tower
+from repro.core.config import EmbLookupConfig
+
+
+def default_spec(**overrides):
+    """The paper's 64-d configuration (alphabet of 40 symbols)."""
+    return DualTowerSpec.from_config(EmbLookupConfig(), **overrides)
+
+
+class TestAcceptance:
+    def test_default_config_accepted(self):
+        """The paper's 64-d default propagates cleanly to (N, 64) float32."""
+        report = check_dual_tower(default_spec())
+        assert report.output.shape == (None, 64)
+        assert report.output.dtype == "float32"
+
+    def test_trace_matches_charcnn_construction(self):
+        """Pooling halves the length after layers 2 and 4: 32 -> 16 -> 8."""
+        report = check_dual_tower(default_spec())
+        stages = dict(report.stages)
+        assert stages["one-hot"].shape == (None, 40, 32)
+        assert stages["maxpool1 (k=2, s=2)"].shape == (None, 8, 16)
+        assert stages["maxpool3 (k=2, s=2)"].shape == (None, 8, 8)
+        assert stages["flatten"].shape == (None, 64)
+        assert stages["concat"].shape == (None, 128)
+
+    def test_pq_note_reports_compression(self):
+        report = check_dual_tower(default_spec())
+        assert any("256 B" in note and "8 B" in note for note in report.notes)
+
+    def test_report_format_and_dict(self):
+        report = check_dual_tower(default_spec())
+        text = report.format()
+        assert "OK: dual tower is shape/dtype consistent -> (N, 64) float32" in text
+        payload = report.to_dict()
+        assert payload["output"] == {"shape": [None, 64], "dtype": "float32"}
+        assert len(payload["stages"]) == len(report.stages)
+
+    def test_no_pq_when_compression_none(self):
+        config = EmbLookupConfig(compression="none")
+        report = check_dual_tower(DualTowerSpec.from_config(config))
+        assert report.notes == ()
+
+
+class TestRejection:
+    def test_mis_sized_mlp_rejected(self):
+        """A fusion layer pinned to the wrong width fails at fuse1."""
+        with pytest.raises(ShapeError) as exc:
+            check_dual_tower(default_spec(mlp_in=100))
+        assert exc.value.stage == "fuse1"
+        assert "128" in str(exc.value)
+
+    def test_tower_dtype_mismatch_rejected(self):
+        """A float64 semantic tower cannot concat with the float32 CNN."""
+        with pytest.raises(ShapeError) as exc:
+            check_dual_tower(default_spec(fasttext_dtype="float64"))
+        assert exc.value.stage == "concat"
+
+    def test_pq_indivisible_dim_rejected(self):
+        with pytest.raises(ShapeError) as exc:
+            check_dual_tower(default_spec(out_dim=60))
+        assert exc.value.stage == "pq"
+
+    def test_kernel_larger_than_input_rejected(self):
+        """Enough pooling layers shrink the sequence below the kernel."""
+        with pytest.raises(ShapeError):
+            check_dual_tower(
+                default_spec(max_length=2, cnn_layers=8, cnn_padding=0)
+            )
+
+    def test_invalid_scalars_rejected(self):
+        with pytest.raises(ShapeError):
+            check_dual_tower(default_spec(alphabet_size=0))
+        with pytest.raises(ShapeError):
+            check_dual_tower(default_spec(max_length=0))
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ShapeError):
+            check_dual_tower(default_spec(dtype="float16"))
+
+
+class TestSpecConstruction:
+    def test_from_config_inherits_dims(self):
+        config = EmbLookupConfig(embedding_dim=128, max_length=16)
+        spec = DualTowerSpec.from_config(config)
+        assert spec.out_dim == 128
+        assert spec.fasttext_dim == 128
+        assert spec.max_length == 16
+        assert spec.pq_m == config.pq_m
+
+    def test_overrides_win(self):
+        spec = default_spec(cnn_channels=16, pq_m=None)
+        assert spec.cnn_channels == 16
+        assert spec.pq_m is None

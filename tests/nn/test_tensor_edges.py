@@ -92,10 +92,16 @@ class TestSharedSubgraphs:
 
 
 class TestDtypeCoercion:
-    def test_int_input_promoted_to_float(self):
+    def test_int_input_promoted_to_float32(self):
+        """Python scalars/lists coerce to the float32 library default."""
         t = Tensor([1, 2, 3])
-        assert t.data.dtype == np.float64
+        assert t.data.dtype == np.float32
 
     def test_float32_preserved(self):
         t = Tensor(np.zeros(3, dtype=np.float32))
         assert t.data.dtype == np.float32
+
+    def test_float64_opt_in_preserved(self):
+        """Explicit float64 arrays are kept (gradcheck's opt-in path)."""
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.data.dtype == np.float64

@@ -67,3 +67,82 @@ class TestLifecycle:
         monkeypatch.setattr("sys.stdin.isatty", lambda: True)
         rc = main(["lookup", "--kg", str(kg_path), "--model", str(model_dir)])
         assert rc == 1
+
+
+class TestLintCommand:
+    def write_hot_module(self, tmp_path, source):
+        pkg = tmp_path / "repro" / "nn"
+        pkg.mkdir(parents=True)
+        target = pkg / "module.py"
+        target.write_text(source)
+        return target
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        self.write_hot_module(
+            tmp_path, "import numpy as np\nx = np.zeros(3, dtype=np.float32)\n"
+        )
+        rc = main(["lint", str(tmp_path), "--no-baseline"])
+        assert rc == 0
+        assert "no new findings" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, tmp_path, capsys):
+        self.write_hot_module(tmp_path, "import numpy as np\nx = np.zeros(3)\n")
+        rc = main(["lint", str(tmp_path), "--no-baseline"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REP101" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        self.write_hot_module(tmp_path, "import numpy as np\nx = np.zeros(3)\n")
+        rc = main(["lint", str(tmp_path), "--no-baseline", "--format", "json"])
+        assert rc == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["total"] == 1
+        assert document["findings"][0]["rule"] == "REP101"
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        """write-baseline freezes findings; the next run exits clean."""
+        self.write_hot_module(tmp_path, "import numpy as np\nx = np.zeros(3)\n")
+        baseline = tmp_path / "baseline.json"
+        rc = main([
+            "lint", str(tmp_path), "--baseline", str(baseline), "--write-baseline",
+        ])
+        assert rc == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        rc = main(["lint", str(tmp_path), "--baseline", str(baseline)])
+        assert rc == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        self.write_hot_module(tmp_path, "x = 1\n")
+        rc = main(["lint", str(tmp_path), "--no-baseline", "--select", "REP777"])
+        assert rc == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        rc = main(["lint", str(tmp_path / "nope"), "--no-baseline"])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+class TestShapecheckCommand:
+    def test_default_config_accepted(self, capsys):
+        rc = main(["shapecheck"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "OK: dual tower is shape/dtype consistent -> (N, 64) float32" in out
+        assert "compresses to 8 B codes" in out
+
+    def test_mis_sized_mlp_rejected(self, capsys):
+        rc = main(["shapecheck", "--mlp-in", "100"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "fuse1" in err and "128" in err
+
+    def test_pq_indivisible_dim_rejected(self, capsys):
+        rc = main(["shapecheck", "--dim", "60"])
+        assert rc == 1
+        assert "divisible" in capsys.readouterr().err
