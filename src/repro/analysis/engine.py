@@ -5,6 +5,15 @@ The engine parses each Python file once, hands the AST to every rule whose
 noqa[RULE]`` line suppressions, and stamps each surviving finding with a
 content-based fingerprint (see :mod:`repro.analysis.findings`) so the
 baseline mechanism is robust to line-number churn.
+
+Two rule shapes run side by side: per-file :class:`~repro.analysis.rules.
+LintRule` instances see one parsed file at a time, while project-scoped
+:class:`~repro.analysis.rules.ProjectRule` instances (e.g. the
+interprocedural REP602 gradient-flow check) see a
+:class:`~repro.analysis.graph.ProjectContext` spanning the whole run.
+``lint_source`` builds a single-file project context so fixtures exercise
+project rules too; ``lint_paths`` builds one context over every file in
+the run.  Both shapes share the noqa/fingerprint pipeline.
 """
 
 from __future__ import annotations
@@ -16,7 +25,15 @@ from collections.abc import Iterable, Sequence
 from pathlib import Path
 
 from repro.analysis.findings import Finding, Severity, compute_fingerprint
-from repro.analysis.rules import RULES, LintContext, LintRule, module_tail
+from repro.analysis.graph import ProjectContext
+from repro.analysis.rules import (
+    PROJECT_RULES,
+    RULES,
+    LintContext,
+    LintRule,
+    ProjectRule,
+    module_tail,
+)
 
 __all__ = ["iter_python_files", "lint_paths", "lint_source"]
 
@@ -50,28 +67,33 @@ def _is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
     return not suppressed or finding.rule in suppressed
 
 
-def _select_rules(select: Iterable[str] | None) -> list[LintRule]:
+def _select_rules(
+    select: Iterable[str] | None,
+) -> tuple[list[LintRule], list[ProjectRule]]:
+    """Resolve ``--select`` tokens against both rule registries.
+
+    A token may name or prefix a per-file rule, a project rule, or both
+    (``REP`` matches everything); it is an error only when it matches
+    neither registry.
+    """
     if select is None:
-        return list(RULES.values())
-    chosen: list[LintRule] = []
+        return list(RULES.values()), list(PROJECT_RULES.values())
+    chosen: set[str] = set()
     for rule_id in select:
         wanted = rule_id.strip().upper()
         matched = [
-            rule
-            for known, rule in RULES.items()
+            known
+            for known in (*RULES, *PROJECT_RULES)
             if known == wanted or known.startswith(wanted)
         ]
         if not matched:
             raise KeyError(f"unknown rule id or prefix: {rule_id!r}")
-        chosen.extend(matched)
-    # Deduplicate while preserving registry order.
-    seen: set[str] = set()
-    ordered: list[LintRule] = []
-    for rule in RULES.values():
-        if rule in chosen and rule.rule_id not in seen:
-            seen.add(rule.rule_id)
-            ordered.append(rule)
-    return ordered
+        chosen.update(matched)
+    file_rules = [rule for known, rule in RULES.items() if known in chosen]
+    project_rules = [
+        rule for known, rule in PROJECT_RULES.items() if known in chosen
+    ]
+    return file_rules, project_rules
 
 
 def _fingerprint_all(findings: list[Finding], lines_by_path: dict[str, Sequence[str]]) -> list[Finding]:
@@ -97,6 +119,55 @@ def _fingerprint_all(findings: list[Finding], lines_by_path: dict[str, Sequence[
     return stamped
 
 
+def _run_file_rules(
+    source: str,
+    posix: str,
+    lines: tuple[str, ...],
+    rules: Iterable[LintRule],
+) -> list[Finding] | None:
+    """Raw (unfiltered) per-file findings, or ``None`` on a syntax error."""
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError:
+        return None
+    ctx = LintContext(path=posix, tree=tree, source=source, lines=lines)
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(posix):
+            continue
+        findings.extend(rule.check(ctx))
+    return findings
+
+
+def _syntax_error_finding(source: str, posix: str) -> Finding:
+    try:
+        ast.parse(source, filename=posix)
+    except SyntaxError as exc:
+        return Finding(
+            rule="REP000",
+            path=posix,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            severity=Severity.ERROR,
+            message=f"syntax error: {exc.msg}",
+        )
+    raise AssertionError(f"{posix} parsed cleanly on reparse")
+
+
+def _run_project_rules(
+    rules: Iterable[ProjectRule], sources: list[tuple[str, str]]
+) -> list[Finding]:
+    """Run project-scoped rules over one shared :class:`ProjectContext`."""
+    rules = list(rules)
+    if not rules:
+        return []
+    project = ProjectContext(sources)
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+    return findings
+
+
 def lint_source(
     source: str,
     path: str,
@@ -105,41 +176,46 @@ def lint_source(
     """Lint one in-memory source string as if it lived at ``path``.
 
     Findings are noqa-filtered, sorted by location, and fingerprinted.
+    Project-scoped rules run against a single-file project context.
     A syntax error yields a single ``REP000`` error finding rather than
     raising, so one broken file cannot hide findings in the rest of a run.
     """
     posix = path.replace("\\", "/")
     lines: tuple[str, ...] = tuple(source.splitlines())
-    try:
-        tree = ast.parse(source, filename=posix)
-    except SyntaxError as exc:
-        finding = Finding(
-            rule="REP000",
-            path=posix,
-            line=exc.lineno or 1,
-            col=(exc.offset or 1) - 1,
-            severity=Severity.ERROR,
-            message=f"syntax error: {exc.msg}",
+    file_rules, project_rules = _select_rules(select)
+    findings = _run_file_rules(source, posix, lines, file_rules)
+    if findings is None:
+        return _fingerprint_all(
+            [_syntax_error_finding(source, posix)], {posix: lines}
         )
-        return _fingerprint_all([finding], {posix: lines})
-    ctx = LintContext(path=posix, tree=tree, source=source, lines=lines)
-    findings: list[Finding] = []
-    for rule in _select_rules(select):
-        if not rule.applies_to(posix):
-            continue
-        findings.extend(rule.check(ctx))
+    findings.extend(_run_project_rules(project_rules, [(posix, source)]))
     findings = [f for f in findings if not _is_suppressed(f, lines)]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return _fingerprint_all(findings, {posix: lines})
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted, deterministic ``.py`` list.
+
+    Directory walks skip ``__pycache__`` and hidden directories/files
+    (leading dot) at any depth below the argument; explicitly named files
+    are always included.  The result is de-duplicated and sorted so runs
+    are stable regardless of argument order or filesystem enumeration.
+    """
     out: set[Path] = set()
     for raw in paths:
         path = Path(raw)
         if path.is_dir():
-            out.update(p for p in path.rglob("*.py") if p.is_file())
+            for candidate in path.rglob("*.py"):
+                if not candidate.is_file():
+                    continue
+                relative_parts = candidate.relative_to(path).parts
+                if any(
+                    part == "__pycache__" or part.startswith(".")
+                    for part in relative_parts
+                ):
+                    continue
+                out.add(candidate)
         elif path.suffix == ".py" and path.is_file():
             out.add(path)
         elif not path.exists():
@@ -159,10 +235,32 @@ def lint_paths(
     paths: Iterable[str | Path],
     select: Iterable[str] | None = None,
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``; returns sorted findings."""
+    """Lint every Python file under ``paths``; returns sorted findings.
+
+    Per-file rules run file by file; project-scoped rules run once over a
+    :class:`ProjectContext` spanning every file in the run, so
+    interprocedural findings (REP602) see cross-module call edges.
+    """
+    file_rules, project_rules = _select_rules(select)
     findings: list[Finding] = []
+    sources: list[tuple[str, str]] = []
+    lines_by_path: dict[str, Sequence[str]] = {}
     for file_path in iter_python_files(paths):
         source = file_path.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, _display_path(file_path), select))
+        display = _display_path(file_path)
+        lines = tuple(source.splitlines())
+        sources.append((display, source))
+        lines_by_path[display] = lines
+        per_file = _run_file_rules(source, display, lines, file_rules)
+        if per_file is None:
+            per_file = [_syntax_error_finding(source, display)]
+        findings.extend(
+            f for f in per_file if not _is_suppressed(f, lines)
+        )
+    findings.extend(
+        f
+        for f in _run_project_rules(project_rules, sources)
+        if not _is_suppressed(f, lines_by_path.get(f.path, ()))
+    )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+    return _fingerprint_all(findings, lines_by_path)

@@ -1,0 +1,250 @@
+"""REP6xx gradient-flow rules: parameters the optimizer never sees.
+
+The autograd engine registers parameters by attribute assignment
+(``Module.__setattr__`` intercepts ``requires_grad`` tensors) and records
+backward closures against ``Tensor`` objects — two invariants that fail
+*silently*: a tensor stashed in a list trains at zero gradient forever,
+and an op routed through ``.data`` simply drops out of the tape.
+
+- ``REP601`` (per-file, error) — a ``Tensor(..., requires_grad=True)``
+  constructed in a ``Module`` subclass ``__init__`` that never reaches a
+  plain ``self.<attr>`` assignment, so ``parameters()`` cannot find it.
+  Assignment through a local that is later bound to ``self.<attr>`` is
+  recognised; appends/subscript stores into containers are not (the
+  engine's registration hook never fires for those).
+- ``REP602`` (project-scoped, error) — a read of ``Tensor.data`` inside
+  a function reachable from any ``forward*`` method of a ``Module``
+  subclass, resolved **interprocedurally** over the project call graph
+  (``self.helper(...)`` through the class hierarchy, module-level
+  helpers, and cross-module ``mod.func(...)`` calls).  Arithmetic on
+  ``.data`` detaches the tape: the forward value is right, the gradient
+  is silently zero.  Engine-internal modules (tensor/functional/layers/
+  optim/serialization/gradcheck) legitimately touch payloads and are
+  allowlisted.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.graph import ProjectContext
+from repro.analysis.rules import (
+    MUTATION_ALLOWLIST,
+    LintContext,
+    LintRule,
+    ProjectRule,
+    _in_modules,
+    register,
+    register_project,
+)
+
+__all__ = ["DetachedForwardDataRule", "UnreachableParameterRule"]
+
+
+def _is_tensor_call(node: ast.AST) -> bool:
+    """``Tensor(...)`` with a truthy ``requires_grad=`` keyword."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name != "Tensor":
+        return False
+    for kw in node.keywords:
+        if kw.arg == "requires_grad":
+            return bool(
+                isinstance(kw.value, ast.Constant) and kw.value.value is True
+            )
+    return False
+
+
+def _module_subclasses_in_file(tree: ast.Module) -> list[ast.ClassDef]:
+    """Classes inheriting (transitively, within the file) from ``Module``."""
+    classes = {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ClassDef)
+    }
+
+    def base_names(cls: ast.ClassDef) -> list[str]:
+        names = []
+        for base in cls.bases:
+            if isinstance(base, ast.Name):
+                names.append(base.id)
+            elif isinstance(base, ast.Attribute):
+                names.append(base.attr)
+        return names
+
+    module_like: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, cls in classes.items():
+            if name in module_like:
+                continue
+            for base in base_names(cls):
+                if base == "Module" or base in module_like:
+                    module_like.add(name)
+                    changed = True
+                    break
+    return [classes[name] for name in module_like]
+
+
+@register
+class UnreachableParameterRule(LintRule):
+    """REP601: a trainable Tensor the Module's ``parameters()`` can't reach."""
+
+    rule_id = "REP601"
+    name = "unreachable-parameter"
+    severity = Severity.ERROR
+    description = (
+        "Tensor(..., requires_grad=True) in a Module never assigned to a "
+        "plain self attribute"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag requires-grad tensors whose value never reaches ``self.<attr>``."""
+        for cls in _module_subclasses_in_file(ctx.tree):
+            init = next(
+                (
+                    stmt
+                    for stmt in cls.body
+                    if isinstance(stmt, ast.FunctionDef)
+                    and stmt.name == "__init__"
+                ),
+                None,
+            )
+            if init is None:
+                continue
+            yield from self._check_init(ctx, cls, init)
+
+    def _check_init(
+        self, ctx: LintContext, cls: ast.ClassDef, init: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        statements = list(ast.walk(init))
+        # Locals that are, at some point, rebound to a plain self attribute.
+        forwarded_locals: set[str] = set()
+        for node in statements:
+            if isinstance(node, ast.Assign) and _has_self_target(node.targets):
+                for name_node in ast.walk(node.value):
+                    if isinstance(name_node, ast.Name) and isinstance(
+                        name_node.ctx, ast.Load
+                    ):
+                        forwarded_locals.add(name_node.id)
+        for node in statements:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for call in ast.walk(value):
+                if not _is_tensor_call(call):
+                    continue
+                if _has_self_target(targets):
+                    continue  # registered via Module.__setattr__
+                local_names = [
+                    t.id for t in targets if isinstance(t, ast.Name)
+                ]
+                if local_names and all(
+                    name in forwarded_locals for name in local_names
+                ):
+                    continue  # flows into a self attribute later
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"trainable Tensor in {cls.name}.__init__ never reaches "
+                    "a plain self.<attr> assignment, so parameters() (and "
+                    "the optimizer) will never see it",
+                )
+        # Tensor calls outside assignments entirely (e.g. list.append(...)).
+        assigned_calls = {
+            id(call)
+            for node in statements
+            if isinstance(node, (ast.Assign, ast.AnnAssign))
+            and node.value is not None
+            for call in ast.walk(node.value)
+        }
+        for node in statements:
+            if _is_tensor_call(node) and id(node) not in assigned_calls:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"trainable Tensor in {cls.name}.__init__ is passed into "
+                    "a container or call instead of a plain self.<attr> "
+                    "assignment; parameters() will never see it",
+                )
+
+
+def _has_self_target(targets: list[ast.expr]) -> bool:
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return True
+    return False
+
+
+@register_project
+class DetachedForwardDataRule(ProjectRule):
+    """REP602: ``.data`` read on the forward path detaches the tape."""
+
+    rule_id = "REP602"
+    name = "detached-forward-data"
+    severity = Severity.ERROR
+    description = (
+        ".data read in a function reachable from Module.forward "
+        "(detaches the autograd tape)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        """Everywhere except the engine internals that own the payloads."""
+        return not _in_modules(path, MUTATION_ALLOWLIST)
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        """Walk functions reachable from forward* seeds; flag ``.data`` loads."""
+        call_graph = project.call_graph
+        seeds = {
+            key
+            for key, info in call_graph.functions.items()
+            if info.qualname.split(".")[-1].startswith("forward")
+            and info.owner_class is not None
+            and call_graph.is_module_subclass(info.module, info.owner_class)
+        }
+        for key in sorted(call_graph.reachable_from(seeds)):
+            info = call_graph.functions[key]
+            module = project.modules[info.module]
+            if not self.applies_to(module.path):
+                continue
+            for node in ast.walk(info.node):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == "data"
+                    and isinstance(node.ctx, ast.Load)
+                ):
+                    where = (
+                        f"{info.qualname}()"
+                        if key in seeds
+                        else f"{info.qualname}() (reachable from forward)"
+                    )
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=module.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        severity=self.severity,
+                        message=(
+                            f".data read in {where} bypasses the tape: the "
+                            "result carries no gradient back to the "
+                            "parameters"
+                        ),
+                    )

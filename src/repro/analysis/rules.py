@@ -31,8 +31,11 @@ from repro.analysis.findings import Finding, Severity
 __all__ = [
     "LintContext",
     "LintRule",
+    "PROJECT_RULES",
+    "ProjectRule",
     "RULES",
     "register",
+    "register_project",
 ]
 
 #: Packages where dtype discipline is enforced (embedding hot paths).
@@ -149,16 +152,45 @@ class LintRule:
         raise NotImplementedError
 
 
-#: Registry of all known rules, keyed by rule id.
+class ProjectRule(LintRule):
+    """A rule that needs the whole project (import/call graph) at once.
+
+    Instead of :meth:`LintRule.check`, subclasses implement
+    :meth:`check_project` against a
+    :class:`~repro.analysis.graph.ProjectContext`; ``applies_to`` still
+    scopes which files' findings are kept.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:  # pragma: no cover
+        raise TypeError(f"{self.rule_id} is a project rule; use check_project")
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings across the whole project (subclass hook)."""
+        raise NotImplementedError
+
+
+#: Registry of all known per-file rules, keyed by rule id.
 RULES: dict[str, LintRule] = {}
+
+#: Registry of project-scoped rules, keyed by rule id.
+PROJECT_RULES: dict[str, ProjectRule] = {}
 
 
 def register(rule_cls: type[LintRule]) -> type[LintRule]:
     """Class decorator adding an instance of ``rule_cls`` to :data:`RULES`."""
     instance = rule_cls()
-    if instance.rule_id in RULES:
+    if instance.rule_id in RULES or instance.rule_id in PROJECT_RULES:
         raise ValueError(f"duplicate rule id {instance.rule_id}")
     RULES[instance.rule_id] = instance
+    return rule_cls
+
+
+def register_project(rule_cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding an instance to :data:`PROJECT_RULES`."""
+    instance = rule_cls()
+    if instance.rule_id in RULES or instance.rule_id in PROJECT_RULES:
+        raise ValueError(f"duplicate rule id {instance.rule_id}")
+    PROJECT_RULES[instance.rule_id] = instance
     return rule_cls
 
 

@@ -7,6 +7,7 @@ Subcommands cover the full lifecycle a downstream user needs:
 - ``lookup``        — query a saved model interactively or one-shot.
 - ``evaluate``      — score the model's lookup success on noisy queries.
 - ``lint``          — run the repo's static-analysis rules over source trees.
+- ``archcheck``     — enforce the declared architecture contract on imports.
 - ``shapecheck``    — statically verify a dual-tower config's shapes/dtypes.
 
 Example::
@@ -16,6 +17,8 @@ Example::
     python -m repro lookup --kg kg.json --model model/ germany germoney
     python -m repro evaluate --kg kg.json --model model/ --noise 0.5
     python -m repro lint src/repro --baseline tools/lint_baseline.json
+    python -m repro lint src/repro --profile perf
+    python -m repro archcheck src/repro --contract tools/arch_contract.toml
     python -m repro shapecheck --dim 64 --max-length 32
 """
 
@@ -24,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from repro import analysis
 from repro.core import EmbLookup, EmbLookupConfig
@@ -113,9 +117,22 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--profile`` shortcuts onto rule-id prefixes (``all`` = no filter).
+_LINT_PROFILES: dict[str, list[str] | None] = {
+    "all": None,
+    "perf": ["REP5"],
+    "grad": ["REP6"],
+}
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Lint source trees; exit non-zero when new (non-baselined) findings exist."""
+    if args.profile and args.select:
+        print("--profile and --select are mutually exclusive", file=sys.stderr)
+        return 2
     select = args.select.split(",") if args.select else None
+    if args.profile:
+        select = _LINT_PROFILES[args.profile]
     try:
         findings = analysis.lint_paths(args.paths, select=select)
     except (FileNotFoundError, KeyError) as exc:
@@ -137,6 +154,55 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(analysis.render_text(new, known))
     return 1 if new else 0
+
+
+def _archcheck_display_path(path) -> str:
+    """Posix path relative to the current directory when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd().resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _cmd_archcheck(args: argparse.Namespace) -> int:
+    """Check the import graph against the declared architecture contract.
+
+    Exit codes: 0 = contract holds; 1 = at least one violation (ARC001
+    layer violation, ARC002 runtime import cycle, ARC003 undeclared
+    layer); 2 = usage error (missing paths, missing/malformed contract).
+    """
+    try:
+        contract = analysis.load_contract(args.contract)
+    except FileNotFoundError:
+        print(f"contract file not found: {args.contract}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    try:
+        files = analysis.iter_python_files(args.paths)
+    except FileNotFoundError as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    sources = [
+        (_archcheck_display_path(f), f.read_text(encoding="utf-8"))
+        for f in files
+    ]
+    graph = analysis.build_import_graph(sources)
+    findings = analysis.check_contract(graph, contract)
+    if args.format == "json":
+        print(analysis.render_json(findings, []))
+    elif findings:
+        print(analysis.render_text(findings, []))
+    else:
+        runtime_edges = sum(
+            1 for e in graph.edges if e.kind == "import" and e.runtime
+        )
+        print(
+            f"architecture contract OK ({len(graph.modules)} modules, "
+            f"{runtime_edges} runtime import edges)"
+        )
+    return 1 if findings else 0
 
 
 def _cmd_shapecheck(args: argparse.Namespace) -> int:
@@ -234,7 +300,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--select", default=None, help="comma-separated rule ids/prefixes"
     )
+    p.add_argument(
+        "--profile",
+        choices=sorted(_LINT_PROFILES),
+        default=None,
+        help="rule-family shortcut: perf=REP5xx, grad=REP6xx, all=every rule",
+    )
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "archcheck",
+        help="check project imports against the architecture contract",
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"])
+    p.add_argument(
+        "--contract",
+        default="tools/arch_contract.toml",
+        help="TOML contract declaring per-layer allowed dependencies",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=_cmd_archcheck)
 
     p = sub.add_parser(
         "shapecheck", help="statically verify dual-tower shapes and dtypes"

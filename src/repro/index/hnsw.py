@@ -78,15 +78,20 @@ class HNSWIndex(VectorIndex):
 
     def add(self, vectors: np.ndarray) -> None:
         vectors = self._check_vectors(vectors, "vectors")
-        for vector in vectors:
-            self._insert(vector)
+        if len(vectors) == 0:
+            return
+        start = len(self._vectors)
+        # Grow the store once per batch; a per-row np.concatenate copies
+        # the whole store every insertion (quadratic in ntotal).
+        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+        for node in range(start, len(self._vectors)):
+            self._insert(node)
 
     def _sample_level(self) -> int:
         return int(-np.log(max(self.rng.random(), 1e-12)) * self._level_scale)
 
-    def _insert(self, vector: np.ndarray) -> None:
-        node = len(self._vectors)
-        self._vectors = np.concatenate([self._vectors, vector[None, :]], axis=0)
+    def _insert(self, node: int) -> None:
+        vector = self._vectors[node]
         level = self._sample_level()
         self._neighbours.append([[] for _ in range(level + 1)])
 

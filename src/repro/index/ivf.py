@@ -91,8 +91,8 @@ class IVFFlatIndex(VectorIndex):
         probe_cells = np.argsort(cell_d, axis=1)[:, :nprobe]
         for qi in range(len(queries)):
             candidates: list[int] = []
-            for cell in probe_cells[qi]:
-                candidates.extend(self._lists[int(cell)])
+            for cell in probe_cells[qi].tolist():
+                candidates.extend(self._lists[cell])
             if not candidates:
                 continue
             cand_ids = np.asarray(candidates, dtype=np.int64)

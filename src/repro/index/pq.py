@@ -116,12 +116,15 @@ class ProductQuantizer:
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim != 2 or queries.shape[1] != self.dim:
             raise ValueError(f"expected (n, {self.dim}) queries")
-        tables = np.empty((len(queries), self.m, self.ksub), dtype=np.float64)
+        # ADC tables use the ||q||^2 + ||c||^2 - 2q.c expansion, which
+        # cancels catastrophically in float32; accumulate in float64
+        # (tables are per-query scratch, never stored).
+        tables = np.empty((len(queries), self.m, self.ksub), dtype=np.float64)  # repro: noqa[REP102]
         for j in range(self.m):
             sub_q = queries[:, j * self.dsub : (j + 1) * self.dsub].astype(
-                np.float64
+                np.float64  # repro: noqa[REP102] -- cancellation-safe accumulation
             )
-            cb = self.codebooks[j].astype(np.float64)
+            cb = self.codebooks[j].astype(np.float64)  # repro: noqa[REP102] -- cancellation-safe accumulation
             cross = sub_q @ cb.T
             q_norm = (sub_q * sub_q).sum(axis=1)[:, None]
             c_norm = (cb * cb).sum(axis=1)[None, :]
@@ -137,7 +140,8 @@ class ProductQuantizer:
     def lookup_distances(tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Sum per-sub-space table entries for each code row."""
         nq, m, _ = tables.shape
-        out = np.zeros((nq, len(codes)), dtype=np.float64)
+        # Sums m float64 table entries per code; keep their precision.
+        out = np.zeros((nq, len(codes)), dtype=np.float64)  # repro: noqa[REP102]
         for j in range(m):
             out += tables[:, j, codes[:, j]]
         return out
@@ -195,7 +199,8 @@ class PQIndex(VectorIndex):
         self._check_k(k)
         n = self.ntotal
         ids = np.full((len(queries), k), -1, dtype=np.int64)
-        distances = np.full((len(queries), k), np.inf, dtype=np.float64)
+        # Distance accumulator in the SearchResult contract, not storage.
+        distances = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
         if n == 0:
             return SearchResult(ids=ids, distances=distances)
         d = self.pq.adc_distances(queries, self._codes)
@@ -223,8 +228,10 @@ class PQIndex(VectorIndex):
 
 def _nearest_codes(sub_vectors: np.ndarray, codebook: np.ndarray) -> np.ndarray:
     """Nearest centroid id in ``codebook`` for each sub-vector row."""
-    a = sub_vectors.astype(np.float64)
-    b = codebook.astype(np.float64)
+    # Same cancellation-prone expansion as distance_tables: float64 keeps
+    # argmin ties deterministic across platforms.
+    a = sub_vectors.astype(np.float64)  # repro: noqa[REP102]
+    b = codebook.astype(np.float64)  # repro: noqa[REP102]
     d = (
         (a * a).sum(axis=1)[:, None]
         + (b * b).sum(axis=1)[None, :]

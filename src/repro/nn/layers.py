@@ -29,6 +29,9 @@ __all__ = [
     "Tanh",
 ]
 
+#: Shared read-only placeholder for empty bags (never written through).
+_EMPTY_BAG = np.empty(0, dtype=np.int64)
+
 
 class Module:
     """Base class: tracks parameters and sub-modules by attribute name."""
@@ -298,7 +301,7 @@ class EmbeddingBag(Module):
         flat_rows: list[np.ndarray] = []
         for b, bag in enumerate(bags):
             if len(bag) == 0:
-                flat_rows.append(np.empty(0, dtype=np.int64))
+                flat_rows.append(_EMPTY_BAG)
                 continue
             rows = np.asarray(bag, dtype=np.int64)
             if rows.max(initial=-1) >= self.num_embeddings or rows.min(initial=0) < 0:

@@ -1,0 +1,36 @@
+"""Idiomatic counterparts to grad_violations.py; REP6xx must stay quiet."""
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class RegisteredTower(Module):
+    """Every trainable tensor reaches a plain self attribute."""
+
+    def __init__(self, dim: int, bias: bool = True):
+        super().__init__()
+        self.weight = Tensor(
+            np.ones((dim,), dtype=np.float32), requires_grad=True
+        )
+        self.bias = (
+            Tensor(np.zeros((dim,), dtype=np.float32), requires_grad=True)
+            if bias
+            else None
+        )
+        scale = Tensor(
+            np.full((dim,), 0.5, dtype=np.float32), requires_grad=True
+        )
+        self.scale = scale
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x * self.scale
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def embed(self, x: Tensor) -> np.ndarray:
+        # Boundary read *after* forward: deliberately outside the tape,
+        # and not reachable from forward, so REP602 stays quiet.
+        return self.forward(x).data.astype(np.float32)

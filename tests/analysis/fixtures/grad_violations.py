@@ -1,0 +1,28 @@
+"""Deliberate REP6xx gradient-flow violations (virtual hot path)."""
+
+import numpy as np
+
+from repro.nn.layers import Module
+from repro.nn.tensor import Tensor
+
+
+class LeakyTower(Module):
+    """Trainable tensors the optimizer will never see + a detached forward."""
+
+    def __init__(self, dim: int):
+        super().__init__()
+        self.extras = []
+        self.extras.append(
+            Tensor(np.zeros((dim,), dtype=np.float32), requires_grad=True)  # REP601
+        )
+        bias = Tensor(np.ones((dim,), dtype=np.float32), requires_grad=True)  # REP601
+        self._warm_up(bias)
+
+    def _warm_up(self, tensor: Tensor) -> None:
+        del tensor
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._shift(x)
+
+    def _shift(self, x: Tensor) -> Tensor:
+        return x + float(x.data.mean())  # REP602: detaches the tape

@@ -1,0 +1,33 @@
+"""Idiomatic counterparts to perf_violations.py; REP5xx must stay quiet."""
+
+import numpy as np
+
+
+def preallocated(n: int) -> np.ndarray:
+    out = np.empty((n, 4), dtype=np.float32)
+    for i in range(n):
+        out[i] = 1.0
+    return out
+
+
+def vectorised_sum(matrix: np.ndarray) -> float:
+    return float(matrix.sum())
+
+
+def hoisted_tolist(table: np.ndarray) -> float:
+    values = table.tolist()
+    total = 0.0
+    for _ in range(2):
+        for value in values:
+            total += value
+    return total
+
+
+def comprehension_alloc(n: int) -> list:
+    # Comprehensions are amortised one-shot allocations, not loop bodies.
+    return [np.zeros((4,), dtype=np.float32) for _ in range(n)]
+
+
+def stays_float32(vectors: np.ndarray) -> np.ndarray:
+    v32 = vectors.astype(np.float32)
+    return v32 * np.float32(2.0)

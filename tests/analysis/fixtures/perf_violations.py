@@ -1,0 +1,44 @@
+"""Deliberate REP5xx perf violations (linted under a virtual hot path)."""
+
+import numpy as np
+
+
+def grows_array_in_loop(n: int) -> np.ndarray:
+    out = np.zeros((0, 4), dtype=np.float32)
+    for _ in range(n):
+        row = np.ones((1, 4), dtype=np.float32)  # REP501: alloc per iteration
+        out = np.concatenate([out, row], axis=0)  # REP501: O(n^2) growth
+    return out
+
+
+def iterates_ndarray(matrix: np.ndarray) -> float:
+    total = 0.0
+    for row in matrix:  # REP502: Python-level iteration over an ndarray
+        total += float(row.sum())
+    return total
+
+
+def itemwise_inner_loop(table: np.ndarray) -> float:
+    total = 0.0
+    for _ in range(2):
+        for j in range(3):
+            total += float(table[j])  # REP503: loop-var indexing at depth 2
+    return total
+
+
+def tolist_in_inner_loop(table: np.ndarray) -> list:
+    out = []
+    for _ in range(2):
+        for _ in range(3):
+            out.append(table.tolist())  # REP503: per-iteration conversion
+    return out
+
+
+def upcasts_float32(vectors: np.ndarray) -> np.ndarray:
+    v32 = vectors.astype(np.float32)
+    scale = np.float64(2.0)
+    return v32 * scale  # REP504: float32 x float64 arithmetic
+
+
+def astype_builtin_float(vectors: np.ndarray) -> np.ndarray:
+    return vectors.astype(float)  # REP504: builtin float is float64

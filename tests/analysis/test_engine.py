@@ -95,6 +95,31 @@ class TestFileWalking:
         with pytest.raises(FileNotFoundError):
             iter_python_files([tmp_path / "missing"])
 
+    def test_skips_pycache_and_hidden_directories(self, tmp_path):
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "keep.cpython-311.py").write_text("x = 1\n")
+        hidden = tmp_path / ".venv" / "lib"
+        hidden.mkdir(parents=True)
+        (hidden / "vendored.py").write_text("x = 1\n")
+        nested_cache = tmp_path / "pkg" / "__pycache__"
+        nested_cache.mkdir(parents=True)
+        (nested_cache / "mod.py").write_text("x = 1\n")
+        (tmp_path / ".hidden.py").write_text("x = 1\n")
+        files = iter_python_files([tmp_path])
+        assert [p.name for p in files] == ["keep.py"]
+
+    def test_explicit_file_argument_is_always_included(self, tmp_path):
+        hidden = tmp_path / ".hidden.py"
+        hidden.write_text("x = 1\n")
+        assert iter_python_files([hidden]) == [hidden]
+
+    def test_deduplicates_overlapping_arguments(self, tmp_path):
+        target = tmp_path / "a.py"
+        target.write_text("x = 1\n")
+        assert iter_python_files([tmp_path, target, tmp_path]) == [target]
+
     def test_lint_paths_end_to_end(self, tmp_path):
         """A file under a repro/nn/ directory on disk trips hot-path rules."""
         pkg = tmp_path / "repro" / "nn"

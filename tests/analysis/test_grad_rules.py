@@ -1,0 +1,119 @@
+"""REP6xx gradient-flow tests: registration reachability + tape detachment."""
+
+from repro.analysis import lint_paths, lint_source
+
+from tests.analysis.fixtures import fixture_source
+
+HOT_PATH = "src/repro/nn/fake.py"
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestFixtures:
+    def test_violations_trip_both_rules(self):
+        findings = lint_source(
+            fixture_source("grad_violations.py"), HOT_PATH, select=["REP6"]
+        )
+        assert rules_of(findings) == ["REP601", "REP601", "REP602"]
+        assert {f.severity for f in findings} == {"error"}
+
+    def test_clean_counterparts_stay_quiet(self):
+        findings = lint_source(
+            fixture_source("grad_clean.py"), HOT_PATH, select=["REP6"]
+        )
+        assert findings == []
+
+
+class TestUnreachableParameter:
+    def test_local_forwarded_to_self_attribute_is_registered(self):
+        source = (
+            "import numpy as np\n"
+            "from repro.nn.layers import Module\n"
+            "from repro.nn.tensor import Tensor\n"
+            "class Net(Module):\n"
+            "    def __init__(self):\n"
+            "        w = Tensor(np.ones(3), requires_grad=True)\n"
+            "        self.w = w\n"
+        )
+        assert lint_source(source, HOT_PATH, select=["REP601"]) == []
+
+    def test_non_module_class_is_ignored(self):
+        source = (
+            "import numpy as np\n"
+            "from repro.nn.tensor import Tensor\n"
+            "class Bag:\n"
+            "    def __init__(self):\n"
+            "        self.items = [Tensor(np.ones(3), requires_grad=True)]\n"
+        )
+        assert lint_source(source, HOT_PATH, select=["REP601"]) == []
+
+    def test_non_trainable_tensor_is_ignored(self):
+        source = (
+            "import numpy as np\n"
+            "from repro.nn.layers import Module\n"
+            "from repro.nn.tensor import Tensor\n"
+            "class Net(Module):\n"
+            "    def __init__(self):\n"
+            "        self.cache = [Tensor(np.ones(3))]\n"
+        )
+        assert lint_source(source, HOT_PATH, select=["REP601"]) == []
+
+
+class TestDetachedForwardData:
+    def test_cross_module_reachability(self, tmp_path):
+        """.data read in another module's helper is found through the graph."""
+        nn = tmp_path / "repro" / "nn"
+        emb = tmp_path / "repro" / "emb"
+        nn.mkdir(parents=True)
+        emb.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (nn / "__init__.py").write_text("")
+        (emb / "__init__.py").write_text("")
+        (nn / "fake_layers.py").write_text(
+            "class Module:\n    def parameters(self):\n        return []\n"
+        )
+        (emb / "ops.py").write_text(
+            "def shift(x):\n    return x + float(x.data.mean())\n"
+        )
+        (emb / "model.py").write_text(
+            "from repro.nn.fake_layers import Module\n"
+            "from repro.emb import ops\n"
+            "class Tower(Module):\n"
+            "    def forward(self, x):\n"
+            "        return ops.shift(x)\n"
+        )
+        findings = lint_paths([tmp_path], select=["REP602"])
+        assert rules_of(findings) == ["REP602"]
+        assert findings[0].path.endswith("repro/emb/ops.py")
+        assert "reachable from forward" in findings[0].message
+
+    def test_engine_modules_are_allowlisted(self):
+        """layers.py itself may touch payloads; REP602 must not fire there."""
+        findings = lint_source(
+            fixture_source("grad_violations.py"),
+            "src/repro/nn/layers.py",
+            select=["REP602"],
+        )
+        assert findings == []
+
+    def test_data_read_outside_the_forward_path_is_allowed(self):
+        source = (
+            "from repro.nn.layers import Module\n"
+            "class Net(Module):\n"
+            "    def forward(self, x):\n"
+            "        return x\n"
+            "    def export(self):\n"
+            "        return self.weight.data\n"
+        )
+        assert lint_source(source, HOT_PATH, select=["REP602"]) == []
+
+    def test_noqa_suppresses_project_findings(self):
+        source = (
+            "from repro.nn.layers import Module\n"
+            "class Net(Module):\n"
+            "    def forward(self, x):\n"
+            "        return x.data  # repro: noqa[REP602]\n"
+        )
+        assert lint_source(source, HOT_PATH, select=["REP602"]) == []

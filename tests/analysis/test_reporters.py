@@ -65,3 +65,34 @@ class TestJsonReporter:
         document = json.loads(render_json(findings[:2], findings[2:]))
         assert document["summary"]["baselined"] == len(findings) - 2
         assert len(document["findings"]) == 2
+
+    def test_zero_findings_document(self):
+        document = json.loads(render_json([]))
+        assert document["version"] == 1
+        assert document["findings"] == []
+        assert document["summary"] == {
+            "total": 0,
+            "errors": 0,
+            "warnings": 0,
+            "baselined": 0,
+        }
+
+    def test_identical_fingerprints_both_rendered(self):
+        """Duplicated findings are reported twice, not silently merged."""
+        (finding,) = lint_source(
+            "import numpy as np\nx = np.zeros(3)\n", HOT_PATH
+        )
+        document = json.loads(render_json([finding, finding]))
+        assert len(document["findings"]) == 2
+        prints = [r["fingerprint"] for r in document["findings"]]
+        assert prints[0] == prints[1]
+
+    def test_severity_round_trips_through_json(self):
+        """Severity constants serialise to their own literal strings."""
+        from repro.analysis import Severity
+
+        findings = sample_findings()
+        document = json.loads(render_json(findings))
+        severities = {r["severity"] for r in document["findings"]}
+        assert severities == {Severity.ERROR, Severity.WARNING}
+        assert severities == {"error", "warning"}

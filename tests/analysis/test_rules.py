@@ -8,7 +8,7 @@ everywhere-but-allowlist rules without touching real modules.
 
 import pytest
 
-from repro.analysis import RULES, lint_source
+from repro.analysis import PROJECT_RULES, RULES, lint_source
 from repro.analysis.rules import module_tail
 
 from tests.analysis.fixtures import fixture_source
@@ -32,10 +32,16 @@ class TestRegistry:
             "REP401",
             "REP402",
             "REP403",
+            "REP501",
+            "REP502",
+            "REP503",
+            "REP504",
+            "REP601",
         }
+        assert set(PROJECT_RULES) == {"REP602"}
 
     def test_registry_keys_match_instances(self):
-        for rule_id, rule in RULES.items():
+        for rule_id, rule in {**RULES, **PROJECT_RULES}.items():
             assert rule.rule_id == rule_id
             assert rule.description
 

@@ -9,6 +9,14 @@ and exits non-zero on any *new* finding.  Equivalent to::
 Refresh the baseline after deliberately accepting findings with::
 
     python tools/run_lint.py --update-baseline
+
+Exit codes (shared with ``python -m repro lint``):
+
+* ``0`` -- no new findings (baselined findings do not fail the run, and
+  ``--update-baseline`` always exits 0 after rewriting the baseline)
+* ``1`` -- at least one finding not covered by the baseline
+* ``2`` -- usage or configuration error (unknown rule id, missing path,
+  ``--profile`` combined with ``--select``)
 """
 
 from __future__ import annotations
@@ -32,6 +40,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--format", choices=["text", "json"], default="text")
     parser.add_argument("--select", default=None)
     parser.add_argument(
+        "--profile",
+        choices=["all", "grad", "perf"],
+        default=None,
+        help="named rule family shortcut (mutually exclusive with --select)",
+    )
+    parser.add_argument(
         "--update-baseline",
         action="store_true",
         help="re-write the baseline from the current findings",
@@ -44,6 +58,8 @@ def main(argv: list[str] | None = None) -> int:
     forwarded += ["--format", args.format]
     if args.select:
         forwarded += ["--select", args.select]
+    if args.profile:
+        forwarded += ["--profile", args.profile]
     if args.update_baseline:
         forwarded.append("--write-baseline")
     return repro_main(forwarded)
