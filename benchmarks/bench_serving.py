@@ -1,0 +1,216 @@
+"""Serving-path benchmark: blockwise scans, shard scaling, cache hit curves.
+
+Writes ``BENCH_serving.json`` at the repo root (override with ``--out``).
+Three measurement families, matching the serving engine's design levers:
+
+1. **Scan throughput** — the pre-blockwise flat scan materialised the full
+   ``(num_queries, ntotal)`` float64 distance matrix; the streaming scan
+   caps the working set at ``(num_queries, block)``.  Both are timed on
+   the same workload.
+2. **Shard scaling** — :class:`ShardedIndex` over 1/2/4/8 flat shards,
+   reported as speedup against the full-materialisation baseline (the
+   paper-style single-shard scan).  Result equality with the unsharded
+   scan is asserted, not assumed.
+3. **Cache hit curves** — LRU hit rate of :class:`QueryCache` under a
+   Zipf-skewed query stream, across cache capacities.
+
+``--smoke`` shrinks the workload to a few seconds of CI time; the checked
+in ``BENCH_serving.json`` comes from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+# Pin BLAS pools before numpy loads: shard fan-out supplies the thread
+# parallelism here, and nested BLAS threading only adds contention.
+for _var in (
+    "OPENBLAS_NUM_THREADS",
+    "OMP_NUM_THREADS",
+    "MKL_NUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
+import numpy as np  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.index.flat import FlatIndex  # noqa: E402
+from repro.index.sharded import ShardedIndex  # noqa: E402
+from repro.index.topk import block_topk  # noqa: E402
+from repro.lookup.cache import QueryCache  # noqa: E402
+from tools.bench_json import write_bench_json  # noqa: E402
+
+
+def timed(fn, repeats: int) -> tuple[float, object]:
+    """Best-of-``repeats`` wall-clock seconds and the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def full_scan(data: np.ndarray, queries: np.ndarray, k: int):
+    """The pre-blockwise reference: materialise every pairwise distance.
+
+    This reproduces the old ``FlatIndex.search`` memory profile — one
+    ``(num_queries, ntotal)`` float64 matrix — and is the "single-shard
+    flat scan" baseline the shard-scaling numbers are measured against.
+    """
+    a = queries.astype(np.float64)
+    b = data.astype(np.float64)
+    d = (
+        (a * a).sum(axis=1)[:, None]
+        - 2.0 * (a @ b.T)
+        + (b * b).sum(axis=1)[None, :]
+    )
+    np.maximum(d, 0.0, out=d)
+    return block_topk(d, k)
+
+
+def bench_scans(data, queries, k, block_sizes, repeats):
+    """Time the full-materialisation scan against blockwise scans."""
+    nq = len(queries)
+    full_s, (ref_ids, _) = timed(lambda: full_scan(data, queries, k), repeats)
+    scans = {
+        "full_materialization": {
+            "seconds": full_s,
+            "queries_per_sec": nq / full_s,
+        }
+    }
+    shard_ref_ids = ref_ids
+    for block in block_sizes:
+        index = FlatIndex(data.shape[1], block_size=block)
+        index.add(data)
+        sec, result = timed(lambda: index.search(queries, k), repeats)
+        assert np.array_equal(result.ids, ref_ids), (
+            f"blockwise scan (block={block}) diverged from full scan"
+        )
+        scans[f"blockwise_{block}"] = {
+            "seconds": sec,
+            "queries_per_sec": nq / sec,
+        }
+    return scans, shard_ref_ids, full_s
+
+
+def bench_shards(data, queries, k, shard_counts, repeats, ref_ids, full_s):
+    """Time ShardedIndex fan-out, checking equality with the flat scan."""
+    out = {}
+    for num_shards in shard_counts:
+        index = ShardedIndex(data.shape[1], num_shards)
+        index.add(data)
+        index.search(queries[:4], k)  # spin up the worker pool
+        sec, result = timed(lambda: index.search(queries, k), repeats)
+        assert np.array_equal(result.ids, ref_ids), (
+            f"{num_shards}-shard scan diverged from the flat scan"
+        )
+        out[str(num_shards)] = {
+            "seconds": sec,
+            "queries_per_sec": len(queries) / sec,
+            "speedup_vs_full_scan": full_s / sec,
+        }
+        index.close()
+    return out
+
+
+def bench_cache(capacities, num_queries, vocab, zipf_a, dim, seed):
+    """LRU hit rate under a Zipf-skewed stream, per cache capacity."""
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(zipf_a, size=num_queries)
+    ranks = np.minimum(ranks, vocab) - 1
+    vector = np.zeros(dim, dtype=np.float32)
+    curves = {}
+    for capacity in capacities:
+        cache = QueryCache(capacity)
+        for r in ranks:
+            query = f"entity-{r}"
+            if cache.get_embedding(query) is None:
+                cache.put_embedding(query, vector)
+        curves[str(capacity)] = {
+            "hit_rate": cache.stats.hit_rate,
+            "evictions": cache.stats.evictions,
+        }
+    return curves
+
+
+def main(argv=None) -> int:
+    """Run the serving benchmark and write BENCH_serving.json."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=ROOT / "BENCH_serving.json",
+        help="output JSON path",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        n, dim, nq, repeats = 4000, 64, 32, 1
+        block_sizes = [1024, 4096]
+        cache_queries, vocab = 2000, 500
+    else:
+        n, dim, nq, repeats = 50_000, 64, 256, 3
+        block_sizes = [1024, 4096, 8192]
+        cache_queries, vocab = 20_000, 5_000
+    k = 10
+    shard_counts = [1, 2, 4, 8]
+
+    rng = np.random.default_rng(args.seed)
+    data = rng.normal(size=(n, dim)).astype(np.float32)
+    queries = rng.normal(size=(nq, dim)).astype(np.float32)
+
+    print(f"workload: {n} vectors x {dim}d, {nq} queries, k={k}")
+    scans, ref_ids, full_s = bench_scans(data, queries, k, block_sizes, repeats)
+    for name, row in scans.items():
+        print(f"  scan {name:24s} {row['seconds'] * 1e3:8.1f} ms")
+    shards = bench_shards(
+        data, queries, k, shard_counts, repeats, ref_ids, full_s
+    )
+    for num, row in shards.items():
+        print(
+            f"  shards={num:3s} {row['seconds'] * 1e3:8.1f} ms "
+            f"({row['speedup_vs_full_scan']:.2f}x vs full scan)"
+        )
+    cache_curves = bench_cache(
+        [64, 256, 1024, 4096], cache_queries, vocab, 1.3, dim, args.seed
+    )
+    for cap, row in cache_curves.items():
+        print(f"  cache cap={cap:5s} hit_rate={row['hit_rate']:.3f}")
+
+    metrics = {
+        "smoke": args.smoke,
+        "workload": {
+            "num_vectors": n,
+            "dim": dim,
+            "num_queries": nq,
+            "k": k,
+            "seed": args.seed,
+            "repeats": repeats,
+        },
+        "scan_throughput": scans,
+        "shard_scaling": shards,
+        "cache_hit_rates": cache_curves,
+        "results_identical_across_variants": True,
+    }
+    path = write_bench_json(args.out, "serving", metrics)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,12 @@ class EmbLookupConfig:
         When true, aliases are indexed as additional rows per entity
         (higher recall, larger index — the optional variant of
         Section III-C).
+    query_cache_size:
+        When positive, services built over this pipeline keep an LRU
+        query cache of that capacity (normalized query -> result) —
+        the serving-path optimisation for skewed real-world traffic;
+        0 (the default) disables caching so benchmark tables measure
+        the raw scan.
     seed:
         Master seed; all internal randomness derives from it.
     """
@@ -91,6 +97,7 @@ class EmbLookupConfig:
     finetune_fasttext: bool = False
     normalize_output: bool = True
     index_entity_aliases: bool = False
+    query_cache_size: int = 0
     seed: int = 41
     mining: TripletMiningConfig = field(default=None)  # type: ignore[assignment]
 
@@ -120,6 +127,8 @@ class EmbLookupConfig:
             raise ValueError("hard_mining_start must be in [0, 1]")
         if self.compression not in ("pq", "none", "ivfpq"):
             raise ValueError(f"unknown compression {self.compression!r}")
+        if self.query_cache_size < 0:
+            raise ValueError("query_cache_size must be >= 0")
         if self.mining is None:
             object.__setattr__(
                 self,

@@ -174,6 +174,36 @@ class EmbLookup:
 
     # -- indexing --------------------------------------------------------------------
 
+    def index_rows(
+        self, kg: KnowledgeGraph | None = None
+    ) -> tuple[list[str], list[str]]:
+        """The (normalized mention, entity id) rows the index stores.
+
+        Row ``i`` of the built index embeds ``mentions[i]`` and resolves to
+        ``entity_ids[i]``; alias rows are included when the config enables
+        them.  Public so alternative serving stacks (e.g. the sharded
+        :class:`repro.serving.LookupEngine`) can rebuild an index with the
+        same row <-> entity correspondence.
+        """
+        kg = kg or self._kg
+        if kg is None:
+            raise RuntimeError("no knowledge graph available for indexing")
+        mentions: list[str] = []
+        entity_ids: list[str] = []
+        for entity in kg.entities():
+            mentions.append(normalize(entity.label))
+            entity_ids.append(entity.entity_id)
+            if self.config.index_entity_aliases:
+                for alias in entity.aliases:
+                    mentions.append(normalize(alias))
+                    entity_ids.append(entity.entity_id)
+        return mentions, entity_ids
+
+    @property
+    def row_entity_ids(self) -> list[str]:
+        """Entity id of each index row (copy; aligned with the built index)."""
+        return list(self._row_to_entity)
+
     def build_index(self, kg: KnowledgeGraph | None = None) -> None:
         """(Re)build the vector index from the trained model."""
         if self.model is None:
@@ -183,16 +213,7 @@ class EmbLookup:
             raise RuntimeError("no knowledge graph available for indexing")
         self._kg = kg
 
-        mentions: list[str] = []
-        self._row_to_entity = []
-        for entity in kg.entities():
-            mentions.append(normalize(entity.label))
-            self._row_to_entity.append(entity.entity_id)
-            if self.config.index_entity_aliases:
-                for alias in entity.aliases:
-                    mentions.append(normalize(alias))
-                    self._row_to_entity.append(entity.entity_id)
-
+        mentions, self._row_to_entity = self.index_rows(kg)
         vectors = self._embed_in_batches(mentions)
         self.index = self._make_index()
         self.index.train(vectors)
@@ -226,6 +247,12 @@ class EmbLookup:
 
     # -- lookup ----------------------------------------------------------------------
 
+    def embed_queries(self, queries: Sequence[str]) -> np.ndarray:
+        """Embed query strings (normalized first) with the trained model."""
+        if self.model is None:
+            raise RuntimeError("EmbLookup.embed_queries called before fit()")
+        return self._embed_in_batches([normalize(q) for q in queries])
+
     def lookup(self, query: str, k: int = 10) -> list[LookupResult]:
         """Top-``k`` candidate entities for one query string."""
         return self.lookup_batch([query], k)[0]
@@ -244,7 +271,7 @@ class EmbLookup:
             raise ValueError(f"k must be >= 1, got {k}")
         if not queries:
             return []
-        embeddings = self._embed_in_batches([normalize(q) for q in queries])
+        embeddings = self.embed_queries(queries)
         # Over-fetch when aliases are indexed so dedup still yields k.
         fetch = k * 3 if self.config.index_entity_aliases else k
         fetch = min(fetch, self.index.ntotal) or k

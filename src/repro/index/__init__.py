@@ -14,9 +14,16 @@ Implements the index families the paper relies on:
   algorithm behind nmslib, the paper's runner-up library).
 - :class:`PCATransform` — the dimensionality-reduction alternative the
   paper compares against PQ in Figure 5.
+- :class:`ShardedIndex` — serving-scale fan-out wrapper striping any of
+  the families above across N thread-parallel shards.
+
+The scanning families (flat, PQ) stream their stores through the blockwise
+top-k kernel in :mod:`repro.index.topk` (``merge_topk`` and friends), so
+peak search memory is bounded by the block size rather than ``ntotal``.
 """
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.index.buffer import GrowBuffer
 from repro.index.flat import FlatIndex
 from repro.index.hnsw import HNSWIndex
 from repro.index.ivf import IVFFlatIndex
@@ -25,9 +32,18 @@ from repro.index.kmeans import KMeans
 from repro.index.lsh import LSHIndex
 from repro.index.pca import PCATransform
 from repro.index.pq import PQIndex, ProductQuantizer
+from repro.index.sharded import ShardedIndex
+from repro.index.topk import (
+    DEFAULT_BLOCK_SIZE,
+    block_topk,
+    blockwise_topk,
+    merge_topk,
+)
 
 __all__ = [
+    "DEFAULT_BLOCK_SIZE",
     "FlatIndex",
+    "GrowBuffer",
     "HNSWIndex",
     "IVFFlatIndex",
     "IVFPQIndex",
@@ -37,5 +53,9 @@ __all__ = [
     "PQIndex",
     "ProductQuantizer",
     "SearchResult",
+    "ShardedIndex",
     "VectorIndex",
+    "block_topk",
+    "blockwise_topk",
+    "merge_topk",
 ]

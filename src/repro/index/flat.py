@@ -1,7 +1,12 @@
 """Exact brute-force index (FAISS ``IndexFlatL2`` equivalent).
 
 This is the "EmbLookup without compression" (EL-NC) index of the paper and
-the ground truth for the Figure 4 recall experiments.
+the ground truth for the Figure 4 recall experiments.  Since the serving
+PR the scan is *blockwise*: distances are computed one
+:data:`~repro.index.topk.DEFAULT_BLOCK_SIZE`-row block at a time and folded
+into a running top-k, so peak memory is O(n_queries x block) instead of the
+full O(n_queries x ntotal) matrix, and storage grows through an amortized
+doubling buffer instead of a per-``add`` ``np.concatenate``.
 """
 
 from __future__ import annotations
@@ -9,13 +14,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.index.buffer import GrowBuffer
 from repro.index.kmeans import _squared_distances
+from repro.index.topk import blockwise_topk
 
 __all__ = ["FlatIndex"]
 
 
 class FlatIndex(VectorIndex):
-    """Stores vectors verbatim; search is an exact distance scan.
+    """Stores vectors verbatim; search is an exact blockwise distance scan.
 
     Parameters
     ----------
@@ -24,62 +31,61 @@ class FlatIndex(VectorIndex):
     metric:
         ``"l2"`` (squared Euclidean) or ``"ip"`` (inner product, returned as
         a *distance*, i.e. negated similarity).
+    block_size:
+        Default scan granularity (rows scored per block); overridable per
+        :meth:`search` call.
     """
 
-    def __init__(self, dim: int, metric: str = "l2"):
+    def __init__(self, dim: int, metric: str = "l2", block_size: int | None = None):
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         if metric not in ("l2", "ip"):
             raise ValueError(f"metric must be 'l2' or 'ip', got {metric!r}")
         self.dim = dim
         self.metric = metric
-        self._vectors = np.empty((0, dim), dtype=np.float32)
+        self.block_size = block_size
+        self._store = GrowBuffer(dim, np.float32)
 
     @property
     def ntotal(self) -> int:
-        return len(self._vectors)
+        return len(self._store)
 
     @property
     def vectors(self) -> np.ndarray:
-        """The stored matrix (read-only view for callers)."""
-        return self._vectors
+        """The stored matrix (read-only view; re-fetch after ``add``)."""
+        return self._store.view
 
     def add(self, vectors: np.ndarray) -> None:
         vectors = self._check_vectors(vectors, "vectors")
-        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+        self._store.append(vectors)
 
-    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+    def _score_block(self, queries: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Distances of all queries against stored rows ``[start, stop)``."""
+        block = self._store.view[start:stop]
+        if self.metric == "l2":
+            return _squared_distances(queries, block)
+        # Inner products accumulate over dim float32 terms; float64
+        # accumulation keeps ties stable (storage stays float32).
+        return -(queries.astype(np.float64) @ block.astype(np.float64).T)  # repro: noqa[REP102]
+
+    def search(
+        self, queries: np.ndarray, k: int, block_size: int | None = None
+    ) -> SearchResult:
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
-        n = self.ntotal
-        ids = np.full((len(queries), k), -1, dtype=np.int64)
-        # Distances are a per-query accumulator in the SearchResult
-        # contract, not stored vectors; float64 here costs O(nq * k).
-        distances = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
-        if n == 0:
-            return SearchResult(ids=ids, distances=distances)
-
-        if self.metric == "l2":
-            d = _squared_distances(queries, self._vectors)
-        else:
-            # Inner products accumulate over dim float32 terms; float64
-            # accumulation keeps ties stable (storage stays float32).
-            d = -(queries.astype(np.float64) @ self._vectors.astype(np.float64).T)  # repro: noqa[REP102]
-
-        take = min(k, n)
-        if take < n:
-            part = np.argpartition(d, take - 1, axis=1)[:, :take]
-        else:
-            part = np.tile(np.arange(n, dtype=np.int64), (len(queries), 1))
-        part_d = np.take_along_axis(d, part, axis=1)
-        order = np.argsort(part_d, axis=1, kind="stable")
-        ids[:, :take] = np.take_along_axis(part, order, axis=1)
-        distances[:, :take] = np.take_along_axis(part_d, order, axis=1)
+        block = block_size if block_size is not None else self.block_size
+        ids, distances = blockwise_topk(
+            lambda start, stop: self._score_block(queries, start, stop),
+            self.ntotal,
+            k,
+            num_queries=len(queries),
+            block_size=block,
+        )
         return SearchResult(ids=ids, distances=distances)
 
     def reconstruct(self, idx: int) -> np.ndarray:
         """Return the stored vector for row ``idx``."""
-        return self._vectors[idx].copy()
+        return self._store.view[idx].copy()
 
     def memory_bytes(self) -> int:
-        return self._vectors.nbytes
+        return self._store.nbytes()

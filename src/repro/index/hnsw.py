@@ -18,6 +18,7 @@ import heapq
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.index.buffer import GrowBuffer
 from repro.utils.rng import as_rng
 
 __all__ = ["HNSWIndex"]
@@ -58,7 +59,7 @@ class HNSWIndex(VectorIndex):
         self.ef_search = ef_search
         self.rng = as_rng(seed)
         self._level_scale = 1.0 / np.log(m)
-        self._vectors = np.empty((0, dim), dtype=np.float32)
+        self._store = GrowBuffer(dim, np.float32)
         #: per node: list of neighbour lists, one per layer (0 = ground).
         self._neighbours: list[list[list[int]]] = []
         self._entry_point: int | None = None
@@ -66,7 +67,11 @@ class HNSWIndex(VectorIndex):
 
     @property
     def ntotal(self) -> int:
-        return len(self._vectors)
+        return len(self._store)
+
+    @property
+    def _vectors(self) -> np.ndarray:
+        return self._store.view
 
     # -- distance helpers ---------------------------------------------------------
 
@@ -80,11 +85,11 @@ class HNSWIndex(VectorIndex):
         vectors = self._check_vectors(vectors, "vectors")
         if len(vectors) == 0:
             return
-        start = len(self._vectors)
-        # Grow the store once per batch; a per-row np.concatenate copies
-        # the whole store every insertion (quadratic in ntotal).
-        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
-        for node in range(start, len(self._vectors)):
+        start = self.ntotal
+        # Amortized doubling buffer: O(n) total copying across any add
+        # pattern, versus O(n^2) for a per-call np.concatenate.
+        self._store.append(vectors)
+        for node in range(start, self.ntotal):
             self._insert(node)
 
     def _sample_level(self) -> int:
@@ -241,4 +246,4 @@ class HNSWIndex(VectorIndex):
         link_bytes = sum(
             8 * len(layer) for node in self._neighbours for layer in node
         )
-        return self._vectors.nbytes + link_bytes
+        return self._store.nbytes() + link_bytes

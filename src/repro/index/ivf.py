@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.index.buffer import GrowBuffer
 from repro.index.kmeans import KMeans, _squared_distances
 from repro.utils.rng import as_rng
 
@@ -47,7 +48,7 @@ class IVFFlatIndex(VectorIndex):
         self.rng = as_rng(seed)
         self._quantizer: KMeans | None = None
         self._lists: list[list[int]] = [[] for _ in range(nlist)]
-        self._vectors = np.empty((0, dim), dtype=np.float32)
+        self._store = GrowBuffer(dim, np.float32)
 
     @property
     def is_trained(self) -> bool:
@@ -55,7 +56,11 @@ class IVFFlatIndex(VectorIndex):
 
     @property
     def ntotal(self) -> int:
-        return len(self._vectors)
+        return len(self._store)
+
+    @property
+    def _vectors(self) -> np.ndarray:
+        return self._store.view
 
     def train(self, vectors: np.ndarray) -> None:
         vectors = self._check_vectors(vectors, "training vectors")
@@ -65,11 +70,11 @@ class IVFFlatIndex(VectorIndex):
         if self._quantizer is None:
             raise RuntimeError("IVFFlatIndex.add called before train()")
         vectors = self._check_vectors(vectors, "vectors")
-        start = len(self._vectors)
+        start = self.ntotal
         cells = self._quantizer.predict(vectors)
         for offset, cell in enumerate(cells):
             self._lists[int(cell)].append(start + offset)
-        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+        self._store.append(vectors)
 
     def search(
         self, queries: np.ndarray, k: int, nprobe: int | None = None
@@ -83,7 +88,8 @@ class IVFFlatIndex(VectorIndex):
             raise ValueError(f"nprobe must be in [1, {self.nlist}], got {nprobe}")
 
         ids = np.full((len(queries), k), -1, dtype=np.int64)
-        distances = np.full((len(queries), k), np.inf, dtype=np.float64)
+        # Distance accumulator in the SearchResult contract, not storage.
+        distances = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
         if self.ntotal == 0:
             return SearchResult(ids=ids, distances=distances)
 
@@ -110,4 +116,4 @@ class IVFFlatIndex(VectorIndex):
             self._quantizer.centroids.nbytes if self._quantizer else 0
         )
         list_bytes = sum(len(lst) for lst in self._lists) * 8
-        return self._vectors.nbytes + centroid_bytes + list_bytes
+        return self._store.nbytes() + centroid_bytes + list_bytes

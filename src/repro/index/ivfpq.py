@@ -83,7 +83,8 @@ class IVFPQIndex(VectorIndex):
         assert self._quantizer is not None
 
         ids = np.full((len(queries), k), -1, dtype=np.int64)
-        distances = np.full((len(queries), k), np.inf, dtype=np.float64)
+        # Distance accumulator in the SearchResult contract, not storage.
+        distances = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
         if self._ntotal == 0:
             return SearchResult(ids=ids, distances=distances)
 

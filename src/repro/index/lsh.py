@@ -12,6 +12,7 @@ from collections import defaultdict
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.index.buffer import GrowBuffer
 from repro.index.kmeans import _squared_distances
 from repro.utils.rng import as_rng
 
@@ -43,12 +44,16 @@ class LSHIndex(VectorIndex):
         self._tables: list[dict[int, list[int]]] = [
             defaultdict(list) for _ in range(ntables)
         ]
-        self._vectors = np.empty((0, dim), dtype=np.float32)
+        self._store = GrowBuffer(dim, np.float32)
         self._bit_weights = 1 << np.arange(nbits, dtype=np.int64)
 
     @property
     def ntotal(self) -> int:
-        return len(self._vectors)
+        return len(self._store)
+
+    @property
+    def _vectors(self) -> np.ndarray:
+        return self._store.view
 
     def _signatures(self, vectors: np.ndarray) -> np.ndarray:
         """Bucket key per (vector, table): ``(n, ntables)`` int64."""
@@ -61,18 +66,19 @@ class LSHIndex(VectorIndex):
 
     def add(self, vectors: np.ndarray) -> None:
         vectors = self._check_vectors(vectors, "vectors")
-        start = len(self._vectors)
+        start = self.ntotal
         sigs = self._signatures(vectors)
         for offset in range(len(vectors)):
             for t in range(self.ntables):
                 self._tables[t][int(sigs[offset, t])].append(start + offset)
-        self._vectors = np.concatenate([self._vectors, vectors], axis=0)
+        self._store.append(vectors)
 
     def search(self, queries: np.ndarray, k: int) -> SearchResult:
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
         ids = np.full((len(queries), k), -1, dtype=np.int64)
-        distances = np.full((len(queries), k), np.inf, dtype=np.float64)
+        # Distance accumulator in the SearchResult contract, not storage.
+        distances = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
         if self.ntotal == 0:
             return SearchResult(ids=ids, distances=distances)
 
@@ -97,4 +103,4 @@ class LSHIndex(VectorIndex):
         bucket_entries = sum(
             len(bucket) for table in self._tables for bucket in table.values()
         )
-        return self._vectors.nbytes + self._planes.nbytes + bucket_entries * 8
+        return self._store.nbytes() + self._planes.nbytes + bucket_entries * 8

@@ -13,7 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.index.buffer import GrowBuffer
 from repro.index.kmeans import KMeans
+from repro.index.topk import blockwise_topk
 from repro.utils.rng import as_rng
 
 __all__ = ["PQIndex", "ProductQuantizer"]
@@ -152,10 +154,13 @@ class ProductQuantizer:
 
 
 class PQIndex(VectorIndex):
-    """Flat index over PQ codes with ADC search.
+    """Flat index over PQ codes with blockwise ADC search.
 
     The compressed storage is ``m`` bytes/vector versus ``4 * dim`` for
-    :class:`FlatIndex`, the 256 B -> 8 B reduction the paper reports.
+    :class:`FlatIndex`, the 256 B -> 8 B reduction the paper reports.  The
+    ADC tables are computed once per query batch; the table *lookups* then
+    stream over the code store one block at a time with a running top-k,
+    never materialising the full ``(n_queries, ntotal)`` distance matrix.
     """
 
     def __init__(
@@ -165,12 +170,14 @@ class PQIndex(VectorIndex):
         nbits: int = 8,
         seed: int | np.random.Generator | None = None,
         kmeans_iters: int = 25,
+        block_size: int | None = None,
     ):
         self.dim = dim
         self.pq = ProductQuantizer(
             dim, m=m, nbits=nbits, seed=seed, kmeans_iters=kmeans_iters
         )
-        self._codes = np.empty((0, m), dtype=np.uint8)
+        self.block_size = block_size
+        self._store = GrowBuffer(m, np.uint8)
 
     @property
     def is_trained(self) -> bool:
@@ -178,11 +185,12 @@ class PQIndex(VectorIndex):
 
     @property
     def ntotal(self) -> int:
-        return len(self._codes)
+        return len(self._store)
 
     @property
     def codes(self) -> np.ndarray:
-        return self._codes
+        """The stored code matrix (read-only view; re-fetch after ``add``)."""
+        return self._store.view
 
     def train(self, vectors: np.ndarray) -> None:
         self.pq.train(self._check_vectors(vectors, "training vectors"))
@@ -191,39 +199,38 @@ class PQIndex(VectorIndex):
         if not self.is_trained:
             raise RuntimeError("PQIndex.add called before train()")
         vectors = self._check_vectors(vectors, "vectors")
-        codes = self.pq.encode(vectors)
-        self._codes = np.concatenate([self._codes, codes], axis=0)
+        self._store.append(self.pq.encode(vectors))
 
-    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+    def search(
+        self, queries: np.ndarray, k: int, block_size: int | None = None
+    ) -> SearchResult:
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
-        n = self.ntotal
-        ids = np.full((len(queries), k), -1, dtype=np.int64)
-        # Distance accumulator in the SearchResult contract, not storage.
-        distances = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
-        if n == 0:
-            return SearchResult(ids=ids, distances=distances)
-        d = self.pq.adc_distances(queries, self._codes)
-        take = min(k, n)
-        if take < n:
-            part = np.argpartition(d, take - 1, axis=1)[:, :take]
-        else:
-            part = np.tile(np.arange(n, dtype=np.int64), (len(queries), 1))
-        part_d = np.take_along_axis(d, part, axis=1)
-        order = np.argsort(part_d, axis=1, kind="stable")
-        ids[:, :take] = np.take_along_axis(part, order, axis=1)
-        distances[:, :take] = np.take_along_axis(part_d, order, axis=1)
+        block = block_size if block_size is not None else self.block_size
+        tables = (
+            self.pq.distance_tables(queries) if self.ntotal else None
+        )  # (nq, m, ksub), once per batch
+        codes = self._store.view
+        ids, distances = blockwise_topk(
+            lambda start, stop: self.pq.lookup_distances(
+                tables, codes[start:stop]
+            ),
+            self.ntotal,
+            k,
+            num_queries=len(queries),
+            block_size=block,
+        )
         return SearchResult(ids=ids, distances=distances)
 
     def reconstruct(self, idx: int) -> np.ndarray:
         """Approximate stored vector for row ``idx`` (decoded from codes)."""
-        return self.pq.decode(self._codes[idx : idx + 1])[0]
+        return self.pq.decode(self._store.view[idx : idx + 1])[0]
 
     def memory_bytes(self) -> int:
         codebook_bytes = (
             self.pq.codebooks.nbytes if self.pq.codebooks is not None else 0
         )
-        return self._codes.nbytes + codebook_bytes
+        return self._store.nbytes() + codebook_bytes
 
 
 def _nearest_codes(sub_vectors: np.ndarray, codebook: np.ndarray) -> np.ndarray:

@@ -1,0 +1,153 @@
+"""Sharded wrapper parallelising any index family across N sub-indexes.
+
+Production entity retrievers (Gillick et al.'s dense retrieval stack,
+FAISS's ``IndexShards``) split the vector store into shards and fan each
+query batch out over worker threads: numpy's distance matmuls release the
+GIL, so shard scans overlap on multi-core serving hosts, and each shard's
+working set is a fraction of the full store.
+
+Vectors are striped round-robin by arrival order — the ``g``-th added
+vector lands in shard ``g % num_shards`` — so the global id of a shard's
+``local``-th row is simply ``local * num_shards + shard`` and per-shard
+results remap to the global id space arithmetically.  Fan-in uses
+:func:`repro.index.topk.merge_topk`, which ranks by ``(distance, id)``;
+together with the blockwise scans inside each shard this makes a sharded
+search return *identical* results to the equivalent unsharded index.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.topk import merge_topk
+
+__all__ = ["ShardedIndex"]
+
+
+class ShardedIndex(VectorIndex):
+    """Round-robin striped fan-out over ``num_shards`` child indexes.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    num_shards:
+        Number of child indexes (and fan-out width of every search).
+    factory:
+        ``factory(dim) -> VectorIndex`` building one (empty) shard; defaults
+        to flat shards.  For trained families the factory must produce
+        identically-seeded indexes so all shards learn the same quantizer
+        (``train`` feeds every shard the full training matrix).
+    max_workers:
+        Thread-pool width (defaults to ``num_shards``).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_shards: int,
+        factory: Callable[[int], VectorIndex] | None = None,
+        max_workers: int | None = None,
+    ):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if factory is None:
+            from repro.index.flat import FlatIndex
+
+            factory = FlatIndex
+        self.dim = dim
+        self.num_shards = num_shards
+        self._shards: list[VectorIndex] = [
+            factory(dim) for _ in range(num_shards)
+        ]
+        for shard in self._shards:
+            if shard.dim != dim:
+                raise ValueError(
+                    f"factory built a dim-{shard.dim} shard, expected {dim}"
+                )
+        self._ntotal = 0
+        self._max_workers = max_workers or num_shards
+        self._executor: ThreadPoolExecutor | None = None
+
+    @property
+    def shards(self) -> list[VectorIndex]:
+        """The child indexes (read-only; mutate only through this class)."""
+        return list(self._shards)
+
+    @property
+    def is_trained(self) -> bool:
+        return all(shard.is_trained for shard in self._shards)
+
+    @property
+    def ntotal(self) -> int:
+        return self._ntotal
+
+    def train(self, vectors: np.ndarray) -> None:
+        """Train every shard on the full matrix (identical quantizers)."""
+        vectors = self._check_vectors(vectors, "training vectors")
+        for shard in self._shards:
+            shard.train(vectors)
+
+    def add(self, vectors: np.ndarray) -> None:
+        """Stripe a batch round-robin by global arrival order."""
+        vectors = self._check_vectors(vectors, "vectors")
+        if len(vectors) == 0:
+            return
+        arrival = self._ntotal + np.arange(len(vectors), dtype=np.int64)
+        lanes = arrival % self.num_shards
+        for s, shard in enumerate(self._shards):
+            rows = vectors[lanes == s]
+            if len(rows):
+                shard.add(rows)
+        self._ntotal += len(vectors)
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="shard-search",
+            )
+        return self._executor
+
+    def search(self, queries: np.ndarray, k: int) -> SearchResult:
+        queries = self._check_vectors(queries, "queries")
+        self._check_k(k)
+        futures = [
+            self._pool().submit(shard.search, queries, k)
+            for shard in self._shards
+        ]
+        run_ids = np.full((len(queries), k), -1, dtype=np.int64)
+        # Running accumulator in the SearchResult contract, not storage.
+        run_d = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
+        for s, future in enumerate(futures):
+            result = future.result()
+            local = result.ids
+            # local row r of shard s holds global id r * num_shards + s.
+            remapped = np.where(
+                local >= 0, local * self.num_shards + s, np.int64(-1)
+            )
+            run_ids, run_d = merge_topk(
+                run_ids, run_d, remapped, result.distances, k
+            )
+        return SearchResult(ids=run_ids, distances=run_d)
+
+    def memory_bytes(self) -> int:
+        return sum(shard.memory_bytes() for shard in self._shards)
+
+    def close(self) -> None:
+        """Shut down the search thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

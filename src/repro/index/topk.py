@@ -1,0 +1,157 @@
+"""Blockwise top-k selection kernel shared by the scanning indexes.
+
+The serving-scale problem with the original ``FlatIndex`` / ``PQIndex``
+scans is peak memory: both materialised the full ``(n_queries, ntotal)``
+distance matrix before selecting ``k`` winners — 100+ MB for a 256-query
+batch over 50 k vectors, and O(ntotal) per query regardless of ``k``.
+
+This module provides the streaming alternative: score one block of vectors
+at a time, select the block's top-k, and fold it into a running top-k with
+:func:`merge_topk`.  Peak memory drops to O(n_queries x block_size) and the
+blocked distance computations are far kinder to the cache (on a single
+core the 4096-row blocked flat scan runs ~3x faster than the full
+materialisation; see ``BENCH_serving.json``).
+
+Ordering convention: candidates are ranked by ``(distance, id)`` — ties
+broken toward the smaller row id — which makes blockwise, full, and
+sharded scans return *identical* results for any block partition.
+Padding follows :class:`repro.index.base.SearchResult`: id ``-1`` with
+``inf`` distance, always sorted last.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DEFAULT_BLOCK_SIZE", "block_topk", "blockwise_topk", "merge_topk"]
+
+#: Default scan granularity: 4096 rows/block keeps a 256-query float64
+#: block under 8 MB and measured fastest of {1k, 4k, 8k} on one core.
+DEFAULT_BLOCK_SIZE = 4096
+
+
+def _rank_topk(
+    ids: np.ndarray, distances: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Order candidate columns by ``(distance, id)`` and keep ``k``."""
+    order = np.lexsort((ids, distances), axis=1)[:, :k]
+    return (
+        np.take_along_axis(ids, order, axis=1),
+        np.take_along_axis(distances, order, axis=1),
+    )
+
+
+def block_topk(
+    distances: np.ndarray, k: int, id_offset: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k of one scored block, as ``(ids, distances)`` of width ``k``.
+
+    Parameters
+    ----------
+    distances:
+        ``(n_queries, block)`` scores for one contiguous block of rows.
+    k:
+        Number of winners to keep per query.
+    id_offset:
+        Global id of the block's first row; returned ids are global.
+
+    Blocks narrower than ``k`` are padded with ``-1`` / ``inf`` so every
+    result is exactly ``(n_queries, k)`` and directly mergeable.
+    """
+    nq, width = distances.shape
+    take = min(k, width)
+    if take < width:
+        # Cheap O(width) pre-selection before the exact (distance, id) rank.
+        part = np.argpartition(distances, take - 1, axis=1)[:, :take]
+        part_d = np.take_along_axis(distances, part, axis=1)
+    else:
+        part = np.tile(np.arange(width, dtype=np.int64), (nq, 1))
+        part_d = distances
+    ids, ranked_d = _rank_topk(part.astype(np.int64, copy=False), part_d, take)
+    ids += id_offset
+    if take == k:
+        return ids, ranked_d
+    pad_ids = np.full((nq, k), -1, dtype=np.int64)
+    # Padding distances follow the SearchResult accumulator contract
+    # (float64 inf sentinels), not vector storage.
+    pad_d = np.full((nq, k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
+    pad_ids[:, :take] = ids
+    pad_d[:, :take] = ranked_d
+    return pad_ids, pad_d
+
+
+def merge_topk(
+    ids_a: np.ndarray,
+    d_a: np.ndarray,
+    ids_b: np.ndarray,
+    d_b: np.ndarray,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge two per-query top-k sets into the overall top-k.
+
+    Both inputs are ``(n_queries, k_x)`` id/distance pairs following the
+    ``-1`` / ``inf`` padding convention; the result is ``(n_queries, k)``
+    ranked by ``(distance, id)``.  This is the reduction primitive of both
+    the streaming block scan and the sharded fan-in (where ids are already
+    remapped to the global space and may interleave arbitrarily).
+    """
+    if ids_a.shape != d_a.shape or ids_b.shape != d_b.shape:
+        raise ValueError("ids/distances shapes must match pairwise")
+    if ids_a.shape[0] != ids_b.shape[0]:
+        raise ValueError(
+            f"query counts differ: {ids_a.shape[0]} != {ids_b.shape[0]}"
+        )
+    ids = np.concatenate([ids_a, ids_b], axis=1)
+    distances = np.concatenate([d_a, d_b], axis=1)
+    return _rank_topk(ids, distances, k)
+
+
+def blockwise_topk(
+    score_block,
+    ntotal: int,
+    k: int,
+    num_queries: int,
+    block_size: int | None = None,
+    id_offset: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Streaming scan: score blocks, keep a running top-k.
+
+    Parameters
+    ----------
+    score_block:
+        ``score_block(start, stop) -> (n_queries, stop - start)`` distance
+        callback for rows ``[start, stop)`` of the scanned store.  Only one
+        block of scores is alive at a time.
+    ntotal:
+        Number of stored rows to scan.
+    k:
+        Winners per query.
+    num_queries:
+        Rows of every ``score_block`` result (fixes the output shape even
+        when ``ntotal`` is 0 and the callback is never invoked).
+    block_size:
+        Scan granularity (defaults to :data:`DEFAULT_BLOCK_SIZE`).
+    id_offset:
+        Added to every returned id (used by sharded scans to map a shard's
+        local row space into the global id space).
+
+    Returns the ``(ids, distances)`` pair in :class:`SearchResult` layout.
+    """
+    block = block_size if block_size is not None else DEFAULT_BLOCK_SIZE
+    if block < 1:
+        raise ValueError(f"block_size must be >= 1, got {block}")
+    run_ids: np.ndarray | None = None
+    run_d: np.ndarray | None = None
+    for start in range(0, ntotal, block):
+        stop = min(start + block, ntotal)
+        blk_ids, blk_d = block_topk(
+            score_block(start, stop), k, id_offset + start
+        )
+        if run_ids is None or run_d is None:
+            run_ids, run_d = blk_ids, blk_d
+        else:
+            run_ids, run_d = merge_topk(run_ids, run_d, blk_ids, blk_d, k)
+    if run_ids is None or run_d is None:
+        run_ids = np.full((num_queries, k), -1, dtype=np.int64)
+        run_d = np.full((num_queries, k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
+    return run_ids, run_d

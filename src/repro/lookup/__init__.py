@@ -4,9 +4,12 @@
 :class:`LookupService` interface; the other services implement the paper's
 Table V baselines (FuzzyWuzzy, ElasticSearch-style BM25, LSH, exact match,
 q-gram, Levenshtein scan, and simulated Wikidata / SearX remote endpoints).
+:class:`QueryCache` adds an LRU over normalized queries for the serving
+path (embedding memoization, optional whole-result caching).
 """
 
 from repro.lookup.base import Candidate, LookupService
+from repro.lookup.cache import CacheStats, QueryCache
 from repro.lookup.embedder_service import EmbedderLookupService
 from repro.lookup.emblookup_service import EmbLookupService
 from repro.lookup.exact import ExactMatchLookup
@@ -18,6 +21,7 @@ from repro.lookup.lsh_lookup import LSHStringLookup
 from repro.lookup.remote import RemoteServiceModel, SimulatedRemoteLookup
 
 __all__ = [
+    "CacheStats",
     "Candidate",
     "ElasticLookup",
     "EmbLookupService",
@@ -28,6 +32,7 @@ __all__ = [
     "LevenshteinLookup",
     "LookupService",
     "QGramLookup",
+    "QueryCache",
     "RemoteServiceModel",
     "SimulatedRemoteLookup",
 ]

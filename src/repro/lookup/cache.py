@@ -1,0 +1,169 @@
+"""LRU query cache for the serving path (embeddings and, optionally, results).
+
+Real entity-lookup traffic is heavily skewed — a handful of popular
+surface forms ("usa", "germany", "google") dominate the stream — so an
+LRU over *normalized* query strings converts the embedding tower's matmul
+(and optionally the whole k-NN search) into a dict hit for the head of the
+distribution.  Hit/miss/eviction counters are first-class so the serving
+benchmarks can plot hit-rate curves against cache capacity.
+
+Keys are the caller's responsibility: services pass queries through
+:func:`repro.text.tokenize.normalize` first, so "Germany " and "germany"
+share an entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+import numpy as np
+
+__all__ = ["CacheStats", "QueryCache"]
+
+
+class CacheStats:
+    """Mutable hit/miss/eviction counters shared by one cache's stores."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def requests(self) -> int:
+        """Total gets served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of gets served from cache (0.0 when never queried)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Counter snapshot for benchmark JSON."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class _LRUStore:
+    """Bounded ``OrderedDict`` with move-to-end on hit, shared counters."""
+
+    def __init__(self, capacity: int, stats: CacheStats) -> None:
+        self.capacity = capacity
+        self.stats = stats
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class QueryCache:
+    """LRU cache keyed by normalized query strings.
+
+    Two stores share one capacity budget *each* and one counter block:
+
+    - the **embedding store** maps a query to its embedding vector,
+      short-circuiting the model's forward pass;
+    - the optional **result store** maps ``(query, k)`` to the final
+      candidate list, short-circuiting the index scan as well (only safe
+      while the underlying index is static, hence opt-in).
+
+    All methods are thread-safe; the serving engine calls into one cache
+    from its micro-batch flush path while shard searches run on the pool.
+
+    Parameters
+    ----------
+    capacity:
+        Max entries per store (must be positive).
+    cache_results:
+        Also cache final candidate lists keyed by ``(query, k)``.
+    """
+
+    def __init__(self, capacity: int, cache_results: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._embeddings = _LRUStore(capacity, self.stats)
+        self._results = _LRUStore(capacity, self.stats) if cache_results else None
+
+    @property
+    def caches_results(self) -> bool:
+        """Whether the result store is enabled."""
+        return self._results is not None
+
+    # -- embedding store --------------------------------------------------------
+
+    def get_embedding(self, query: str) -> np.ndarray | None:
+        """Cached embedding for ``query`` or ``None`` (counts hit/miss)."""
+        with self._lock:
+            return self._embeddings.get(query)
+
+    def put_embedding(self, query: str, vector: np.ndarray) -> None:
+        """Store ``query``'s embedding (copied, so callers can't mutate it)."""
+        with self._lock:
+            self._embeddings.put(query, np.array(vector, copy=True))
+
+    # -- result store -----------------------------------------------------------
+
+    def get_result(self, query: str, k: int) -> list | None:
+        """Cached candidate list for ``(query, k)`` or ``None``."""
+        if self._results is None:
+            return None
+        with self._lock:
+            cached = self._results.get((query, k))
+            return list(cached) if cached is not None else None
+
+    def put_result(self, query: str, k: int, candidates: list) -> None:
+        """Store a candidate list for ``(query, k)`` (no-op when disabled)."""
+        if self._results is None:
+            return
+        with self._lock:
+            self._results.put((query, k), list(candidates))
+
+    # -- maintenance ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total live entries across both stores."""
+        with self._lock:
+            return len(self._embeddings) + (
+                len(self._results) if self._results is not None else 0
+            )
+
+    def clear(self) -> None:
+        """Drop every entry; invalidate after the index changes."""
+        with self._lock:
+            self._embeddings.clear()
+            if self._results is not None:
+                self._results.clear()
+
+    def stats_dict(self) -> dict[str, float]:
+        """Counter snapshot (hits/misses/evictions/hit_rate) for benches."""
+        return self.stats.as_dict()

@@ -3,15 +3,19 @@
 Wraps any :class:`repro.embedding.base.Embedder` — word2vec, fastText,
 the wordpiece BERT stand-in, the char-LSTM — behind the same index-and-
 query pipeline EmbLookup uses, so the embedding algorithm is the only
-variable in the comparison.
+variable in the comparison.  An optional :class:`QueryCache` memoizes the
+embedding of repeated (normalized) queries.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.embedding.base import Embedder
 from repro.index.flat import FlatIndex
 from repro.kg.graph import KnowledgeGraph
 from repro.lookup.base import Candidate, LookupService
+from repro.lookup.cache import QueryCache
 from repro.text.tokenize import normalize
 
 __all__ = ["EmbedderLookupService"]
@@ -20,10 +24,16 @@ __all__ = ["EmbedderLookupService"]
 class EmbedderLookupService(LookupService):
     """Flat (uncompressed) k-NN lookup over any embedder's vectors."""
 
-    def __init__(self, embedder: Embedder, name: str = "embedder"):
+    def __init__(
+        self,
+        embedder: Embedder,
+        name: str = "embedder",
+        cache: QueryCache | None = None,
+    ):
         super().__init__()
         self.embedder = embedder
         self.name = name
+        self.cache = cache
         self._index = FlatIndex(embedder.dim)
         self._row_to_entity: list[str] = []
 
@@ -33,11 +43,17 @@ class EmbedderLookupService(LookupService):
         kg: KnowledgeGraph,
         embedder: Embedder | None = None,
         name: str = "embedder",
+        cache_size: int = 0,
         **kwargs,
     ) -> "EmbedderLookupService":
+        """Index every entity label of ``kg`` under ``embedder``'s vectors.
+
+        ``cache_size > 0`` enables an LRU embedding cache of that capacity.
+        """
         if embedder is None:
             raise ValueError("EmbedderLookupService.build requires an embedder")
-        service = cls(embedder, name=name)
+        cache = QueryCache(cache_size) if cache_size > 0 else None
+        service = cls(embedder, name=name, cache=cache)
         labels = []
         for entity in kg.entities():
             labels.append(normalize(entity.label))
@@ -46,9 +62,24 @@ class EmbedderLookupService(LookupService):
             service._index.add(embedder.embed(labels))
         return service
 
+    def _embed(self, normalized: list[str]) -> np.ndarray:
+        """Embed queries, serving repeats from the cache when enabled."""
+        if self.cache is None:
+            return self.embedder.embed(normalized)
+        vectors = [self.cache.get_embedding(q) for q in normalized]
+        miss_positions = [i for i, v in enumerate(vectors) if v is None]
+        if miss_positions:
+            fresh = self.embedder.embed([normalized[i] for i in miss_positions])
+            for row, i in enumerate(miss_positions):
+                vectors[i] = fresh[row]
+                self.cache.put_embedding(normalized[i], fresh[row])
+        return np.stack(vectors)
+
     def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
-        vectors = self.embedder.embed([normalize(q) for q in queries])
-        result = self._index.search(vectors, min(k, max(self._index.ntotal, 1)))
+        vectors = self._embed([normalize(q) for q in queries])
+        # Indexes handle k > ntotal themselves (-1 / inf padded rows);
+        # padded entries are filtered below, so no clamping is needed.
+        result = self._index.search(vectors, k)
         out: list[list[Candidate]] = []
         for row_ids, row_d in zip(result.ids, result.distances):
             candidates = [
@@ -56,7 +87,7 @@ class EmbedderLookupService(LookupService):
                 for i, d in zip(row_ids, row_d)
                 if i >= 0
             ]
-            out.append(candidates[:k])
+            out.append(candidates)
         return out
 
     def index_bytes(self) -> int:

@@ -13,6 +13,8 @@ from repro.core.config import EmbLookupConfig
 from repro.core.pipeline import EmbLookup
 from repro.kg.graph import KnowledgeGraph
 from repro.lookup.base import Candidate, LookupService
+from repro.lookup.cache import QueryCache
+from repro.text.tokenize import normalize
 
 __all__ = ["EmbLookupService", "GPU_SPEEDUP_MODEL"]
 
@@ -24,12 +26,25 @@ GPU_SPEEDUP_MODEL = 3.5
 class EmbLookupService(LookupService):
     name = "emblookup"
 
-    def __init__(self, pipeline: EmbLookup, gpu_mode: bool = False):
+    def __init__(
+        self,
+        pipeline: EmbLookup,
+        gpu_mode: bool = False,
+        cache: QueryCache | None = None,
+    ):
         super().__init__()
         if pipeline.model is None or pipeline.index is None:
             raise ValueError("EmbLookupService requires a fitted pipeline")
         self.pipeline = pipeline
         self.gpu_mode = gpu_mode
+        if cache is None and pipeline.config.query_cache_size > 0:
+            # The config flag opts the service into result caching: the
+            # index is static after fit(), so cached candidate lists stay
+            # valid until the pipeline is re-indexed.
+            cache = QueryCache(
+                pipeline.config.query_cache_size, cache_results=True
+            )
+        self.cache = cache
         if pipeline.config.compression == "none":
             self.name = "emblookup_nc"
 
@@ -46,6 +61,27 @@ class EmbLookupService(LookupService):
         return cls(pipeline, gpu_mode=gpu_mode)
 
     def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
+        if self.cache is None or not self.cache.caches_results:
+            return self._lookup_uncached(queries, k)
+        out: list[list[Candidate] | None] = []
+        miss_positions: list[int] = []
+        for qi, query in enumerate(queries):
+            cached = self.cache.get_result(normalize(query), k)
+            out.append(cached)
+            if cached is None:
+                miss_positions.append(qi)
+        if miss_positions:
+            fresh = self._lookup_uncached(
+                [queries[i] for i in miss_positions], k
+            )
+            for row, qi in zip(fresh, miss_positions):
+                out[qi] = row
+                self.cache.put_result(normalize(queries[qi]), k, row)
+        return [row if row is not None else [] for row in out]
+
+    def _lookup_uncached(
+        self, queries: list[str], k: int
+    ) -> list[list[Candidate]]:
         results = self.pipeline.lookup_batch(queries, k)
         # Embedding distance -> relevance score (higher is better).
         return [

@@ -83,11 +83,15 @@ def conv1d(
         grad_x_padded = np.zeros(
             (n, c_in, length + 2 * padding), dtype=grad.dtype
         )
-        for pos in range(out_len):
-            start = pos * stride
-            grad_x_padded[:, :, start : start + kernel] += grad_cols[
-                :, pos, :, :
-            ]
+        # Fold the column gradients back with one strided slice-add per
+        # kernel offset: targets within an offset are `stride` apart, so
+        # each += is overlap-free, and the loop runs `kernel` times
+        # instead of `out_len` times.
+        for k_off in range(kernel):
+            end = k_off + (out_len - 1) * stride + 1
+            grad_x_padded[:, :, k_off:end:stride] += grad_cols[
+                :, :, :, k_off
+            ].transpose(0, 2, 1)
         grad_x = (
             grad_x_padded[:, :, padding : padding + length]
             if padding

@@ -1,0 +1,13 @@
+"""Query-serving layer: micro-batched lookups over sharded indexes.
+
+:class:`LookupEngine` sits above the lookup services: it coalesces
+single-query ``submit()`` calls into micro-batches, drives them through
+the cache -> embed -> search -> rank stages, and reports per-stage
+timings.  Built for the paper's serving scenario (Section V) where many
+concurrent clients issue single lookups that are cheapest to answer in
+batches against a (possibly sharded) vector index.
+"""
+
+from repro.serving.engine import LookupEngine, PendingLookup
+
+__all__ = ["LookupEngine", "PendingLookup"]

@@ -1,0 +1,309 @@
+"""Micro-batching query engine over an EmbLookup pipeline.
+
+The engine answers the serving-path question the offline benchmark tables
+ignore: queries arrive one at a time, but the embedding model and the
+vector index are both far cheaper per query when driven in batches.
+:meth:`LookupEngine.submit` therefore enqueues single queries and returns
+a :class:`PendingLookup` handle; the queue is flushed into one batched
+lookup when it reaches ``max_batch_size``, when the oldest entry exceeds
+``max_batch_age`` seconds, or when :meth:`LookupEngine.flush` is called
+explicitly.
+
+Each flush runs the full serving pipeline -- LRU cache probe, embedding
+of the misses, (sharded) blockwise index scan, duplicate-row ranking --
+with a dedicated :class:`~repro.utils.timing.Stopwatch` per stage, on top
+of the whole-call ``query_time`` every :class:`LookupService` keeps.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.pipeline import EmbLookup
+from repro.index.base import VectorIndex
+from repro.index.flat import FlatIndex
+from repro.index.sharded import ShardedIndex
+from repro.lookup.base import Candidate, LookupService
+from repro.lookup.cache import QueryCache
+from repro.text.tokenize import normalize
+from repro.utils.timing import Stopwatch
+
+__all__ = ["LookupEngine", "PendingLookup"]
+
+#: Stage names, in pipeline order, that the engine times per flush.
+_STAGES = ("cache", "embed", "search", "rank")
+
+
+class PendingLookup:
+    """Handle for a query submitted to a :class:`LookupEngine`.
+
+    The result materialises when the engine flushes the micro-batch the
+    query rides in; reading :attr:`result` before that forces a flush.
+    """
+
+    __slots__ = ("_engine", "_row", "_done")
+
+    def __init__(self, engine: "LookupEngine"):
+        self._engine = engine
+        self._row: list[Candidate] = []
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the micro-batch holding this query has been flushed."""
+        return self._done
+
+    @property
+    def result(self) -> list[Candidate]:
+        """The candidate list, flushing the engine's queue if needed."""
+        if not self._done:
+            self._engine.flush()
+        if not self._done:
+            raise RuntimeError("pending lookup was not resolved by flush()")
+        return self._row
+
+    def _resolve(self, row: list[Candidate]) -> None:
+        self._row = row
+        self._done = True
+
+
+class LookupEngine(LookupService):
+    """Micro-batched entity lookup over a fitted EmbLookup pipeline.
+
+    The engine owns its vector index (typically a
+    :class:`~repro.index.sharded.ShardedIndex` built by
+    :meth:`from_pipeline`) and an optional :class:`QueryCache`; the
+    pipeline contributes only the trained embedding model and the
+    row -> entity mapping.  It is also a regular :class:`LookupService`,
+    so ``lookup_batch`` works synchronously and the evaluation harness
+    can benchmark it like any other service.
+    """
+
+    name = "serving_engine"
+
+    def __init__(
+        self,
+        pipeline: EmbLookup,
+        index: VectorIndex,
+        row_to_entity: Sequence[str],
+        cache: QueryCache | None = None,
+        max_batch_size: int = 32,
+        max_batch_age: float = 0.005,
+    ):
+        super().__init__()
+        if pipeline.model is None:
+            raise ValueError("LookupEngine requires a fitted pipeline")
+        if index.ntotal != len(row_to_entity):
+            raise ValueError(
+                f"index has {index.ntotal} rows but row_to_entity maps "
+                f"{len(row_to_entity)}"
+            )
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_batch_age < 0:
+            raise ValueError("max_batch_age must be >= 0")
+        self.pipeline = pipeline
+        self._index = index
+        self._row_to_entity = list(row_to_entity)
+        # Alias rows make several index rows resolve to one entity, so the
+        # search must over-fetch before dedup (same policy as the core
+        # pipeline's lookup_batch).
+        self._has_alias_rows = len(set(self._row_to_entity)) < len(
+            self._row_to_entity
+        )
+        self.cache = cache
+        self.max_batch_size = max_batch_size
+        self.max_batch_age = max_batch_age
+        self.stage_times: dict[str, Stopwatch] = {
+            stage: Stopwatch() for stage in _STAGES
+        }
+        self._pending: list[tuple[str, int, PendingLookup]] = []
+        self._batch_started = 0.0
+        self._lock = threading.Lock()
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_pipeline(
+        cls,
+        pipeline: EmbLookup,
+        num_shards: int = 1,
+        cache_size: int | None = None,
+        block_size: int | None = None,
+        **engine_kwargs,
+    ) -> "LookupEngine":
+        """Build an engine (and its flat/sharded index) from a fitted pipeline.
+
+        Re-embeds the pipeline's index rows into a fresh uncompressed
+        index: a :class:`FlatIndex` for ``num_shards == 1``, a
+        :class:`ShardedIndex` of flat shards otherwise.  ``cache_size``
+        defaults to the pipeline config's ``query_cache_size``; pass an
+        explicit value to override.  ``block_size`` tunes the blockwise
+        scan; ``engine_kwargs`` forward to the constructor.
+        """
+        if pipeline.model is None:
+            raise ValueError("from_pipeline requires a fitted pipeline")
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        mentions, row_to_entity = pipeline.index_rows()
+        vectors = pipeline.embed_queries(mentions)
+        dim = pipeline.config.embedding_dim
+        index: VectorIndex
+        if num_shards == 1:
+            index = FlatIndex(dim, block_size=block_size)
+        else:
+            index = ShardedIndex(
+                dim,
+                num_shards,
+                factory=lambda d: FlatIndex(d, block_size=block_size),
+            )
+        index.train(vectors)
+        index.add(vectors)
+        if cache_size is None:
+            cache_size = pipeline.config.query_cache_size
+        cache = (
+            QueryCache(cache_size, cache_results=True)
+            if cache_size > 0
+            else None
+        )
+        return cls(pipeline, index, row_to_entity, cache=cache, **engine_kwargs)
+
+    # -- micro-batching --------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of submitted queries waiting for the next flush."""
+        with self._lock:
+            return len(self._pending)
+
+    def submit(self, query: str, k: int = 10) -> PendingLookup:
+        """Enqueue one query; auto-flushes on size or age thresholds."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        handle = PendingLookup(self)
+        with self._lock:
+            if not self._pending:
+                self._batch_started = time.monotonic()
+            self._pending.append((query, k, handle))
+            should_flush = len(self._pending) >= self.max_batch_size or (
+                time.monotonic() - self._batch_started >= self.max_batch_age
+            )
+        if should_flush:
+            self.flush()
+        return handle
+
+    def flush(self) -> int:
+        """Resolve every pending query in batched lookups; returns the count."""
+        with self._lock:
+            pending, self._pending = self._pending, []
+        if not pending:
+            return 0
+        # One batched lookup per distinct k, preserving submission order
+        # within each group.
+        groups: dict[int, list[tuple[str, PendingLookup]]] = {}
+        for query, k, handle in pending:
+            groups.setdefault(k, []).append((query, handle))
+        for k, items in groups.items():
+            rows = self.lookup_batch([query for query, _ in items], k)
+            for (_, handle), row in zip(items, rows):
+                handle._resolve(row)
+        return len(pending)
+
+    # -- the serving pipeline --------------------------------------------------
+
+    def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
+        normalized = [normalize(q) for q in queries]
+        out: list[list[Candidate] | None] = [None] * len(queries)
+        with self.stage_times["cache"]:
+            if self.cache is not None and self.cache.caches_results:
+                for qi, query in enumerate(normalized):
+                    out[qi] = self.cache.get_result(query, k)
+        miss_positions = [qi for qi, row in enumerate(out) if row is None]
+        if miss_positions:
+            fresh = self._serve([normalized[qi] for qi in miss_positions], k)
+            for qi, row in zip(miss_positions, fresh):
+                out[qi] = row
+                if self.cache is not None and self.cache.caches_results:
+                    self.cache.put_result(normalized[qi], k, row)
+        return [row if row is not None else [] for row in out]
+
+    def _serve(self, normalized: list[str], k: int) -> list[list[Candidate]]:
+        """Embed -> search -> rank for result-cache misses."""
+        with self.stage_times["embed"]:
+            vectors = self._embed(normalized)
+        with self.stage_times["search"]:
+            fetch = k * 3 if self._has_alias_rows else k
+            fetch = min(fetch, self._index.ntotal) or k
+            result = self._index.search(vectors, fetch)
+        with self.stage_times["rank"]:
+            return self._rank(result.ids, result.distances, k)
+
+    def _embed(self, normalized: list[str]) -> np.ndarray:
+        """Embed normalized queries, memoizing repeats when cache enabled."""
+        if self.cache is None:
+            return self.pipeline.embed_queries(normalized)
+        vectors = [self.cache.get_embedding(q) for q in normalized]
+        miss_positions = [i for i, v in enumerate(vectors) if v is None]
+        if miss_positions:
+            fresh = self.pipeline.embed_queries(
+                [normalized[i] for i in miss_positions]
+            )
+            for row, i in enumerate(miss_positions):
+                vectors[i] = fresh[row]
+                self.cache.put_embedding(normalized[i], fresh[row])
+        return np.stack(vectors)
+
+    def _rank(
+        self, ids: np.ndarray, distances: np.ndarray, k: int
+    ) -> list[list[Candidate]]:
+        """Dedup alias rows to entities (closest wins) and score candidates."""
+        out: list[list[Candidate]] = []
+        for row_ids, row_d in zip(ids, distances):
+            seen: set[str] = set()
+            candidates: list[Candidate] = []
+            for idx, dist in zip(row_ids, row_d):
+                if idx < 0:
+                    continue
+                entity_id = self._row_to_entity[int(idx)]
+                if entity_id in seen:
+                    continue
+                seen.add(entity_id)
+                candidates.append(Candidate(entity_id, -float(dist)))
+                if len(candidates) == k:
+                    break
+            out.append(candidates)
+        return out
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def index(self) -> VectorIndex:
+        """The vector index the engine scans (flat or sharded)."""
+        return self._index
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Cumulative seconds per serving stage (cache/embed/search/rank)."""
+        return {
+            stage: watch.total for stage, watch in self.stage_times.items()
+        }
+
+    def reset_timers(self) -> None:
+        """Zero the whole-call timer and every per-stage stopwatch."""
+        super().reset_timers()
+        for watch in self.stage_times.values():
+            watch.reset()
+
+    def index_bytes(self) -> int:
+        """Storage of the engine's own index."""
+        return self._index.memory_bytes()
+
+    def close(self) -> None:
+        """Flush outstanding queries and release index worker threads."""
+        self.flush()
+        close = getattr(self._index, "close", None)
+        if callable(close):
+            close()

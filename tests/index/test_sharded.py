@@ -1,0 +1,124 @@
+"""Tests for repro.index.sharded (fan-out equivalence and id remapping)."""
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.index.pq import PQIndex
+from repro.index.sharded import ShardedIndex
+
+
+def make_data(n=200, d=16, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, d)).astype(np.float32)
+    queries = rng.normal(size=(7, d)).astype(np.float32)
+    return data, queries
+
+
+class TestBasics:
+    def test_validates_args(self):
+        with pytest.raises(ValueError):
+            ShardedIndex(0, 2)
+        with pytest.raises(ValueError):
+            ShardedIndex(4, 0)
+
+    def test_round_robin_striping(self):
+        data, _ = make_data(n=10, d=4)
+        index = ShardedIndex(4, 3)
+        index.add(data[:4])
+        index.add(data[4:])
+        assert index.ntotal == 10
+        sizes = [s.ntotal for s in index.shards]
+        assert sizes == [4, 3, 3]
+
+    def test_global_id_remap(self):
+        """Searching for a stored vector returns its global arrival id."""
+        data, _ = make_data(n=30, d=8, seed=5)
+        index = ShardedIndex(8, 4)
+        index.add(data)
+        result = index.search(data, 1)
+        np.testing.assert_array_equal(result.ids[:, 0], np.arange(30))
+
+    def test_memory_bytes_sums_shards(self):
+        data, _ = make_data(n=12, d=4)
+        index = ShardedIndex(4, 3)
+        index.add(data)
+        assert index.memory_bytes() == 12 * 4 * 4
+
+    def test_empty_index(self):
+        index = ShardedIndex(4, 3)
+        result = index.search(np.zeros((2, 4), dtype=np.float32), 3)
+        assert result.ids.shape == (2, 3)
+        assert (result.ids == -1).all()
+
+    def test_k_larger_than_ntotal_pads(self):
+        data, _ = make_data(n=3, d=4)
+        index = ShardedIndex(4, 2)
+        index.add(data[:3, :4])
+        result = index.search(np.zeros((1, 4), dtype=np.float32), 8)
+        assert (result.ids[0, 3:] == -1).all()
+        assert np.isinf(result.distances[0, 3:]).all()
+
+    def test_close_idempotent(self):
+        data, queries = make_data(n=8, d=4)
+        index = ShardedIndex(4, 2)
+        index.add(data[:, :4])
+        index.search(queries[:, :4], 2)
+        index.close()
+        index.close()
+        # Pool is rebuilt lazily after close.
+        result = index.search(queries[:, :4], 2)
+        assert result.ids.shape == (7, 2)
+
+
+class TestFlatEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_identical_to_unsharded_flat(self, num_shards):
+        data, queries = make_data()
+        flat = FlatIndex(16)
+        flat.add(data)
+        sharded = ShardedIndex(16, num_shards)
+        sharded.add(data)
+        want = flat.search(queries, 10)
+        got = sharded.search(queries, 10)
+        assert got.ids.tobytes() == want.ids.tobytes()
+        assert got.distances.tobytes() == want.distances.tobytes()
+        sharded.close()
+
+    @pytest.mark.parametrize("num_shards", [3, 8])
+    def test_incremental_adds_match(self, num_shards):
+        data, queries = make_data(seed=7)
+        flat = FlatIndex(16)
+        sharded = ShardedIndex(16, num_shards)
+        for start in range(0, len(data), 17):
+            chunk = data[start : start + 17]
+            flat.add(chunk)
+            sharded.add(chunk)
+        want = flat.search(queries, 5)
+        got = sharded.search(queries, 5)
+        assert got.ids.tobytes() == want.ids.tobytes()
+        sharded.close()
+
+
+class TestPQEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_identical_to_unsharded_pq(self, num_shards):
+        """Identically-seeded shards learn the same codebooks, so the
+        sharded ADC scan reproduces the unsharded one exactly."""
+        data, queries = make_data(n=300, seed=11)
+
+        def factory(dim):
+            return PQIndex(dim, m=4, nbits=4, seed=13)
+
+        plain = factory(16)
+        plain.train(data)
+        plain.add(data)
+        sharded = ShardedIndex(16, num_shards, factory=factory)
+        sharded.train(data)
+        sharded.add(data)
+        assert sharded.is_trained
+        want = plain.search(queries, 10)
+        got = sharded.search(queries, 10)
+        assert got.ids.tobytes() == want.ids.tobytes()
+        assert got.distances.tobytes() == want.distances.tobytes()
+        sharded.close()

@@ -1,0 +1,185 @@
+"""Tests for repro.index.topk (blockwise streaming top-k kernel)."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.index.pq import PQIndex
+from repro.index.topk import (
+    DEFAULT_BLOCK_SIZE,
+    block_topk,
+    blockwise_topk,
+    merge_topk,
+)
+
+
+def brute_rank(distances, k):
+    """Reference (distance, id) ranking over a full distance matrix."""
+    nq, n = distances.shape
+    ids = np.broadcast_to(np.arange(n, dtype=np.int64), (nq, n))
+    order = np.lexsort((ids, distances), axis=1)[:, :k]
+    out_ids = np.take_along_axis(np.ascontiguousarray(ids), order, axis=1)
+    out_d = np.take_along_axis(distances, order, axis=1)
+    if k > n:
+        pad = k - n
+        out_ids = np.pad(out_ids, ((0, 0), (0, pad)), constant_values=-1)
+        out_d = np.pad(out_d, ((0, 0), (0, pad)), constant_values=np.inf)
+    return out_ids, out_d
+
+
+class TestBlockTopk:
+    def test_selects_smallest(self):
+        d = np.array([[3.0, 1.0, 2.0, 0.5]])
+        ids, dist = block_topk(d, 2)
+        np.testing.assert_array_equal(ids, [[3, 1]])
+        np.testing.assert_allclose(dist, [[0.5, 1.0]])
+
+    def test_id_offset_shifts_ids(self):
+        d = np.array([[3.0, 1.0]])
+        ids, _ = block_topk(d, 1, id_offset=10)
+        np.testing.assert_array_equal(ids, [[11]])
+
+    def test_pads_when_k_exceeds_width(self):
+        d = np.array([[2.0, 1.0]])
+        ids, dist = block_topk(d, 4)
+        np.testing.assert_array_equal(ids, [[1, 0, -1, -1]])
+        assert np.isinf(dist[0, 2:]).all()
+
+    def test_ties_broken_by_id(self):
+        d = np.zeros((1, 5))
+        ids, _ = block_topk(d, 3)
+        np.testing.assert_array_equal(ids, [[0, 1, 2]])
+
+
+class TestMergeTopk:
+    def test_merges_two_sorted_runs(self):
+        ids_a = np.array([[0, 2]], dtype=np.int64)
+        d_a = np.array([[1.0, 3.0]])
+        ids_b = np.array([[5, 7]], dtype=np.int64)
+        d_b = np.array([[2.0, 4.0]])
+        ids, dist = merge_topk(ids_a, d_a, ids_b, d_b, 3)
+        np.testing.assert_array_equal(ids, [[0, 5, 2]])
+        np.testing.assert_allclose(dist, [[1.0, 2.0, 3.0]])
+
+    def test_padding_sorts_last(self):
+        ids_a = np.array([[-1, -1]], dtype=np.int64)
+        d_a = np.full((1, 2), np.inf)
+        ids_b = np.array([[4, -1]], dtype=np.int64)
+        d_b = np.array([[0.5, np.inf]])
+        ids, _ = merge_topk(ids_a, d_a, ids_b, d_b, 2)
+        np.testing.assert_array_equal(ids, [[4, -1]])
+
+    def test_tie_prefers_lower_id(self):
+        ids_a = np.array([[9]], dtype=np.int64)
+        ids_b = np.array([[3]], dtype=np.int64)
+        d = np.array([[1.0]])
+        ids, _ = merge_topk(ids_a, d, ids_b, d, 1)
+        np.testing.assert_array_equal(ids, [[3]])
+
+
+class TestBlockwiseTopk:
+    def run_blockwise(self, distances, k, block):
+        def score_block(start, stop):
+            return distances[:, start:stop]
+
+        return blockwise_topk(
+            score_block,
+            distances.shape[1],
+            k,
+            num_queries=distances.shape[0],
+            block_size=block,
+        )
+
+    @pytest.mark.parametrize("block", [1, 7, 100, 4096])
+    def test_matches_full_ranking_for_any_block_size(self, block):
+        rng = np.random.default_rng(0)
+        distances = rng.random((6, 100))
+        want_ids, want_d = brute_rank(distances, 10)
+        ids, dist = self.run_blockwise(distances, 10, block)
+        np.testing.assert_array_equal(ids, want_ids)
+        np.testing.assert_array_equal(dist, want_d)
+
+    @pytest.mark.parametrize("block", [1, 7, 100, 4096])
+    def test_bit_identical_across_block_sizes(self, block):
+        """Every block size must give byte-for-byte the same answer."""
+        rng = np.random.default_rng(4)
+        distances = rng.random((3, 57))
+        ref_ids, ref_d = self.run_blockwise(distances, 5, DEFAULT_BLOCK_SIZE)
+        ids, dist = self.run_blockwise(distances, 5, block)
+        assert ids.tobytes() == ref_ids.tobytes()
+        assert dist.tobytes() == ref_d.tobytes()
+
+    def test_empty_store_pads(self):
+        ids, dist = blockwise_topk(
+            lambda s, e: np.empty((2, 0)), 0, 3, num_queries=2
+        )
+        assert ids.shape == (2, 3)
+        assert (ids == -1).all()
+        assert np.isinf(dist).all()
+
+    def test_never_scores_more_than_block(self):
+        widths = []
+
+        def score_block(start, stop):
+            widths.append(stop - start)
+            return np.zeros((2, stop - start))
+
+        blockwise_topk(score_block, 1000, 4, num_queries=2, block_size=64)
+        assert widths, "score_block never called"
+        assert max(widths) <= 64
+
+
+class TestStreamingMemory:
+    def test_flat_search_never_materializes_full_matrix(self):
+        """Peak allocation stays O(nq x block), not O(nq x ntotal)."""
+        n, d, nq, block = 20000, 16, 8, 512
+        rng = np.random.default_rng(1)
+        index = FlatIndex(d, block_size=block)
+        index.add(rng.normal(size=(n, d)).astype(np.float32))
+        queries = rng.normal(size=(nq, d)).astype(np.float32)
+        index.search(queries, 5)  # warm up caches/pools
+        tracemalloc.start()
+        index.search(queries, 5)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        full_matrix = nq * n * 8  # float64 (nq, ntotal) scores
+        assert peak < full_matrix / 2, (
+            f"peak {peak}B suggests a full (nq, ntotal) materialization "
+            f"({full_matrix}B)"
+        )
+
+    def test_pq_search_never_materializes_full_matrix(self):
+        n, d, nq, block = 20000, 16, 8, 512
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(n, d)).astype(np.float32)
+        index = PQIndex(d, m=4, nbits=4, seed=0, block_size=block)
+        index.train(data[:2000])
+        index.add(data)
+        queries = rng.normal(size=(nq, d)).astype(np.float32)
+        index.search(queries, 5)
+        tracemalloc.start()
+        index.search(queries, 5)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        full_matrix = nq * n * 8
+        assert peak < full_matrix / 2
+
+    @pytest.mark.parametrize("block", [1, 7, 4096])
+    def test_flat_block_size_equivalence(self, block):
+        """Blockwise flat scans rank identically to the one-shot scan.
+
+        Ids are bit-identical; distances are allowed ULP-level wobble
+        because BLAS picks different gemm kernels per block width.
+        """
+        rng = np.random.default_rng(3)
+        n = 123
+        data = rng.normal(size=(n, 8)).astype(np.float32)
+        queries = rng.normal(size=(5, 8)).astype(np.float32)
+        index = FlatIndex(8)
+        index.add(data)
+        ref = index.search(queries, 10, block_size=n)
+        got = index.search(queries, 10, block_size=block)
+        assert got.ids.tobytes() == ref.ids.tobytes()
+        np.testing.assert_allclose(got.distances, ref.distances, rtol=1e-12)

@@ -1,0 +1,159 @@
+"""Tests for repro.lookup.cache and its wiring into the services."""
+
+import copy
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.lookup.cache import QueryCache
+from repro.lookup.embedder_service import EmbedderLookupService
+from repro.lookup.emblookup_service import EmbLookupService
+
+
+class CountingEmbedder:
+    """Deterministic hash embedder that counts embed() calls."""
+
+    def __init__(self, dim=8):
+        self._dim = dim
+        self.calls = 0
+        self.strings_embedded = 0
+
+    @property
+    def dim(self):
+        return self._dim
+
+    def embed(self, mentions):
+        self.calls += 1
+        self.strings_embedded += len(mentions)
+        out = np.zeros((len(mentions), self._dim), dtype=np.float32)
+        for i, m in enumerate(mentions):
+            rng = np.random.default_rng(abs(hash(m)) % (2**32))
+            out[i] = rng.normal(size=self._dim)
+        return out
+
+
+class TestQueryCache:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            QueryCache(0)
+
+    def test_embedding_roundtrip_and_counters(self):
+        cache = QueryCache(4)
+        assert cache.get_embedding("usa") is None
+        cache.put_embedding("usa", np.ones(3))
+        np.testing.assert_array_equal(cache.get_embedding("usa"), np.ones(3))
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_stored_embedding_is_copied(self):
+        cache = QueryCache(4)
+        vec = np.ones(3)
+        cache.put_embedding("q", vec)
+        vec[:] = 0.0
+        np.testing.assert_array_equal(cache.get_embedding("q"), np.ones(3))
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(2)
+        cache.put_embedding("a", np.zeros(1))
+        cache.put_embedding("b", np.zeros(1))
+        cache.get_embedding("a")  # refresh "a": now "b" is the LRU entry
+        cache.put_embedding("c", np.zeros(1))
+        assert cache.get_embedding("b") is None
+        assert cache.get_embedding("a") is not None
+        assert cache.stats.evictions == 1
+
+    def test_result_store_disabled_by_default(self):
+        cache = QueryCache(4)
+        assert not cache.caches_results
+        cache.put_result("q", 5, [("e", 1.0)])
+        assert cache.get_result("q", 5) is None
+
+    def test_result_store_keyed_by_query_and_k(self):
+        cache = QueryCache(4, cache_results=True)
+        cache.put_result("q", 5, ["row5"])
+        assert cache.get_result("q", 5) == ["row5"]
+        assert cache.get_result("q", 10) is None
+
+    def test_clear_and_len(self):
+        cache = QueryCache(4, cache_results=True)
+        cache.put_embedding("a", np.zeros(1))
+        cache.put_result("a", 3, [])
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_stats_dict_keys(self):
+        assert set(QueryCache(1).stats_dict()) == {
+            "hits",
+            "misses",
+            "evictions",
+            "hit_rate",
+        }
+
+
+class TestEmbedderServiceCache:
+    def test_repeated_queries_skip_the_embedder(self, tiny_kg):
+        embedder = CountingEmbedder()
+        service = EmbedderLookupService.build(
+            tiny_kg, embedder=embedder, cache_size=16
+        )
+        queries = ["Germany", "France", "Germany"]
+        first = service.lookup_batch(queries, 5)
+        before = embedder.strings_embedded
+        second = service.lookup_batch(queries, 5)
+        assert embedder.strings_embedded == before  # all three cached
+        assert first == second
+
+    def test_cache_disabled_by_default(self, tiny_kg):
+        service = EmbedderLookupService.build(
+            tiny_kg, embedder=CountingEmbedder()
+        )
+        assert service.cache is None
+
+    def test_duplicate_queries_in_one_batch(self, tiny_kg):
+        service = EmbedderLookupService.build(
+            tiny_kg, embedder=CountingEmbedder(), cache_size=16
+        )
+        rows = service.lookup_batch(["x", "x", "x"], 3)
+        assert rows[0] == rows[1] == rows[2]
+
+
+class TestEmptyIndexServices:
+    """Satellite: no k clamp — empty indexes yield empty candidate lists."""
+
+    def test_embedder_service_empty_index(self):
+        service = EmbedderLookupService(CountingEmbedder())
+        assert service.lookup_batch(["anything", "else"], 7) == [[], []]
+
+    def test_k_exceeding_ntotal_returns_all_rows(self, tiny_kg):
+        service = EmbedderLookupService.build(
+            tiny_kg, embedder=CountingEmbedder()
+        )
+        n = service._index.ntotal
+        rows = service.lookup_batch(["germany"], n + 50)
+        assert len(rows[0]) == n  # padded (-1) rows filtered, none invented
+
+
+class TestEmbLookupServiceCache:
+    def test_config_flag_enables_result_cache(self, trained_service):
+        pipeline = copy.copy(trained_service)
+        pipeline.config = dataclasses.replace(
+            trained_service.config, query_cache_size=8
+        )
+        service = EmbLookupService(pipeline)
+        assert service.cache is not None
+        assert service.cache.caches_results
+
+    def test_cached_results_identical_and_hit_counted(self, trained_service):
+        cache = QueryCache(8, cache_results=True)
+        service = EmbLookupService(trained_service, cache=cache)
+        first = service.lookup_batch(["germany", "france"], 5)
+        hits_before = cache.stats.hits
+        second = service.lookup_batch(["germany", "france"], 5)
+        assert second == first
+        assert cache.stats.hits >= hits_before + 2
+
+    def test_no_cache_by_default(self, trained_service):
+        assert EmbLookupService(trained_service).cache is None

@@ -1,0 +1,155 @@
+"""Tests for repro.serving.engine (micro-batching lookup engine)."""
+
+import numpy as np
+import pytest
+
+from repro.index.sharded import ShardedIndex
+from repro.lookup.cache import QueryCache
+from repro.serving.engine import LookupEngine
+
+
+@pytest.fixture(scope="module")
+def engine(trained_service):
+    """A single-shard engine over the session's trained pipeline."""
+    return LookupEngine.from_pipeline(trained_service, max_batch_size=4)
+
+
+class TestConstruction:
+    def test_requires_fitted_pipeline(self, trained_service):
+        from repro.core.pipeline import EmbLookup
+
+        with pytest.raises(ValueError):
+            LookupEngine.from_pipeline(EmbLookup(trained_service.config))
+
+    def test_row_count_validated(self, trained_service):
+        from repro.index.flat import FlatIndex
+
+        with pytest.raises(ValueError):
+            LookupEngine(trained_service, FlatIndex(64), ["only-one-row"])
+
+    def test_from_pipeline_sharded(self, trained_service):
+        engine = LookupEngine.from_pipeline(trained_service, num_shards=4)
+        assert isinstance(engine.index, ShardedIndex)
+        assert engine.index.ntotal == len(trained_service.row_entity_ids)
+        engine.close()
+
+    def test_cache_size_from_config_default(self, engine, trained_service):
+        assert trained_service.config.query_cache_size == 0
+        assert engine.cache is None
+
+    def test_index_bytes_positive(self, engine):
+        assert engine.index_bytes() > 0
+
+
+class TestSynchronousLookup:
+    def test_matches_pipeline_ranking(self, engine, trained_service):
+        """The engine's flat scan ranks exactly like the pipeline's EL-NC
+        (uncompressed) path: same entities, distances negated to scores."""
+        queries = ["germany", "france", "uni of oxford"]
+        got = engine.lookup_batch(queries, 5)
+        flat = trained_service.clone_with_compression("none")
+        want = flat.lookup_batch(queries, 5)
+        for got_row, want_row in zip(got, want):
+            assert [c.entity_id for c in got_row] == [
+                r.entity_id for r in want_row
+            ]
+            np.testing.assert_allclose(
+                [-c.score for c in got_row],
+                [r.distance for r in want_row],
+                rtol=1e-5,
+                atol=1e-6,
+            )
+
+    def test_sharded_engine_matches_single_shard(self, trained_service):
+        queries = ["germany", "tokyo", "acme corp"]
+        single = LookupEngine.from_pipeline(trained_service, num_shards=1)
+        sharded = LookupEngine.from_pipeline(trained_service, num_shards=3)
+        assert single.lookup_batch(queries, 5) == sharded.lookup_batch(
+            queries, 5
+        )
+        sharded.close()
+
+    def test_stage_timers_accumulate(self, trained_service):
+        engine = LookupEngine.from_pipeline(trained_service)
+        engine.lookup_batch(["germany"], 3)
+        stages = engine.stage_seconds()
+        assert set(stages) == {"cache", "embed", "search", "rank"}
+        assert stages["embed"] > 0
+        assert stages["search"] > 0
+        assert engine.query_time.total >= stages["search"]
+        engine.reset_timers()
+        assert all(v == 0.0 for v in engine.stage_seconds().values())
+        assert engine.query_time.total == 0.0
+
+
+class TestMicroBatching:
+    def test_submit_queues_until_flush(self, trained_service):
+        engine = LookupEngine.from_pipeline(
+            trained_service, max_batch_size=100, max_batch_age=1000.0
+        )
+        h1 = engine.submit("germany", 3)
+        h2 = engine.submit("france", 3)
+        assert not h1.done and not h2.done
+        assert engine.pending == 2
+        assert engine.flush() == 2
+        assert h1.done and h2.done
+        assert engine.pending == 0
+
+    def test_size_threshold_auto_flushes(self, trained_service):
+        engine = LookupEngine.from_pipeline(
+            trained_service, max_batch_size=2, max_batch_age=1000.0
+        )
+        h1 = engine.submit("germany", 3)
+        assert not h1.done
+        h2 = engine.submit("france", 3)
+        assert h1.done and h2.done
+
+    def test_result_forces_flush(self, trained_service):
+        engine = LookupEngine.from_pipeline(
+            trained_service, max_batch_size=100, max_batch_age=1000.0
+        )
+        handle = engine.submit("germany", 3)
+        row = handle.result  # implicit flush
+        assert handle.done
+        assert row == engine.lookup_batch(["germany"], 3)[0]
+
+    def test_mixed_k_batches_resolve_correctly(self, trained_service):
+        engine = LookupEngine.from_pipeline(
+            trained_service, max_batch_size=100, max_batch_age=1000.0
+        )
+        h3 = engine.submit("germany", 3)
+        h5 = engine.submit("germany", 5)
+        engine.flush()
+        assert len(h3.result) == 3
+        assert len(h5.result) == 5
+
+    def test_submit_validates_k(self, engine):
+        with pytest.raises(ValueError):
+            engine.submit("x", 0)
+
+    def test_flush_empty_queue(self, engine):
+        assert engine.flush() == 0
+
+
+class TestEngineCache:
+    def test_result_cache_short_circuits_search(self, trained_service):
+        cache = QueryCache(16, cache_results=True)
+        engine = LookupEngine.from_pipeline(trained_service)
+        engine.cache = cache
+        first = engine.lookup_batch(["germany", "france"], 4)
+        searches_before = engine.stage_seconds()["embed"]
+        embed_calls_before = cache.stats.misses
+        second = engine.lookup_batch(["germany", "france"], 4)
+        assert second == first
+        # Result hits mean no new embedding-store misses.
+        assert cache.stats.misses == embed_calls_before
+        assert engine.stage_seconds()["embed"] == searches_before
+
+    def test_normalization_shares_entries(self, trained_service):
+        cache = QueryCache(16, cache_results=True)
+        engine = LookupEngine.from_pipeline(trained_service)
+        engine.cache = cache
+        engine.lookup_batch(["Germany"], 4)
+        hits_before = cache.stats.hits
+        engine.lookup_batch(["  germany  "], 4)
+        assert cache.stats.hits > hits_before

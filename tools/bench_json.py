@@ -1,0 +1,49 @@
+"""Machine-readable benchmark output (the ``BENCH_*.json`` files).
+
+The text tables under ``benchmarks/results`` are for humans; CI and the
+tracking scripts want stable JSON.  :func:`write_bench_json` wraps a
+bench's metric dict with the environment block (interpreter, numpy,
+cpu count) every measurement needs for interpretation, and writes it
+atomically so a crashed bench never leaves a truncated file behind.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+from pathlib import Path
+
+
+def environment_info() -> dict:
+    """Interpreter / numpy / host facts that contextualise timings."""
+    import numpy as np
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench_json(path: str | Path, name: str, metrics: dict) -> Path:
+    """Write ``{name, generated, environment, metrics}`` to ``path``.
+
+    Returns the path written.  The write goes through a ``.tmp`` sibling
+    plus rename, so readers never observe a partial file.
+    """
+    path = Path(path)
+    payload = {
+        "name": name,
+        "generated": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "environment": environment_info(),
+        "metrics": metrics,
+    }
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    os.replace(tmp, path)
+    return path
