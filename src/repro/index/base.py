@@ -21,10 +21,20 @@ class SearchResult:
     distances:
         ``(num_queries, k)`` distances aligned with ``ids`` (same padding
         convention, padded entries hold ``inf``).
+    partial:
+        ``True`` when the result covers only part of the store — a
+        sharded search degraded gracefully because one or more shards
+        failed or timed out.  Exhaustive single-index scans always
+        return ``False``.
+    failed_shards:
+        Shard numbers whose contribution is missing from a ``partial``
+        result (empty for complete results).
     """
 
     ids: np.ndarray
     distances: np.ndarray
+    partial: bool = False
+    failed_shards: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.ids.shape != self.distances.shape:

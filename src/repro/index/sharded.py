@@ -13,19 +13,65 @@ results remap to the global id space arithmetically.  Fan-in uses
 :func:`repro.index.topk.merge_topk`, which ranks by ``(distance, id)``;
 together with the blockwise scans inside each shard this makes a sharded
 search return *identical* results to the equivalent unsharded index.
+
+Failure semantics (the serving hardening pass): a shard that raises is
+retried once; a shard that still fails, or whose result does not arrive
+within ``shard_timeout`` seconds, is *dropped* from the fan-in and the
+search returns the merged top-k of the surviving shards with
+``partial=True`` and the dead shards listed in ``failed_shards`` — one
+slow or crashing shard degrades recall instead of failing the whole
+lookup.  Per-shard counters (searches / failures / timeouts / retries)
+are kept in :meth:`ShardedIndex.health_stats` so a serving layer can
+alert on a persistently sick shard.  Pass ``fail_fast=True`` to restore
+strict all-or-nothing behaviour.
+
+Fault injection: tests (see :mod:`repro.testing.faults`) pass a
+``fault_hook`` — any object with optional methods
+``before(shard: int) -> None`` (called on the shard's worker thread
+before its search; may raise or sleep) and
+``transform(shard: int, ids, distances) -> (ids, distances)`` (applied
+to the shard's result before fan-in).  Production code leaves it
+``None``; the index never imports the testing layer.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from time import monotonic
 
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.topk import merge_topk
 
-__all__ = ["ShardedIndex"]
+__all__ = ["AllShardsFailedError", "ShardedIndex"]
+
+
+class AllShardsFailedError(RuntimeError):
+    """Every shard of a sharded search failed or timed out."""
+
+
+class _ShardHealth:
+    """Per-shard serving counters (mutated under the index's stats lock)."""
+
+    __slots__ = ("searches", "failures", "timeouts", "retries")
+
+    def __init__(self) -> None:
+        self.searches = 0
+        self.failures = 0
+        self.timeouts = 0
+        self.retries = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "searches": self.searches,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+        }
 
 
 class ShardedIndex(VectorIndex):
@@ -44,6 +90,21 @@ class ShardedIndex(VectorIndex):
         (``train`` feeds every shard the full training matrix).
     max_workers:
         Thread-pool width (defaults to ``num_shards``).
+    shard_timeout:
+        Seconds one search waits for its shard fan-out (a single deadline
+        shared by the concurrently-running shards, not a per-shard serial
+        budget).  ``None`` waits forever.
+    max_retries:
+        Bounded in-thread retries after a shard search raises (the retry
+        runs immediately on the same worker; timeouts are not retried —
+        the hung call cannot be cancelled, so a retry would double the
+        stall).
+    fail_fast:
+        When ``True``, re-raise the first shard failure instead of
+        degrading to a partial result.
+    fault_hook:
+        Optional fault-injection hook (see module docstring); production
+        callers leave this ``None``.
     """
 
     def __init__(
@@ -52,11 +113,21 @@ class ShardedIndex(VectorIndex):
         num_shards: int,
         factory: Callable[[int], VectorIndex] | None = None,
         max_workers: int | None = None,
+        shard_timeout: float | None = None,
+        max_retries: int = 1,
+        fail_fast: bool = False,
+        fault_hook: object | None = None,
     ):
         if dim <= 0:
             raise ValueError(f"dim must be positive, got {dim}")
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ValueError(
+                f"shard_timeout must be positive or None, got {shard_timeout}"
+            )
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         if factory is None:
             from repro.index.flat import FlatIndex
 
@@ -74,6 +145,14 @@ class ShardedIndex(VectorIndex):
         self._ntotal = 0
         self._max_workers = max_workers or num_shards
         self._executor: ThreadPoolExecutor | None = None
+        self.shard_timeout = shard_timeout
+        self.max_retries = max_retries
+        self.fail_fast = fail_fast
+        self.fault_hook = fault_hook
+        self._stats_lock = threading.Lock()
+        self._health = [_ShardHealth() for _ in range(num_shards)]
+        self._partial_searches = 0
+        self._total_searches = 0
 
     @property
     def shards(self) -> list[VectorIndex]:
@@ -115,18 +194,86 @@ class ShardedIndex(VectorIndex):
             )
         return self._executor
 
+    def _search_shard(
+        self, s: int, queries: np.ndarray, k: int
+    ) -> SearchResult:
+        """One shard's search on a worker thread, with bounded retries."""
+        hook = self.fault_hook
+        before = getattr(hook, "before", None) if hook is not None else None
+        transform = (
+            getattr(hook, "transform", None) if hook is not None else None
+        )
+        attempts = self.max_retries + 1
+        for attempt in range(attempts):
+            try:
+                if before is not None:
+                    before(s)
+                result = self._shards[s].search(queries, k)
+                if transform is not None:
+                    ids, distances = transform(
+                        s, result.ids, result.distances
+                    )
+                    result = SearchResult(ids=ids, distances=distances)
+                return result
+            except Exception:
+                if attempt + 1 >= attempts:
+                    raise
+                with self._stats_lock:
+                    self._health[s].retries += 1
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def search(self, queries: np.ndarray, k: int) -> SearchResult:
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
+        deadline = (
+            monotonic() + self.shard_timeout
+            if self.shard_timeout is not None
+            else None
+        )
         futures = [
-            self._pool().submit(shard.search, queries, k)
-            for shard in self._shards
+            self._pool().submit(self._search_shard, s, queries, k)
+            for s in range(self.num_shards)
         ]
         run_ids = np.full((len(queries), k), -1, dtype=np.int64)
         # Running accumulator in the SearchResult contract, not storage.
         run_d = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
+        failed: list[int] = []
         for s, future in enumerate(futures):
-            result = future.result()
+            timed_out = False
+            try:
+                if deadline is None:
+                    result = future.result()
+                else:
+                    result = future.result(
+                        timeout=max(0.0, deadline - monotonic())
+                    )
+            except FutureTimeoutError:
+                timed_out = True
+                result = None
+            except Exception:
+                if self.fail_fast:
+                    with self._stats_lock:
+                        self._health[s].searches += 1
+                        self._health[s].failures += 1
+                        self._total_searches += 1
+                    raise
+                result = None
+            with self._stats_lock:
+                self._health[s].searches += 1
+                if result is None:
+                    self._health[s].failures += 1
+                    if timed_out:
+                        self._health[s].timeouts += 1
+            if result is None:
+                if timed_out and self.fail_fast:
+                    with self._stats_lock:
+                        self._total_searches += 1
+                    raise TimeoutError(
+                        f"shard {s} exceeded shard_timeout="
+                        f"{self.shard_timeout}s"
+                    )
+                failed.append(s)
+                continue
             local = result.ids
             # local row r of shard s holds global id r * num_shards + s.
             remapped = np.where(
@@ -135,7 +282,33 @@ class ShardedIndex(VectorIndex):
             run_ids, run_d = merge_topk(
                 run_ids, run_d, remapped, result.distances, k
             )
-        return SearchResult(ids=run_ids, distances=run_d)
+        with self._stats_lock:
+            self._total_searches += 1
+            if failed:
+                self._partial_searches += 1
+        if len(failed) == self.num_shards:
+            raise AllShardsFailedError(
+                f"all {self.num_shards} shards failed or timed out"
+            )
+        return SearchResult(
+            ids=run_ids,
+            distances=run_d,
+            partial=bool(failed),
+            failed_shards=tuple(failed),
+        )
+
+    def health_stats(self) -> dict:
+        """Serving-health snapshot: per-shard counters plus search totals.
+
+        ``searches``/``failures``/``timeouts``/``retries`` per shard;
+        ``partial_searches`` counts degraded (survivor-only) results.
+        """
+        with self._stats_lock:
+            return {
+                "shards": [h.as_dict() for h in self._health],
+                "total_searches": self._total_searches,
+                "partial_searches": self._partial_searches,
+            }
 
     def memory_bytes(self) -> int:
         return sum(shard.memory_bytes() for shard in self._shards)

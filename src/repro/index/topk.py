@@ -13,10 +13,24 @@ core the 4096-row blocked flat scan runs ~3x faster than the full
 materialisation; see ``BENCH_serving.json``).
 
 Ordering convention: candidates are ranked by ``(distance, id)`` — ties
-broken toward the smaller row id — which makes blockwise, full, and
-sharded scans return *identical* results for any block partition.
-Padding follows :class:`repro.index.base.SearchResult`: id ``-1`` with
-``inf`` distance, always sorted last.
+broken toward the smaller row id — so the selection/merge machinery
+itself is exactly partition-invariant: feeding it the same per-candidate
+scores in any block or shard grouping returns identical results.
+Caveat discovered by the ``repro.testing`` differential harness: for the
+*flat* scan the scores themselves are BLAS matmuls whose rounding can
+differ by ~1 ulp with block width (gemv vs gemm kernels), so cross-
+partition results are bit-identical only up to ulp-level distance ties;
+the PQ ADC path sums its tables in fixed order and is bit-exact across
+any partitioning.  Padding follows
+:class:`repro.index.base.SearchResult`: id ``-1`` with ``inf`` distance,
+always sorted last.
+
+Two refinements keep that invariant total even on degenerate scores
+(surfaced by the ``repro.testing`` oracle harness over ±inf-magnitude
+stores): padding ranks *strictly* after every real candidate — including
+reals whose distance is ``inf`` — and ``NaN`` distances rank last among
+the reals, so a corrupted score can never evict a healthy neighbour nor
+leapfrog the padding.
 """
 
 from __future__ import annotations
@@ -33,8 +47,17 @@ DEFAULT_BLOCK_SIZE = 4096
 def _rank_topk(
     ids: np.ndarray, distances: np.ndarray, k: int
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Order candidate columns by ``(distance, id)`` and keep ``k``."""
-    order = np.lexsort((ids, distances), axis=1)[:, :k]
+    """Order candidate columns by ``(pad-last, distance, id)`` and keep ``k``.
+
+    The primary key is the padding flag (``id < 0``), so ``-1``/``inf``
+    pad entries sort after *every* real candidate, even ones whose
+    distance is ``inf`` or ``NaN`` — without it a real neighbour with a
+    non-finite score would lose its slot to padding during a merge
+    (observed when ``k > ntotal`` on one shard while another shard holds
+    an inf-magnitude vector).  Among real entries ``NaN`` sorts last, as
+    in ``np.sort``.
+    """
+    order = np.lexsort((ids, distances, ids < 0), axis=1)[:, :k]
     return (
         np.take_along_axis(ids, order, axis=1),
         np.take_along_axis(distances, order, axis=1),
@@ -64,6 +87,19 @@ def block_topk(
         # Cheap O(width) pre-selection before the exact (distance, id) rank.
         part = np.argpartition(distances, take - 1, axis=1)[:, :take]
         part_d = np.take_along_axis(distances, part, axis=1)
+        # argpartition picks arbitrarily among candidates tied at the cut,
+        # which would make the id tie-break selection-order dependent (and
+        # partition-variant).  When any row has more boundary-tied
+        # candidates than slots — including an all-NaN boundary — fall
+        # back to exact-ranking the full block for this (rare) block.
+        thresh = part_d.max(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore"):
+            at_cut = (distances <= thresh) | (
+                np.isnan(distances) & np.isnan(thresh)
+            )
+        if (at_cut.sum(axis=1) > take).any():
+            part = np.tile(np.arange(width, dtype=np.int64), (nq, 1))
+            part_d = distances
     else:
         part = np.tile(np.arange(width, dtype=np.int64), (nq, 1))
         part_d = distances

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from collections.abc import Callable
 from typing import Any
 
 import numpy as np
@@ -122,14 +123,43 @@ class QueryCache:
     # -- embedding store --------------------------------------------------------
 
     def get_embedding(self, query: str) -> np.ndarray | None:
-        """Cached embedding for ``query`` or ``None`` (counts hit/miss)."""
+        """Cached embedding for ``query`` or ``None`` (counts hit/miss).
+
+        The returned array is the cached storage itself, marked
+        read-only — mutating callers must copy.
+        """
         with self._lock:
             return self._embeddings.get(query)
 
     def put_embedding(self, query: str, vector: np.ndarray) -> None:
-        """Store ``query``'s embedding (copied, so callers can't mutate it)."""
+        """Store ``query``'s embedding (copied and frozen read-only)."""
+        entry = np.array(vector, copy=True)
+        entry.flags.writeable = False
         with self._lock:
-            self._embeddings.put(query, np.array(vector, copy=True))
+            self._embeddings.put(query, entry)
+
+    def get_embeddings(
+        self,
+        normalized: list[str],
+        embed_fn: Callable[[list[str]], np.ndarray],
+    ) -> np.ndarray:
+        """Memoized batch embedding: probe, embed only the misses, fill.
+
+        ``embed_fn`` receives the miss queries (in input order) and must
+        return one vector row per query; it runs *outside* the cache
+        lock, so other threads keep hitting the cache while a model
+        forward pass is in flight.  This is the shared serving-path
+        helper used by the engine and the embedder services (one
+        implementation instead of three hand-rolled probe/fill loops).
+        """
+        vectors = [self.get_embedding(q) for q in normalized]
+        miss_positions = [i for i, v in enumerate(vectors) if v is None]
+        if miss_positions:
+            fresh = embed_fn([normalized[i] for i in miss_positions])
+            for row, i in enumerate(miss_positions):
+                vectors[i] = fresh[row]
+                self.put_embedding(normalized[i], fresh[row])
+        return np.stack(vectors)
 
     # -- result store -----------------------------------------------------------
 
@@ -147,6 +177,26 @@ class QueryCache:
             return
         with self._lock:
             self._results.put((query, k), list(candidates))
+
+    def get_results(self, normalized: list[str], k: int) -> list[list | None]:
+        """Batch :meth:`get_result`: one slot per query, ``None`` on miss.
+
+        When the result store is disabled this is all-``None`` without
+        touching the counters, so callers can use it unconditionally.
+        """
+        if self._results is None:
+            return [None] * len(normalized)
+        return [self.get_result(q, k) for q in normalized]
+
+    def put_results(
+        self, normalized: list[str], k: int, rows: list[list | None]
+    ) -> None:
+        """Batch :meth:`put_result`; ``None`` rows (failed queries) are skipped."""
+        if self._results is None:
+            return
+        for query, row in zip(normalized, rows):
+            if row is not None:
+                self.put_result(query, k, row)
 
     # -- maintenance ------------------------------------------------------------
 

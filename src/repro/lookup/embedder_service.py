@@ -66,14 +66,7 @@ class EmbedderLookupService(LookupService):
         """Embed queries, serving repeats from the cache when enabled."""
         if self.cache is None:
             return self.embedder.embed(normalized)
-        vectors = [self.cache.get_embedding(q) for q in normalized]
-        miss_positions = [i for i, v in enumerate(vectors) if v is None]
-        if miss_positions:
-            fresh = self.embedder.embed([normalized[i] for i in miss_positions])
-            for row, i in enumerate(miss_positions):
-                vectors[i] = fresh[row]
-                self.cache.put_embedding(normalized[i], fresh[row])
-        return np.stack(vectors)
+        return self.cache.get_embeddings(normalized, self.embedder.embed)
 
     def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
         vectors = self._embed([normalize(q) for q in queries])

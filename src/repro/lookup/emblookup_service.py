@@ -63,20 +63,18 @@ class EmbLookupService(LookupService):
     def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
         if self.cache is None or not self.cache.caches_results:
             return self._lookup_uncached(queries, k)
-        out: list[list[Candidate] | None] = []
-        miss_positions: list[int] = []
-        for qi, query in enumerate(queries):
-            cached = self.cache.get_result(normalize(query), k)
-            out.append(cached)
-            if cached is None:
-                miss_positions.append(qi)
+        normalized = [normalize(q) for q in queries]
+        out = self.cache.get_results(normalized, k)
+        miss_positions = [qi for qi, row in enumerate(out) if row is None]
         if miss_positions:
             fresh = self._lookup_uncached(
                 [queries[i] for i in miss_positions], k
             )
             for row, qi in zip(fresh, miss_positions):
                 out[qi] = row
-                self.cache.put_result(normalize(queries[qi]), k, row)
+            self.cache.put_results(
+                [normalized[qi] for qi in miss_positions], k, fresh
+            )
         return [row if row is not None else [] for row in out]
 
     def _lookup_uncached(

@@ -13,6 +13,21 @@ Each flush runs the full serving pipeline -- LRU cache probe, embedding
 of the misses, (sharded) blockwise index scan, duplicate-row ranking --
 with a dedicated :class:`~repro.utils.timing.Stopwatch` per stage, on top
 of the whole-call ``query_time`` every :class:`LookupService` keeps.
+
+Failure semantics (the fault-injection suite in ``tests/property``
+exercises every branch):
+
+- **Error isolation** -- when a batched lookup raises, the engine retries
+  each of the batch's queries individually, so a poisoned query fails
+  alone (its handle raises from :attr:`PendingLookup.result`) while its
+  batch-mates still resolve normally.
+- **Deadlines** -- ``batch_deadline`` bounds one batch's wall time; the
+  embed and search stages check it and raise
+  :class:`LookupDeadlineExceeded` rather than starting work they cannot
+  finish in time.
+- **Degradation** -- a sharded index may return ``partial=True`` results
+  when shards fail; the engine serves them (and counts them in
+  :meth:`LookupEngine.serving_stats`) instead of erroring.
 """
 
 from __future__ import annotations
@@ -32,10 +47,14 @@ from repro.lookup.cache import QueryCache
 from repro.text.tokenize import normalize
 from repro.utils.timing import Stopwatch
 
-__all__ = ["LookupEngine", "PendingLookup"]
+__all__ = ["LookupDeadlineExceeded", "LookupEngine", "PendingLookup"]
 
 #: Stage names, in pipeline order, that the engine times per flush.
 _STAGES = ("cache", "embed", "search", "rank")
+
+
+class LookupDeadlineExceeded(TimeoutError):
+    """A micro-batch blew its ``batch_deadline`` before finishing."""
 
 
 class PendingLookup:
@@ -43,14 +62,20 @@ class PendingLookup:
 
     The result materialises when the engine flushes the micro-batch the
     query rides in; reading :attr:`result` before that forces a flush.
+    A query that failed during its flush (poisoned input, deadline, dead
+    index) stores the exception instead: :attr:`done` is still True,
+    :attr:`exception` holds the error, and :attr:`result` re-raises it.
+    Every submitted handle resolves one way or the other — flush never
+    strands a handle, even when the whole batch errors.
     """
 
-    __slots__ = ("_engine", "_row", "_done")
+    __slots__ = ("_engine", "_row", "_done", "_error")
 
     def __init__(self, engine: "LookupEngine"):
         self._engine = engine
         self._row: list[Candidate] = []
         self._done = False
+        self._error: BaseException | None = None
 
     @property
     def done(self) -> bool:
@@ -58,16 +83,30 @@ class PendingLookup:
         return self._done
 
     @property
+    def exception(self) -> BaseException | None:
+        """The error this query failed with, or ``None`` (does not flush)."""
+        return self._error
+
+    @property
     def result(self) -> list[Candidate]:
-        """The candidate list, flushing the engine's queue if needed."""
+        """The candidate list, flushing the engine's queue if needed.
+
+        Raises the stored exception when this query's serve failed.
+        """
         if not self._done:
             self._engine.flush()
         if not self._done:
             raise RuntimeError("pending lookup was not resolved by flush()")
+        if self._error is not None:
+            raise self._error
         return self._row
 
     def _resolve(self, row: list[Candidate]) -> None:
         self._row = row
+        self._done = True
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
         self._done = True
 
 
@@ -81,6 +120,21 @@ class LookupEngine(LookupService):
     row -> entity mapping.  It is also a regular :class:`LookupService`,
     so ``lookup_batch`` works synchronously and the evaluation harness
     can benchmark it like any other service.
+
+    Parameters
+    ----------
+    batch_deadline:
+        Wall-clock budget in seconds for serving one batch (``None``
+        disables it).  Checked before the embed and search stages; a
+        batch that is already over budget raises
+        :class:`LookupDeadlineExceeded` for its remaining queries instead
+        of starting more work.  During the per-query isolation retry each
+        query gets its own fresh budget.
+    fault_hook:
+        Test-only callable invoked with every serve attempt's normalized
+        query list (see :class:`repro.testing.faults.QueryPoison`); the
+        production value is ``None``.  Duck-typed so this layer never
+        imports ``repro.testing``.
     """
 
     name = "serving_engine"
@@ -93,6 +147,8 @@ class LookupEngine(LookupService):
         cache: QueryCache | None = None,
         max_batch_size: int = 32,
         max_batch_age: float = 0.005,
+        batch_deadline: float | None = None,
+        fault_hook=None,
     ):
         super().__init__()
         if pipeline.model is None:
@@ -106,6 +162,8 @@ class LookupEngine(LookupService):
             raise ValueError("max_batch_size must be >= 1")
         if max_batch_age < 0:
             raise ValueError("max_batch_age must be >= 0")
+        if batch_deadline is not None and batch_deadline <= 0:
+            raise ValueError("batch_deadline must be positive or None")
         self.pipeline = pipeline
         self._index = index
         self._row_to_entity = list(row_to_entity)
@@ -118,12 +176,22 @@ class LookupEngine(LookupService):
         self.cache = cache
         self.max_batch_size = max_batch_size
         self.max_batch_age = max_batch_age
+        self.batch_deadline = batch_deadline
+        self.fault_hook = fault_hook
         self.stage_times: dict[str, Stopwatch] = {
             stage: Stopwatch() for stage in _STAGES
         }
         self._pending: list[tuple[str, int, PendingLookup]] = []
         self._batch_started = 0.0
         self._lock = threading.Lock()
+        # Deadline is per serving thread: concurrent lookup_batch calls
+        # each get their own budget instead of racing on a shared one.
+        self._deadline = threading.local()
+        self._stats_lock = threading.Lock()
+        self._partial_results = 0
+        self._failed_queries = 0
+        self._deadline_hits = 0
+        self._isolation_retries = 0
 
     # -- construction ----------------------------------------------------------
 
@@ -197,7 +265,14 @@ class LookupEngine(LookupService):
         return handle
 
     def flush(self) -> int:
-        """Resolve every pending query in batched lookups; returns the count."""
+        """Resolve every pending query in batched lookups; returns the count.
+
+        Every handle taken from the queue resolves before this returns:
+        with its candidate row on success, or with a stored exception on
+        failure.  A failed batch is retried query-by-query so one bad
+        query cannot reject its batch-mates (error isolation); queries
+        that still fail alone carry their own exception.
+        """
         with self._lock:
             pending, self._pending = self._pending, []
         if not pending:
@@ -207,38 +282,100 @@ class LookupEngine(LookupService):
         groups: dict[int, list[tuple[str, PendingLookup]]] = {}
         for query, k, handle in pending:
             groups.setdefault(k, []).append((query, handle))
-        for k, items in groups.items():
-            rows = self.lookup_batch([query for query, _ in items], k)
-            for (_, handle), row in zip(items, rows):
-                handle._resolve(row)
+        try:
+            for k, items in groups.items():
+                try:
+                    rows = self.lookup_batch([query for query, _ in items], k)
+                except Exception:
+                    self._flush_isolated(items, k)
+                    continue
+                for (_, handle), row in zip(items, rows):
+                    handle._resolve(row)
+        finally:
+            # Safety net: a bug above must not strand a handle forever.
+            for _, _, handle in pending:
+                if not handle.done:
+                    handle._fail(
+                        RuntimeError("pending lookup dropped by flush()")
+                    )
         return len(pending)
+
+    def _flush_isolated(
+        self, items: list[tuple[str, "PendingLookup"]], k: int
+    ) -> None:
+        """Per-query retry of a failed batch: each query fails alone."""
+        with self._stats_lock:
+            self._isolation_retries += 1
+        for query, handle in items:
+            try:
+                handle._resolve(self.lookup_batch([query], k)[0])
+            except Exception as exc:
+                with self._stats_lock:
+                    self._failed_queries += 1
+                handle._fail(exc)
 
     # -- the serving pipeline --------------------------------------------------
 
     def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
-        normalized = [normalize(q) for q in queries]
-        out: list[list[Candidate] | None] = [None] * len(queries)
-        with self.stage_times["cache"]:
-            if self.cache is not None and self.cache.caches_results:
-                for qi, query in enumerate(normalized):
-                    out[qi] = self.cache.get_result(query, k)
-        miss_positions = [qi for qi, row in enumerate(out) if row is None]
-        if miss_positions:
-            fresh = self._serve([normalized[qi] for qi in miss_positions], k)
-            for qi, row in zip(miss_positions, fresh):
-                out[qi] = row
-                if self.cache is not None and self.cache.caches_results:
-                    self.cache.put_result(normalized[qi], k, row)
-        return [row if row is not None else [] for row in out]
+        deadline_owner = self._start_deadline()
+        try:
+            normalized = [normalize(q) for q in queries]
+            out: list[list[Candidate] | None] = [None] * len(queries)
+            with self.stage_times["cache"]:
+                if self.cache is not None:
+                    cached = self.cache.get_results(normalized, k)
+                    for qi, row in enumerate(cached):
+                        out[qi] = row
+            miss_positions = [qi for qi, row in enumerate(out) if row is None]
+            if miss_positions:
+                fresh = self._serve(
+                    [normalized[qi] for qi in miss_positions], k
+                )
+                for qi, row in zip(miss_positions, fresh):
+                    out[qi] = row
+                if self.cache is not None:
+                    self.cache.put_results(
+                        [normalized[qi] for qi in miss_positions], k, fresh
+                    )
+            return [row if row is not None else [] for row in out]
+        finally:
+            if deadline_owner:
+                self._deadline.value = None
+
+    def _start_deadline(self) -> bool:
+        """Arm this thread's batch deadline; True when this call owns it."""
+        if self.batch_deadline is None:
+            return False
+        if getattr(self._deadline, "value", None) is not None:
+            return False  # nested call (isolation retry) keeps the outer budget
+        self._deadline.value = time.monotonic() + self.batch_deadline
+        return True
+
+    def _check_deadline(self, stage: str) -> None:
+        deadline = getattr(self._deadline, "value", None)
+        if deadline is not None and time.monotonic() > deadline:
+            with self._stats_lock:
+                self._deadline_hits += 1
+            raise LookupDeadlineExceeded(
+                f"batch exceeded {self.batch_deadline}s deadline "
+                f"before the {stage} stage"
+            )
 
     def _serve(self, normalized: list[str], k: int) -> list[list[Candidate]]:
         """Embed -> search -> rank for result-cache misses."""
+        if self.fault_hook is not None:
+            self.fault_hook(normalized)
+        self._check_deadline("embed")
         with self.stage_times["embed"]:
             vectors = self._embed(normalized)
+        self._check_deadline("search")
         with self.stage_times["search"]:
             fetch = k * 3 if self._has_alias_rows else k
             fetch = min(fetch, self._index.ntotal) or k
             result = self._index.search(vectors, fetch)
+        if getattr(result, "partial", False):
+            with self._stats_lock:
+                self._partial_results += 1
         with self.stage_times["rank"]:
             return self._rank(result.ids, result.distances, k)
 
@@ -246,16 +383,9 @@ class LookupEngine(LookupService):
         """Embed normalized queries, memoizing repeats when cache enabled."""
         if self.cache is None:
             return self.pipeline.embed_queries(normalized)
-        vectors = [self.cache.get_embedding(q) for q in normalized]
-        miss_positions = [i for i, v in enumerate(vectors) if v is None]
-        if miss_positions:
-            fresh = self.pipeline.embed_queries(
-                [normalized[i] for i in miss_positions]
-            )
-            for row, i in enumerate(miss_positions):
-                vectors[i] = fresh[row]
-                self.cache.put_embedding(normalized[i], fresh[row])
-        return np.stack(vectors)
+        return self.cache.get_embeddings(
+            normalized, self.pipeline.embed_queries
+        )
 
     def _rank(
         self, ids: np.ndarray, distances: np.ndarray, k: int
@@ -290,6 +420,23 @@ class LookupEngine(LookupService):
         return {
             stage: watch.total for stage, watch in self.stage_times.items()
         }
+
+    def serving_stats(self) -> dict[str, int]:
+        """Degradation counters for dashboards and the fault-injection suite.
+
+        ``partial_results`` counts searches served from surviving shards
+        only; ``isolation_retries`` counts batches that fell back to
+        query-by-query serving; ``failed_queries`` counts queries whose
+        handle resolved with an exception; ``deadline_hits`` counts
+        :class:`LookupDeadlineExceeded` raises.
+        """
+        with self._stats_lock:
+            return {
+                "partial_results": self._partial_results,
+                "isolation_retries": self._isolation_retries,
+                "failed_queries": self._failed_queries,
+                "deadline_hits": self._deadline_hits,
+            }
 
     def reset_timers(self) -> None:
         """Zero the whole-call timer and every per-stage stopwatch."""

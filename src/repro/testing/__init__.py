@@ -1,0 +1,66 @@
+"""Property-based correctness and fault-injection toolkit.
+
+Three pieces, all dependency-free (numpy only):
+
+- :mod:`repro.testing.oracle` — reference brute-force k-NN plus the
+  comparators (`assert_topk_equal`, `assert_valid_topk`, `recall_at_k`)
+  the differential properties assert with;
+- :mod:`repro.testing.strategies` — seeded adversarial generators
+  (vector stores, entity labels, serving grids) with shrinking and
+  ``REPRO_SEED``/``REPRO_CASE`` replay;
+- :mod:`repro.testing.faults` — the :class:`FaultPlan` / `QueryPoison`
+  injectors the hardened ``ShardedIndex`` / ``LookupEngine`` hook points
+  accept.
+
+Layering: this package may import the production layers it tests
+(index, lookup, serving); no production layer may import it — enforced
+by ``tools/arch_contract.toml``.  The one sanctioned consumer outside
+the test suite is the ``repro selftest`` CLI diagnostics command.
+"""
+
+from repro.testing.faults import FaultInjected, FaultPlan, FaultSpec, QueryPoison
+from repro.testing.oracle import (
+    assert_topk_agrees,
+    assert_topk_equal,
+    assert_valid_topk,
+    brute_force_topk,
+    exact_topk,
+    recall_at_k,
+)
+from repro.testing.strategies import (
+    DEFAULT_CASES,
+    GridCase,
+    GridStrategy,
+    LabelStrategy,
+    PropertyFailure,
+    StoreCase,
+    TupleStrategy,
+    VectorStoreStrategy,
+    base_seed,
+    case_rng,
+    run_cases,
+)
+
+__all__ = [
+    "DEFAULT_CASES",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "GridCase",
+    "GridStrategy",
+    "LabelStrategy",
+    "PropertyFailure",
+    "QueryPoison",
+    "StoreCase",
+    "TupleStrategy",
+    "VectorStoreStrategy",
+    "assert_topk_agrees",
+    "assert_topk_equal",
+    "assert_valid_topk",
+    "base_seed",
+    "brute_force_topk",
+    "case_rng",
+    "exact_topk",
+    "recall_at_k",
+    "run_cases",
+]

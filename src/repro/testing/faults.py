@@ -1,0 +1,226 @@
+"""Deterministic fault injection for the sharded serving path.
+
+A :class:`FaultPlan` is the object the hardened production hook points
+accept: :class:`repro.index.sharded.ShardedIndex` calls ``before(shard)``
+on the worker thread just before each shard search (the plan may raise or
+sleep there) and ``transform(shard, ids, distances)`` on each shard's
+result (the plan may corrupt it).  The plan counts calls per shard, so
+faults can be pinned to "the Nth search of shard S" and a bounded retry
+shows up as the next call.
+
+Fault-plan grammar (``FaultPlan.parse``)::
+
+    plan   := clause ("," clause)*
+    clause := shard ":" call ":" kind [":" arg]
+    shard  := "s" INT | "*"          # one shard, or every shard
+    call   := "c" INT | "*"          # the Nth call (0-based), or every call
+    kind   := "raise" | "delay" | "corrupt" | "drop"
+    arg    := FLOAT                  # delay seconds (default 0.01)
+
+Kinds:
+
+- ``raise``   — raise :class:`FaultInjected` on the matching call(s);
+  with a single-call match and the index's default one-retry budget, the
+  retry (the next call) succeeds, exercising the retry path.
+- ``delay``   — sleep ``arg`` seconds before the search runs, to trip
+  ``shard_timeout`` deadlines.
+- ``corrupt`` — misassign each candidate the distance of its mirror rank
+  (ids kept, distances reversed): shape-correct, but the id/distance
+  pairing is wrong, so the merged result diverges from any honest scan —
+  exactly what the differential comparators must flag.  (Reversing both
+  arrays together would be a no-op: the fan-in merge re-sorts pairs.)
+- ``drop``    — raise on the matching call *and every later one*: the
+  shard is dead from that point on (retries keep failing).
+
+:class:`QueryPoison` is the analogous hook for
+:class:`repro.serving.LookupEngine`: it makes specific (normalized)
+query strings raise or stall inside the serving pipeline, which is how
+the tests prove one poisoned query fails alone instead of rejecting its
+whole micro-batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FaultInjected", "FaultPlan", "FaultSpec", "QueryPoison"]
+
+_KINDS = ("raise", "delay", "corrupt", "drop")
+
+
+class FaultInjected(RuntimeError):
+    """The failure a fault plan injects (distinguishable from real bugs)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault clause: *kind* on shard *shard* at call *at_call*.
+
+    ``shard`` / ``at_call`` of ``None`` match every shard / every call.
+    ``arg`` is the delay in seconds for ``delay`` faults.
+    """
+
+    kind: str
+    shard: int | None = None
+    at_call: int | None = None
+    arg: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.shard is not None and self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.at_call is not None and self.at_call < 0:
+            raise ValueError(f"at_call must be >= 0, got {self.at_call}")
+        if self.arg < 0:
+            raise ValueError(f"arg must be >= 0, got {self.arg}")
+
+    def matches(self, shard: int, call: int) -> bool:
+        """Whether this clause fires for ``shard``'s ``call``-th search."""
+        if self.shard is not None and self.shard != shard:
+            return False
+        if self.at_call is None:
+            return True
+        if self.kind == "drop":
+            return call >= self.at_call
+        return call == self.at_call
+
+
+class FaultPlan:
+    """Thread-safe, call-counting fault injector for ``ShardedIndex``.
+
+    Implements the index's duck-typed hook protocol (``before`` /
+    ``transform``).  Counters are per shard; :meth:`calls` exposes them
+    and :attr:`fired` counts injected faults, so tests can assert a plan
+    actually triggered.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec]):
+        self.specs = tuple(specs)
+        self._lock = threading.Lock()
+        self._calls: dict[int, int] = {}
+        self.fired = 0
+
+    @classmethod
+    def parse(cls, plan: str) -> "FaultPlan":
+        """Build a plan from the grammar in the module docstring."""
+        specs = []
+        for clause in plan.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            parts = clause.split(":")
+            if len(parts) not in (3, 4):
+                raise ValueError(
+                    f"bad fault clause {clause!r}: want shard:call:kind[:arg]"
+                )
+            shard_s, call_s, kind = parts[0], parts[1], parts[2]
+            if shard_s == "*":
+                shard = None
+            elif shard_s.startswith("s") and shard_s[1:].isdigit():
+                shard = int(shard_s[1:])
+            else:
+                raise ValueError(f"bad shard {shard_s!r} in {clause!r}")
+            if call_s == "*":
+                call = None
+            elif call_s.startswith("c") and call_s[1:].isdigit():
+                call = int(call_s[1:])
+            else:
+                raise ValueError(f"bad call {call_s!r} in {clause!r}")
+            arg = float(parts[3]) if len(parts) == 4 else 0.01
+            specs.append(FaultSpec(kind=kind, shard=shard, at_call=call, arg=arg))
+        if not specs:
+            raise ValueError(f"empty fault plan: {plan!r}")
+        return cls(specs)
+
+    def calls(self, shard: int) -> int:
+        """How many times ``before`` ran for ``shard``."""
+        with self._lock:
+            return self._calls.get(shard, 0)
+
+    def reset(self) -> None:
+        """Zero every call counter and the fired count."""
+        with self._lock:
+            self._calls.clear()
+            self.fired = 0
+
+    # -- ShardedIndex hook protocol ---------------------------------------------
+
+    def before(self, shard: int) -> None:
+        """Pre-search hook: count the call, then sleep/raise as planned."""
+        with self._lock:
+            call = self._calls.get(shard, 0)
+            self._calls[shard] = call + 1
+            # corrupt specs act (and count) in transform(), not here.
+            matched = [
+                s
+                for s in self.specs
+                if s.kind != "corrupt" and s.matches(shard, call)
+            ]
+            if matched:
+                self.fired += 1
+        for spec in matched:
+            if spec.kind == "delay":
+                time.sleep(spec.arg)
+            elif spec.kind in ("raise", "drop"):
+                raise FaultInjected(
+                    f"injected {spec.kind} on shard {shard} call {call}"
+                )
+
+    def transform(
+        self, shard: int, ids: np.ndarray, distances: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Post-search hook: corrupt the result when a corrupt spec matches."""
+        with self._lock:
+            call = self._calls.get(shard, 0) - 1
+            corrupt = any(
+                s.kind == "corrupt" and s.matches(shard, max(call, 0))
+                for s in self.specs
+            )
+            if corrupt:
+                self.fired += 1
+        if corrupt:
+            return ids, distances[:, ::-1].copy()
+        return ids, distances
+
+
+class QueryPoison:
+    """Engine-side fault hook: named queries raise or stall when served.
+
+    ``LookupEngine`` invokes the hook with the normalized query list of
+    every serve attempt (batched or isolated single-query retry); if any
+    poisoned query is present the hook sleeps ``delay`` seconds and, for
+    ``kind="raise"``, raises :class:`FaultInjected`.  Because the engine
+    retries a failed batch query-by-query, only the poisoned handles see
+    the error.
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[str],
+        kind: str = "raise",
+        delay: float = 0.0,
+    ):
+        if kind not in ("raise", "delay"):
+            raise ValueError(f"kind must be 'raise' or 'delay', got {kind!r}")
+        self.queries = frozenset(queries)
+        self.kind = kind
+        self.delay = delay
+        self._lock = threading.Lock()
+        self.fired = 0
+
+    def __call__(self, normalized: list[str]) -> None:
+        hit = sorted(self.queries.intersection(normalized))
+        if not hit:
+            return
+        with self._lock:
+            self.fired += 1
+        if self.delay:
+            time.sleep(self.delay)
+        if self.kind == "raise":
+            raise FaultInjected(f"poisoned query served: {hit[0]!r}")

@@ -1,0 +1,289 @@
+"""Reference brute-force k-NN oracle and top-k comparators.
+
+The production scan path stacks four layers of machinery between a query
+and its neighbours — blockwise scoring, ``(distance, id)`` ranking,
+running-top-k merges, sharded fan-in — any of which can silently drop or
+reorder a candidate.  This module provides the independent ground truth
+the differential property tests compare against:
+
+- :func:`brute_force_topk` recomputes neighbours from scratch in float64
+  using the *direct* ``((q - v) ** 2).sum()`` form (deliberately not the
+  norm-expansion kernel production uses, so a cancellation bug in the
+  kernel cannot hide in the oracle too);
+- :func:`exact_topk` ranks a caller-supplied full distance matrix — the
+  partition-invariance oracle for approximate-storage backends like PQ,
+  where the reference distances are the full un-blocked ADC matrix;
+- :func:`assert_topk_equal`, :func:`assert_valid_topk` and
+  :func:`recall_at_k` are the comparators the properties assert with.
+
+Ranking follows the :mod:`repro.index.topk` convention exactly:
+``(distance, id)`` with ties toward the smaller id, ``-1``/``inf``
+padding strictly last, ``NaN`` distances last among real candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "assert_topk_agrees",
+    "assert_topk_equal",
+    "assert_valid_topk",
+    "brute_force_topk",
+    "exact_topk",
+    "recall_at_k",
+]
+
+
+def _as_pair(result) -> tuple[np.ndarray, np.ndarray]:
+    """Accept a ``SearchResult`` or an ``(ids, distances)`` pair."""
+    if hasattr(result, "ids") and hasattr(result, "distances"):
+        return result.ids, result.distances
+    ids, distances = result
+    return ids, distances
+
+
+def exact_topk(
+    distances: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference top-k over a full ``(num_queries, ntotal)`` matrix.
+
+    Ranks every column by ``(distance, id)`` (``NaN`` last) in float64 and
+    pads with ``-1``/``inf`` when ``k > ntotal``.  This is the oracle the
+    blockwise/sharded machinery must reproduce *bit-identically* for any
+    partition of the same distance matrix.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2:
+        raise ValueError(f"expected a 2-D distance matrix, got {distances.shape}")
+    nq, ntotal = distances.shape
+    take = min(k, ntotal)
+    row_ids = np.tile(np.arange(ntotal, dtype=np.int64), (nq, 1))
+    order = np.lexsort((row_ids, distances), axis=1)[:, :take]
+    ids = np.full((nq, k), -1, dtype=np.int64)
+    out_d = np.full((nq, k), np.inf, dtype=np.float64)
+    ids[:, :take] = np.take_along_axis(row_ids, order, axis=1)
+    out_d[:, :take] = np.take_along_axis(distances, order, axis=1)
+    return ids, out_d
+
+
+def brute_force_topk(
+    vectors: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    metric: str = "l2",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Independent float64 exact k-NN over ``vectors`` for each query row.
+
+    Distances are computed pair-by-pair in the numerically direct form
+    (difference-then-square for L2), not the ``||a||² + ||b||² - 2ab``
+    expansion, so the oracle does not share the production kernel's
+    rounding behaviour.  Inputs are cast to float32 first — the same cast
+    every :class:`~repro.index.base.VectorIndex` applies — then promoted
+    to float64 for the arithmetic.
+    """
+    if metric not in ("l2", "ip"):
+        raise ValueError(f"metric must be 'l2' or 'ip', got {metric!r}")
+    vectors = np.asarray(vectors, dtype=np.float32).astype(np.float64)
+    queries = np.asarray(queries, dtype=np.float32).astype(np.float64)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    if vectors.ndim != 2 or queries.ndim != 2:
+        raise ValueError("vectors and queries must be 2-D")
+    if len(vectors) and vectors.shape[1] != queries.shape[1]:
+        raise ValueError(
+            f"dim mismatch: vectors {vectors.shape[1]} != queries "
+            f"{queries.shape[1]}"
+        )
+    if len(vectors) == 0:
+        nq = len(queries)
+        return (
+            np.full((nq, k), -1, dtype=np.int64),
+            np.full((nq, k), np.inf, dtype=np.float64),
+        )
+    # Adversarial stores legitimately contain ±inf: inf - inf is a NaN
+    # *distance* (ranked last), not an error.
+    with np.errstate(invalid="ignore", over="ignore"):
+        if metric == "l2":
+            diff = queries[:, None, :] - vectors[None, :, :]
+            distances = (diff * diff).sum(axis=2)
+        else:
+            distances = -(queries @ vectors.T)
+    return exact_topk(distances, k)
+
+
+def recall_at_k(got_ids: np.ndarray, oracle_ids: np.ndarray) -> float:
+    """Mean per-query fraction of the oracle's real neighbours retrieved.
+
+    Padding (``-1``) entries on the oracle side are excluded from the
+    denominator; queries whose oracle row is entirely padding count as
+    recall 1 (there was nothing to find).
+    """
+    got_ids = np.asarray(got_ids)
+    oracle_ids = np.asarray(oracle_ids)
+    if got_ids.shape[0] != oracle_ids.shape[0]:
+        raise ValueError(
+            f"query counts differ: {got_ids.shape[0]} != {oracle_ids.shape[0]}"
+        )
+    recalls = []
+    for got_row, want_row in zip(got_ids, oracle_ids):
+        want = set(int(i) for i in want_row if i >= 0)
+        if not want:
+            recalls.append(1.0)
+            continue
+        got = set(int(i) for i in got_row if i >= 0)
+        recalls.append(len(want & got) / len(want))
+    return float(np.mean(recalls))
+
+
+def assert_topk_equal(got, want, context: str = "") -> None:
+    """Assert two top-k results are bit-identical (ids and distances).
+
+    ``got``/``want`` may be ``SearchResult`` objects or ``(ids,
+    distances)`` pairs.  Distances are compared with ``NaN == NaN``
+    treated as equal (both sides carrying the same corrupted score is
+    still agreement).
+    """
+    got_ids, got_d = _as_pair(got)
+    want_ids, want_d = _as_pair(want)
+    prefix = f"{context}: " if context else ""
+    if got_ids.shape != want_ids.shape:
+        raise AssertionError(
+            f"{prefix}id shapes differ: {got_ids.shape} != {want_ids.shape}"
+        )
+    if not np.array_equal(got_ids, want_ids):
+        row, col = np.argwhere(got_ids != want_ids)[0]
+        raise AssertionError(
+            f"{prefix}ids diverge at query {row} rank {col}: "
+            f"got {got_ids[row].tolist()} want {want_ids[row].tolist()}"
+        )
+    if not np.array_equal(
+        np.asarray(got_d, dtype=np.float64),
+        np.asarray(want_d, dtype=np.float64),
+        equal_nan=True,
+    ):
+        row, col = np.argwhere(
+            ~np.isclose(got_d, want_d, rtol=0.0, atol=0.0, equal_nan=True)
+        )[0]
+        raise AssertionError(
+            f"{prefix}distances diverge at query {row} rank {col}: "
+            f"got {got_d[row].tolist()} want {want_d[row].tolist()}"
+        )
+
+
+def assert_topk_agrees(
+    got,
+    oracle,
+    rtol: float = 1e-6,
+    atol: float = 1e-12,
+    context: str = "",
+) -> None:
+    """Assert a result matches the oracle up to reordering within ties.
+
+    The production scan and the oracle use different (but individually
+    correct) float64 kernels, so candidates whose true distances differ
+    by less than kernel rounding error may legitimately swap ranks.
+    This comparator groups the oracle's ranks into *tie groups* —
+    maximal runs where consecutive distances differ by at most
+    ``atol + rtol * max(1, |d|)`` — and asserts the produced ids are a
+    permutation of the oracle ids within every group (and identical
+    across groups).  Padding must align exactly.  Produced distances
+    are checked against the oracle rank-wise at the same tolerance.
+    """
+    got_ids, got_d = _as_pair(got)
+    want_ids, want_d = _as_pair(oracle)
+    prefix = f"{context}: " if context else ""
+    if got_ids.shape != want_ids.shape:
+        raise AssertionError(
+            f"{prefix}id shapes differ: {got_ids.shape} != {want_ids.shape}"
+        )
+    for row in range(len(got_ids)):
+        g_ids, g_d = got_ids[row], np.asarray(got_d[row], dtype=np.float64)
+        w_ids, w_d = want_ids[row], np.asarray(want_d[row], dtype=np.float64)
+        if not np.array_equal(g_ids < 0, w_ids < 0):
+            raise AssertionError(
+                f"{prefix}padding misaligned at query {row}: "
+                f"got {g_ids.tolist()} want {w_ids.tolist()}"
+            )
+        real = int((w_ids >= 0).sum())
+        start = 0
+        for stop in range(1, real + 1):
+            tol = atol + rtol * max(1.0, abs(w_d[stop - 1]))
+            tied = (
+                w_d[stop] - w_d[stop - 1] <= tol
+                or (np.isnan(w_d[stop]) and np.isnan(w_d[stop - 1]))
+                or w_d[stop] == w_d[stop - 1]  # inf == inf
+            ) if stop < real else False
+            if stop == real or not tied:
+                if set(g_ids[start:stop].tolist()) != set(
+                    w_ids[start:stop].tolist()
+                ):
+                    raise AssertionError(
+                        f"{prefix}ids diverge beyond ties at query {row} "
+                        f"ranks [{start}, {stop}): got {g_ids.tolist()} "
+                        f"want {w_ids.tolist()}"
+                    )
+                start = stop
+        both_real = ~np.isnan(g_d[:real]) & ~np.isnan(w_d[:real])
+        if not np.allclose(
+            g_d[:real][both_real], w_d[:real][both_real], rtol=rtol, atol=atol
+        ):
+            raise AssertionError(
+                f"{prefix}distances diverge at query {row}: "
+                f"got {g_d.tolist()} want {w_d.tolist()}"
+            )
+
+
+def assert_valid_topk(result, ntotal: int, k: int, context: str = "") -> None:
+    """Structural invariants every search result must satisfy.
+
+    Checks, per query row: shapes are ``(nq, k)``; every id is ``-1`` or
+    in ``[0, ntotal)``; real ids are deduplicated; padding (``-1`` with
+    ``inf`` distance) appears only as a suffix; real distances are
+    non-decreasing with ``NaN`` allowed only as a suffix of the real
+    entries.
+    """
+    ids, distances = _as_pair(result)
+    prefix = f"{context}: " if context else ""
+    if ids.shape != distances.shape or ids.ndim != 2 or ids.shape[1] != k:
+        raise AssertionError(
+            f"{prefix}bad shapes: ids {ids.shape}, distances "
+            f"{distances.shape}, expected (nq, {k})"
+        )
+    if ids.size == 0:
+        return
+    if ids.max() >= ntotal or ids.min() < -1:
+        raise AssertionError(
+            f"{prefix}ids out of range [-1, {ntotal}): "
+            f"min {ids.min()}, max {ids.max()}"
+        )
+    pad = ids < 0
+    if (pad[:, :-1] & ~pad[:, 1:]).any():
+        row = int(np.argwhere(pad[:, :-1] & ~pad[:, 1:])[0, 0])
+        raise AssertionError(
+            f"{prefix}real id after padding in query {row}: "
+            f"{ids[row].tolist()}"
+        )
+    if not np.isinf(distances[pad]).all():
+        raise AssertionError(f"{prefix}padded entries must carry inf distance")
+    for row, (row_ids, row_d, row_pad) in enumerate(zip(ids, distances, pad)):
+        real = row_ids[~row_pad]
+        if len(np.unique(real)) != len(real):
+            raise AssertionError(
+                f"{prefix}duplicate ids in query {row}: {row_ids.tolist()}"
+            )
+        real_d = row_d[~row_pad]
+        nan = np.isnan(real_d)
+        if nan.any() and not nan[int(np.argmax(nan)):].all():
+            raise AssertionError(
+                f"{prefix}NaN distance not a suffix in query {row}: "
+                f"{row_d.tolist()}"
+            )
+        finite_part = real_d[~nan]
+        if len(finite_part) > 1 and (np.diff(finite_part) < 0).any():
+            raise AssertionError(
+                f"{prefix}distances not sorted in query {row}: "
+                f"{row_d.tolist()}"
+            )

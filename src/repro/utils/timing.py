@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
 
 __all__ = ["Stopwatch", "Timer", "format_duration"]
 
@@ -43,32 +43,44 @@ class Timer:
         self.elapsed = time.perf_counter() - self.start
 
 
-@dataclass
 class Stopwatch:
     """Accumulates time across multiple start/stop windows.
 
     Used to instrument the lookup fraction of an annotation pipeline the way
     the paper instruments each system's lookup calls.
+
+    Thread-safe: each thread gets its own window (the serving engine's
+    per-stage watches are entered by concurrent flushes), and totals
+    accumulate under a lock — ``total`` is the *sum* of all windows, so
+    overlapping windows from different threads each contribute fully.
+    Re-entering from the same thread is still an error.
     """
 
-    total: float = 0.0
-    count: int = 0
-    _started_at: float | None = field(default=None, repr=False)
+    def __init__(self, total: float = 0.0, count: int = 0) -> None:
+        self.total = total
+        self.count = count
+        self._lock = threading.Lock()
+        self._window = threading.local()
+
+    def __repr__(self) -> str:
+        return f"Stopwatch(total={self.total!r}, count={self.count!r})"
 
     def start(self) -> None:
-        """Open a timing window."""
-        if self._started_at is not None:
+        """Open this thread's timing window."""
+        if getattr(self._window, "started_at", None) is not None:
             raise RuntimeError("stopwatch already running")
-        self._started_at = time.perf_counter()
+        self._window.started_at = time.perf_counter()
 
     def stop(self) -> float:
-        """Close the window; returns its duration and accumulates it."""
-        if self._started_at is None:
+        """Close this thread's window; returns and accumulates its duration."""
+        started_at = getattr(self._window, "started_at", None)
+        if started_at is None:
             raise RuntimeError("stopwatch is not running")
-        window = time.perf_counter() - self._started_at
-        self._started_at = None
-        self.total += window
-        self.count += 1
+        window = time.perf_counter() - started_at
+        self._window.started_at = None
+        with self._lock:
+            self.total += window
+            self.count += 1
         return window
 
     def __enter__(self) -> "Stopwatch":
@@ -84,7 +96,8 @@ class Stopwatch:
         return self.total / self.count if self.count else 0.0
 
     def reset(self) -> None:
-        """Zero the accumulated totals."""
-        self.total = 0.0
-        self.count = 0
-        self._started_at = None
+        """Zero the accumulated totals (this thread's open window too)."""
+        with self._lock:
+            self.total = 0.0
+            self.count = 0
+        self._window.started_at = None

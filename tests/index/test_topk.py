@@ -183,3 +183,95 @@ class TestStreamingMemory:
         got = index.search(queries, 10, block_size=block)
         assert got.ids.tobytes() == ref.ids.tobytes()
         np.testing.assert_allclose(got.distances, ref.distances, rtol=1e-12)
+
+
+class TestPadRankingRegression:
+    """Regressions for two selection bugs found by the repro.testing
+    differential harness (PR 5)."""
+
+    def test_padding_never_evicts_nonfinite_real_candidates(self):
+        """A real neighbour whose score is NaN (inf - inf in the expansion
+        kernel) must survive a merge against -1/inf padding.
+
+        Before the pad-last lexsort key, the sharded path dropped real id
+        1 here: its NaN distance sorted *after* the other shard's inf
+        padding, returning [0, 2, -1, -1, -1] instead of keeping all
+        three stored rows.
+        """
+        ids_a = np.array([[0, 1, -1, -1, -1]], dtype=np.int64)
+        d_a = np.array([[1.0, np.nan, np.inf, np.inf, np.inf]])
+        ids_b = np.array([[2, -1, -1, -1, -1]], dtype=np.int64)
+        d_b = np.array([[2.0, np.inf, np.inf, np.inf, np.inf]])
+        ids, d = merge_topk(ids_a, d_a, ids_b, d_b, 5)
+        np.testing.assert_array_equal(ids, [[0, 2, 1, -1, -1]])
+        assert np.isnan(d[0, 2])
+        assert np.isinf(d[0, 3:]).all()
+
+    def test_real_inf_distance_outranks_padding(self):
+        ids_a = np.array([[3, -1]], dtype=np.int64)
+        d_a = np.array([[np.inf, np.inf]])
+        ids_b = np.array([[-1, -1]], dtype=np.int64)
+        d_b = np.array([[np.inf, np.inf]])
+        ids, _ = merge_topk(ids_a, d_a, ids_b, d_b, 2)
+        np.testing.assert_array_equal(ids, [[3, -1]])
+
+    @pytest.mark.filterwarnings(
+        "ignore:invalid value encountered:RuntimeWarning"
+    )
+    def test_sharded_inf_store_keeps_every_row(self):
+        """End-to-end pin of the original failure: a 2-shard store with an
+        inf-magnitude row and k > ntotal must return all real ids, in the
+        same order as the unsharded scan."""
+        from repro.index.sharded import ShardedIndex
+
+        vectors = np.array(
+            [[1.0, 0.0], [np.inf, 0.0], [2.0, 0.0]], dtype=np.float32
+        )
+        queries = np.zeros((1, 2), dtype=np.float32)
+        flat = FlatIndex(2)
+        flat.add(vectors)
+        sharded = ShardedIndex(2, 2)
+        sharded.add(vectors)
+        try:
+            want = flat.search(queries, 5)
+            got = sharded.search(queries, 5)
+            np.testing.assert_array_equal(want.ids, [[0, 2, 1, -1, -1]])
+            np.testing.assert_array_equal(got.ids, want.ids)
+        finally:
+            sharded.close()
+
+    def test_boundary_ties_break_toward_smaller_id(self):
+        """argpartition pre-selection keeps an arbitrary candidate among
+        scores tied at the cut; block_topk must fall through to the exact
+        (distance, id) rank so the smaller id wins regardless of column
+        order."""
+        distances = np.array([[5.0, 1.0, 1.0, 1.0, 9.0]])
+        for k in (1, 2):
+            ids, d = block_topk(distances, k)
+            np.testing.assert_array_equal(ids, [[1, 2][:k]])
+            np.testing.assert_array_equal(d, [[1.0, 1.0][:k]])
+
+    def test_boundary_tie_fallback_with_nan_cut(self):
+        """All-NaN boundary: the NaN candidates tie among themselves and
+        must still pick the smallest ids."""
+        distances = np.array([[np.nan, np.nan, np.nan, 1.0]])
+        ids, _ = block_topk(distances, 2)
+        np.testing.assert_array_equal(ids, [[3, 0]])
+
+    def test_partition_invariance_on_exact_ties(self):
+        """The PR 5 finding: PQ-style duplicate scores made the one-shot
+        scan and the width-1 blocked scan return different (tied) ids.
+        With the fallback, every blocking returns the same winner."""
+        rng = np.random.default_rng(5)
+        scores = rng.choice([1.0, 2.0, 3.0], size=(3, 40))
+
+        def score_block(start, stop):
+            return scores[:, start:stop]
+
+        want = blockwise_topk(score_block, 40, 5, num_queries=3, block_size=40)
+        for block in (1, 3, 7, 39):
+            got = blockwise_topk(
+                score_block, 40, 5, num_queries=3, block_size=block
+            )
+            np.testing.assert_array_equal(got[0], want[0])
+            np.testing.assert_array_equal(got[1], want[1])

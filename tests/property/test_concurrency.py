@@ -1,0 +1,198 @@
+"""Concurrency properties: QueryCache and LookupEngine under 8 threads.
+
+Injected delays (shard-level and query-level) widen the race windows; the
+assertions are about *accounting*: no lost or stranded
+:class:`PendingLookup`, every handle resolves exactly once, and every
+stats counter adds up after the storm.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.index.sharded import ShardedIndex
+from repro.lookup.cache import QueryCache
+from repro.serving.engine import LookupEngine
+from repro.testing import FaultInjected, FaultPlan, QueryPoison, case_rng
+from repro.text.tokenize import normalize
+
+THREADS = 8
+
+
+def hammer(worker, threads=THREADS):
+    """Run ``worker(thread_index)`` on N threads; re-raise the first error."""
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    def run(index):
+        try:
+            barrier.wait()
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=run, args=(i,), name=f"hammer-{i}")
+        for i in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestQueryCacheConcurrency:
+    def test_counters_add_up_under_contention(self):
+        cache = QueryCache(capacity=32, cache_results=True)
+        gets_per_thread = 200
+
+        def worker(ti):
+            rng = case_rng(11, ti)
+            for i in range(gets_per_thread):
+                key = f"q{int(rng.integers(0, 48))}"
+                vector = cache.get_embedding(key)
+                if vector is None:
+                    cache.put_embedding(key, np.full(4, float(ti)))
+                else:
+                    assert not vector.flags.writeable
+                if i % 3 == 0:
+                    row = cache.get_result(key, 5)
+                    if row is None:
+                        cache.put_result(key, 5, [ti])
+
+        hammer(worker)
+        stats = cache.stats
+        assert stats.requests == stats.hits + stats.misses
+        expected_gets = THREADS * (
+            gets_per_thread + (gets_per_thread + 2) // 3
+        )
+        assert stats.requests == expected_gets
+        assert 0.0 <= stats.hit_rate <= 1.0
+        assert len(cache) <= 2 * 32
+
+    def test_get_embeddings_memoizes_across_threads(self):
+        """The batch memoizer never returns a wrong vector, and the
+        embed function only ever sees keys missing at probe time."""
+        cache = QueryCache(capacity=64)
+        calls = []
+        lock = threading.Lock()
+
+        def embed(keys):
+            with lock:
+                calls.append(list(keys))
+            return np.array([[float(k[1:])] for k in keys])
+
+        def worker(ti):
+            rng = case_rng(13, ti)
+            for _ in range(50):
+                keys = [
+                    f"q{int(rng.integers(0, 20))}"
+                    for _ in range(int(rng.integers(1, 5)))
+                ]
+                out = cache.get_embeddings(keys, embed)
+                assert out.shape == (len(keys), 1)
+                for key, row in zip(keys, out):
+                    assert row[0] == float(key[1:])
+
+        hammer(worker)
+        # Duplicate embeds of one key are possible (two threads can miss
+        # simultaneously — by design, the lock is not held across embed),
+        # but far fewer than the uncached call count.
+        embedded = sum(len(c) for c in calls)
+        assert embedded < THREADS * 50
+
+
+class TestEngineConcurrency:
+    @pytest.fixture()
+    def sharded_engine(self, trained_service):
+        plan = FaultPlan.parse("*:*:delay:0.001")  # jitter the fan-out
+        mentions, row_to_entity = trained_service.index_rows()
+        vectors = trained_service.embed_queries(mentions)
+        index = ShardedIndex(
+            trained_service.config.embedding_dim,
+            4,
+            factory=FlatIndex,
+            fault_hook=plan,
+            shard_timeout=10.0,
+        )
+        index.add(vectors)
+        engine = LookupEngine(
+            trained_service,
+            index,
+            row_to_entity,
+            cache=QueryCache(64, cache_results=True),
+            max_batch_size=8,
+            max_batch_age=0.002,
+        )
+        yield engine
+        engine.close()
+
+    def test_every_handle_resolves_exactly_once(
+        self, sharded_engine, tiny_kg
+    ):
+        labels = [e.label for e in tiny_kg.entities()][:24]
+        all_handles = []
+        handle_lock = threading.Lock()
+
+        def worker(ti):
+            rng = case_rng(17, ti)
+            mine = []
+            for _ in range(20):
+                label = labels[int(rng.integers(0, len(labels)))]
+                mine.append(sharded_engine.submit(label, k=3))
+            with handle_lock:
+                all_handles.extend(mine)
+
+        hammer(worker)
+        sharded_engine.flush()
+        assert sharded_engine.pending == 0
+        assert len(all_handles) == THREADS * 20
+        for handle in all_handles:
+            assert handle.done
+            assert handle.exception is None
+            assert isinstance(handle.result, list)
+            assert len(handle.result) > 0
+        stats = sharded_engine.cache.stats
+        assert stats.requests == stats.hits + stats.misses
+        assert sharded_engine.serving_stats()["failed_queries"] == 0
+
+    def test_poisoned_queries_fail_alone_under_concurrency(
+        self, sharded_engine, tiny_kg
+    ):
+        labels = [e.label for e in tiny_kg.entities()][:12]
+        poisoned = {normalize(labels[0]), normalize(labels[5])}
+        sharded_engine.fault_hook = QueryPoison(poisoned, delay=0.001)
+        outcomes = []
+        outcome_lock = threading.Lock()
+
+        def worker(ti):
+            rng = case_rng(19, ti)
+            mine = []
+            for _ in range(12):
+                label = labels[int(rng.integers(0, len(labels)))]
+                mine.append((label, sharded_engine.submit(label, k=3)))
+            with outcome_lock:
+                outcomes.extend(mine)
+
+        hammer(worker)
+        sharded_engine.flush()
+        failed = clean = 0
+        for label, handle in outcomes:
+            assert handle.done
+            if normalize(label) in poisoned:
+                assert isinstance(handle.exception, FaultInjected), label
+                failed += 1
+            else:
+                assert handle.exception is None, (
+                    f"{label!r} failed: {handle.exception!r}"
+                )
+                assert len(handle.result) > 0
+                clean += 1
+        assert failed > 0 and clean > 0  # both populations exercised
+        assert (
+            sharded_engine.serving_stats()["failed_queries"] == failed
+        )

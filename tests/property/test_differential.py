@@ -1,0 +1,259 @@
+"""Differential properties: production indexes vs the brute-force oracle.
+
+Two assertion tiers, matching what the arithmetic actually guarantees:
+
+- **exactness** — the selection/merge machinery is exactly
+  partition-invariant, and PQ's ADC distances are computed per row in a
+  fixed order, so PQ results are *bit-identical* across any block/shard
+  partitioning and repeated flat searches are bit-identical to
+  themselves;
+- **agreement** — flat-scan *scores* come from BLAS matmuls whose
+  rounding varies ~1 ulp with the gemm width, so cross-partition flat
+  comparisons (and any production-vs-oracle comparison, where the
+  kernels differ by construction) use :func:`assert_topk_agrees`, which
+  permits reordering only inside oracle distance tie groups.
+"""
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.index.hnsw import HNSWIndex
+from repro.index.ivf import IVFFlatIndex
+from repro.index.ivfpq import IVFPQIndex
+from repro.index.lsh import LSHIndex
+from repro.index.pq import PQIndex
+from repro.index.sharded import ShardedIndex
+from repro.testing import (
+    GridStrategy,
+    TupleStrategy,
+    VectorStoreStrategy,
+    assert_topk_agrees,
+    assert_topk_equal,
+    assert_valid_topk,
+    brute_force_topk,
+    case_rng,
+    recall_at_k,
+)
+
+# The adversarial (unconditioned) stores contain ±inf on purpose; the
+# production expansion kernel then emits inf-arithmetic warnings that are
+# the scenario under test, not a defect.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:invalid value encountered:RuntimeWarning",
+    "ignore:overflow encountered:RuntimeWarning",
+)
+
+#: Tolerances for kernel-rounding disagreement (direct vs expansion form,
+#: gemv vs gemm widths).  Absolute floor covers cancellation error at the
+#: largest conditioned magnitudes the strategies emit.
+RTOL = 1e-6
+ATOL = 1e-9
+
+
+def sharded_flat(dim, num_shards, block_size):
+    return ShardedIndex(
+        dim,
+        num_shards,
+        factory=lambda d: FlatIndex(d, block_size=block_size),
+    )
+
+
+class TestFlatDifferential:
+    def test_flat_agrees_with_oracle_on_adversarial_stores(self):
+        """Blocked flat scan == float64 oracle, over duplicate/near-tie/
+        zero/huge/inf stores and degenerate (k, block) corners."""
+        from repro.testing import run_cases
+
+        strategy = TupleStrategy(
+            VectorStoreStrategy(conditioned=False), GridStrategy()
+        )
+
+        def prop(case):
+            store, grid = case
+            index = FlatIndex(store.dim, block_size=grid.block_size)
+            index.add(store.vectors)
+            got = index.search(store.queries, grid.k)
+            oracle = brute_force_topk(store.vectors, store.queries, grid.k)
+            assert_valid_topk(
+                got, len(store.vectors), grid.k, context=store.note
+            )
+            assert_topk_agrees(
+                got, oracle, rtol=RTOL, atol=ATOL, context=store.note
+            )
+
+        run_cases(prop, strategy, name="flat_vs_oracle")
+
+    def test_sharded_flat_agrees_with_oracle(self):
+        """Sharded fan-in (including empty shards when n < num_shards)
+        retrieves the oracle's neighbours for any grid corner."""
+        from repro.testing import run_cases
+
+        strategy = TupleStrategy(
+            VectorStoreStrategy(conditioned=False), GridStrategy()
+        )
+
+        def prop(case):
+            store, grid = case
+            index = sharded_flat(store.dim, grid.num_shards, grid.block_size)
+            index.add(store.vectors)
+            try:
+                got = index.search(store.queries, grid.k)
+                oracle = brute_force_topk(
+                    store.vectors, store.queries, grid.k
+                )
+                assert_valid_topk(
+                    got, len(store.vectors), grid.k, context=store.note
+                )
+                assert_topk_agrees(
+                    got, oracle, rtol=RTOL, atol=ATOL, context=store.note
+                )
+            finally:
+                index.close()
+
+        run_cases(prop, strategy, name="sharded_vs_oracle")
+
+    def test_flat_search_is_deterministic(self):
+        """Same index, same queries: repeated searches are bit-identical."""
+        from repro.testing import run_cases
+
+        strategy = VectorStoreStrategy(conditioned=False)
+
+        def prop(store):
+            index = FlatIndex(store.dim, block_size=7)
+            index.add(store.vectors)
+            first = index.search(store.queries, 5)
+            second = index.search(store.queries, 5)
+            assert_topk_equal(second, first, context=store.note)
+
+        run_cases(prop, strategy, name="flat_determinism")
+
+
+class TestPQDifferential:
+    """PQ's ADC path is bit-exact across partitionings: the per-row table
+    sums run in fixed subspace order, so blocking and sharding change
+    nothing — the strongest differential guarantee in the index family."""
+
+    def test_pq_partition_invariance_is_bit_exact(self):
+        from repro.testing import run_cases
+
+        strategy = TupleStrategy(VectorStoreStrategy(), GridStrategy())
+
+        def prop(case):
+            store, grid = case
+            reference = PQIndex(store.dim, m=1, nbits=4, seed=0)
+            reference.train(store.vectors)
+            reference.add(store.vectors)
+            want = reference.search(store.queries, grid.k)
+
+            blocked = PQIndex(
+                store.dim, m=1, nbits=4, seed=0, block_size=grid.block_size
+            )
+            blocked.train(store.vectors)
+            blocked.add(store.vectors)
+            assert_topk_equal(
+                blocked.search(store.queries, grid.k),
+                want,
+                context=f"block={grid.block_size} {store.note}",
+            )
+
+            sharded = ShardedIndex(
+                store.dim,
+                grid.num_shards,
+                factory=lambda d: PQIndex(d, m=1, nbits=4, seed=0),
+            )
+            sharded.train(store.vectors)
+            sharded.add(store.vectors)
+            try:
+                assert_topk_equal(
+                    sharded.search(store.queries, grid.k),
+                    want,
+                    context=f"shards={grid.num_shards} {store.note}",
+                )
+            finally:
+                sharded.close()
+
+        # PQ trains a k-means codebook per case; keep the budget modest.
+        run_cases(prop, strategy, cases=25, name="pq_partition_invariance")
+
+    def test_pq_recall_against_oracle(self):
+        """Quantized distances lose precision, not candidates wholesale."""
+        rng = case_rng(0, 0)
+        recalls = []
+        for case_index in range(5):
+            rng = case_rng(0, case_index)
+            vectors = rng.normal(size=(64, 8)).astype(np.float32)
+            queries = vectors[:8] + rng.normal(size=(8, 8)).astype(
+                np.float32
+            ) * 0.01
+            index = PQIndex(8, m=4, nbits=8, seed=0)
+            index.train(vectors)
+            index.add(vectors)
+            got = index.search(queries, 5)
+            oracle = brute_force_topk(vectors, queries, 5)
+            assert_valid_topk(got, 64, 5)
+            recalls.append(recall_at_k(got.ids, oracle[0]))
+        assert np.mean(recalls) >= 0.6, recalls
+
+
+class TestANNRecallFloors:
+    """Approximate families: structural validity on every case, plus a
+    conservative mean-recall floor against the oracle (per family)."""
+
+    CASES = 8
+
+    def _store(self, case_index, n=96, dim=16):
+        rng = case_rng(0, case_index)
+        # Clustered data: ANN structures are built for it, and it keeps
+        # the floors meaningful instead of vacuous.
+        centers = rng.normal(size=(6, dim)) * 4.0
+        assignments = rng.integers(0, 6, size=n)
+        vectors = (
+            centers[assignments] + rng.normal(size=(n, dim)) * 0.3
+        ).astype(np.float32)
+        queries = vectors[:10] + rng.normal(size=(10, dim)).astype(
+            np.float32
+        ) * 0.05
+        return vectors, queries
+
+    def _check_family(self, build, floor, k=10):
+        recalls = []
+        for case_index in range(self.CASES):
+            vectors, queries = self._store(case_index)
+            index = build(vectors.shape[1], case_index)
+            index.train(vectors)
+            index.add(vectors)
+            got = index.search(queries, k)
+            assert_valid_topk(got, len(vectors), k, context=type(index).__name__)
+            oracle = brute_force_topk(vectors, queries, k)
+            recalls.append(recall_at_k(got.ids, oracle[0]))
+        mean = float(np.mean(recalls))
+        assert mean >= floor, f"mean recall {mean:.3f} < floor {floor}: {recalls}"
+
+    def test_ivf_flat_recall_floor(self):
+        self._check_family(
+            lambda dim, i: IVFFlatIndex(dim, nlist=6, nprobe=3, seed=i),
+            floor=0.6,
+        )
+
+    def test_ivfpq_recall_floor(self):
+        self._check_family(
+            lambda dim, i: IVFPQIndex(
+                dim, nlist=6, m=4, nbits=8, nprobe=3, seed=i
+            ),
+            floor=0.4,
+        )
+
+    def test_lsh_recall_floor(self):
+        self._check_family(
+            lambda dim, i: LSHIndex(dim, nbits=12, ntables=8, seed=i),
+            floor=0.4,
+        )
+
+    def test_hnsw_recall_floor(self):
+        self._check_family(
+            lambda dim, i: HNSWIndex(
+                dim, m=8, ef_construction=48, ef_search=32, seed=i
+            ),
+            floor=0.8,
+        )

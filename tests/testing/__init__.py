@@ -1,0 +1,1 @@
+"""Unit tests for the repro.testing toolkit (oracle, strategies, faults)."""
