@@ -1,17 +1,26 @@
 """Serving-path benchmark: blockwise scans, shard scaling, cache hit curves.
 
 Writes ``BENCH_serving.json`` at the repo root (override with ``--out``).
-Three measurement families, matching the serving engine's design levers:
+Four measurement families, matching the serving engine's design levers:
 
 1. **Scan throughput** — the pre-blockwise flat scan materialised the full
    ``(num_queries, ntotal)`` float64 distance matrix; the streaming scan
    caps the working set at ``(num_queries, block)``.  Both are timed on
    the same workload.
-2. **Shard scaling** — :class:`ShardedIndex` over 1/2/4/8 flat shards,
+2. **PQ ADC kernels** — the legacy per-subquantizer fancy-index
+   accumulation against the transposed-LUT contiguous-gather kernel
+   (``ProductQuantizer.scan_codes``), both inside the same blockwise
+   top-k scan; bit-identical ids *and* distances are asserted.
+3. **Shard scaling** — :class:`ShardedIndex` over 1/2/4/8 flat shards for
+   each executor (``thread`` and, on multi-core hosts, ``process``),
    reported as speedup against the full-materialisation baseline (the
-   paper-style single-shard scan).  Result equality with the unsharded
-   scan is asserted, not assumed.
-3. **Cache hit curves** — LRU hit rate of :class:`QueryCache` under a
+   paper-style single-shard scan) plus per-shard wall seconds from
+   ``health_stats``.  Result equality with the unsharded scan is
+   asserted, not assumed.  Shard scaling is executor- and core-count
+   dependent, which is why every row records ``cpu_count`` and the
+   executor it ran on: on a 1-CPU host neither executor can beat the
+   single-shard scan, and the process pool additionally pays IPC.
+4. **Cache hit curves** — LRU hit rate of :class:`QueryCache` under a
    Zipf-skewed query stream, across cache capacities.
 
 ``--smoke`` shrinks the workload to a few seconds of CI time; the checked
@@ -42,8 +51,9 @@ sys.path.insert(0, str(ROOT))
 sys.path.insert(0, str(ROOT / "src"))
 
 from repro.index.flat import FlatIndex  # noqa: E402
+from repro.index.pq import PQIndex  # noqa: E402
 from repro.index.sharded import ShardedIndex  # noqa: E402
-from repro.index.topk import block_topk  # noqa: E402
+from repro.index.topk import block_topk, blockwise_topk  # noqa: E402
 from repro.lookup.cache import QueryCache  # noqa: E402
 from tools.bench_json import write_bench_json  # noqa: E402
 
@@ -102,23 +112,103 @@ def bench_scans(data, queries, k, block_sizes, repeats):
     return scans, shard_ref_ids, full_s
 
 
-def bench_shards(data, queries, k, shard_counts, repeats, ref_ids, full_s):
-    """Time ShardedIndex fan-out, checking equality with the flat scan."""
+def legacy_pq_block_scan(index, queries, k):
+    """The pre-PR 6 ADC kernel inside the same blockwise top-k scan.
+
+    Per block it fancy-indexes ``tables[:, j, codes[:, j]]`` for each
+    subquantizer — one mapiter-driven gather per (query, row) element —
+    which is the per-subquantizer accumulation the transposed-LUT
+    ``scan_codes`` kernel replaced.  Summation order over ``j`` is
+    identical, so the two kernels must agree bit-for-bit.
+    """
+    tables = index.pq.distance_tables(queries)
+    codes = index.codes
+
+    def score(start, stop):
+        block = codes[start:stop]
+        out = np.zeros((len(queries), len(block)), dtype=np.float64)  # repro: noqa[REP102]
+        for j in range(index.pq.m):
+            out += tables[:, j, block[:, j]]
+        return out
+
+    ids, distances = blockwise_topk(
+        score, len(codes), k, len(queries), block_size=index.block_size
+    )
+    return ids, distances
+
+
+def bench_pq_scans(data, queries, k, repeats, m=8, nbits=8, seed=3):
+    """Legacy fancy-index ADC vs the transposed-LUT gather kernel."""
+    index = PQIndex(data.shape[1], m=m, nbits=nbits, seed=seed)
+    index.train(data[: min(len(data), 20_000)])
+    index.add(data)
+    nq = len(queries)
+    legacy_s, (legacy_ids, legacy_d) = timed(
+        lambda: legacy_pq_block_scan(index, queries, k), repeats
+    )
+    new_s, result = timed(lambda: index.search(queries, k), repeats)
+    assert np.array_equal(result.ids, legacy_ids), (
+        "transposed-LUT ADC kernel diverged from the legacy kernel"
+    )
+    assert np.array_equal(result.distances, legacy_d), (
+        "transposed-LUT ADC distances diverged from the legacy kernel"
+    )
+    return {
+        "m": m,
+        "nbits": nbits,
+        "legacy_fancy_index": {
+            "seconds": legacy_s,
+            "queries_per_sec": nq / legacy_s,
+        },
+        "transposed_lut_gather": {
+            "seconds": new_s,
+            "queries_per_sec": nq / new_s,
+        },
+        "speedup": legacy_s / new_s,
+    }
+
+
+def bench_shards(
+    data, queries, k, shard_counts, repeats, ref_ids, full_s, executors
+):
+    """Time ShardedIndex fan-out per executor, checking scan equality.
+
+    Each row carries the per-shard wall seconds accumulated by
+    ``health_stats`` across the timed repeats, so a lopsided shard (or a
+    worker paying IPC) is visible in the checked-in JSON, not just the
+    aggregate.
+    """
     out = {}
-    for num_shards in shard_counts:
-        index = ShardedIndex(data.shape[1], num_shards)
-        index.add(data)
-        index.search(queries[:4], k)  # spin up the worker pool
-        sec, result = timed(lambda: index.search(queries, k), repeats)
-        assert np.array_equal(result.ids, ref_ids), (
-            f"{num_shards}-shard scan diverged from the flat scan"
-        )
-        out[str(num_shards)] = {
-            "seconds": sec,
-            "queries_per_sec": len(queries) / sec,
-            "speedup_vs_full_scan": full_s / sec,
-        }
-        index.close()
+    for executor in executors:
+        rows = {}
+        for num_shards in shard_counts:
+            index = ShardedIndex(
+                data.shape[1], num_shards, executor=executor
+            )
+            index.add(data)
+            index.search(queries[:4], k)  # spin up the worker pool
+            baseline = index.health_stats()
+            sec, result = timed(lambda: index.search(queries, k), repeats)
+            assert np.array_equal(result.ids, ref_ids), (
+                f"{num_shards}-shard {executor} scan diverged from flat"
+            )
+            health = index.health_stats()
+            shard_seconds = [
+                round(
+                    (after["seconds"] - before["seconds"]) / repeats, 6
+                )
+                for after, before in zip(
+                    health["shards"], baseline["shards"]
+                )
+            ]
+            rows[str(num_shards)] = {
+                "seconds": sec,
+                "queries_per_sec": len(queries) / sec,
+                "speedup_vs_full_scan": full_s / sec,
+                "mean_shard_seconds_per_search": shard_seconds,
+            }
+            index.close()
+        out[executor] = rows
     return out
 
 
@@ -174,18 +264,33 @@ def main(argv=None) -> int:
     data = rng.normal(size=(n, dim)).astype(np.float32)
     queries = rng.normal(size=(nq, dim)).astype(np.float32)
 
-    print(f"workload: {n} vectors x {dim}d, {nq} queries, k={k}")
+    cpu_count = os.cpu_count() or 1
+    executors = ["thread"]
+    if cpu_count > 1:
+        executors.append("process")
+    print(
+        f"workload: {n} vectors x {dim}d, {nq} queries, k={k} "
+        f"(cpu_count={cpu_count}, executors={executors})"
+    )
     scans, ref_ids, full_s = bench_scans(data, queries, k, block_sizes, repeats)
     for name, row in scans.items():
         print(f"  scan {name:24s} {row['seconds'] * 1e3:8.1f} ms")
-    shards = bench_shards(
-        data, queries, k, shard_counts, repeats, ref_ids, full_s
+    pq_scans = bench_pq_scans(data, queries, k, repeats)
+    print(
+        f"  pq adc legacy {pq_scans['legacy_fancy_index']['seconds'] * 1e3:8.1f} ms"
+        f" -> gather {pq_scans['transposed_lut_gather']['seconds'] * 1e3:8.1f} ms"
+        f" ({pq_scans['speedup']:.2f}x)"
     )
-    for num, row in shards.items():
-        print(
-            f"  shards={num:3s} {row['seconds'] * 1e3:8.1f} ms "
-            f"({row['speedup_vs_full_scan']:.2f}x vs full scan)"
-        )
+    shards = bench_shards(
+        data, queries, k, shard_counts, repeats, ref_ids, full_s, executors
+    )
+    for executor, rows in shards.items():
+        for num, row in rows.items():
+            print(
+                f"  {executor:7s} shards={num:3s} "
+                f"{row['seconds'] * 1e3:8.1f} ms "
+                f"({row['speedup_vs_full_scan']:.2f}x vs full scan)"
+            )
     cache_curves = bench_cache(
         [64, 256, 1024, 4096], cache_queries, vocab, 1.3, dim, args.seed
     )
@@ -202,7 +307,10 @@ def main(argv=None) -> int:
             "seed": args.seed,
             "repeats": repeats,
         },
+        "cpu_count": cpu_count,
+        "executors_measured": executors,
         "scan_throughput": scans,
+        "pq_adc_kernels": pq_scans,
         "shard_scaling": shards,
         "cache_hit_rates": cache_curves,
         "results_identical_across_variants": True,

@@ -40,6 +40,25 @@ class GrowBuffer:
         self._data = np.empty((0, cols), dtype=dtype)
         self._len = 0
 
+    @classmethod
+    def wrap(cls, rows: np.ndarray) -> "GrowBuffer":
+        """Zero-copy buffer over an existing ``(n, cols)`` matrix.
+
+        Used by shard worker processes to serve scans straight out of a
+        parent-owned shared-memory segment: ``view`` aliases ``rows``
+        without copying.  The wrapped array may be read-only; the first
+        ``append`` grows into a fresh private allocation (copying the
+        rows out of the segment), so workers that never add pay nothing.
+        """
+        if rows.ndim != 2 or rows.shape[1] == 0:
+            raise ValueError(
+                f"expected a (n, cols>=1) matrix, got shape {rows.shape}"
+            )
+        buffer = cls(rows.shape[1], rows.dtype)
+        buffer._data = rows
+        buffer._len = len(rows)
+        return buffer
+
     def __len__(self) -> int:
         """Number of appended rows (not the reserved capacity)."""
         return self._len

@@ -133,20 +133,71 @@ class ProductQuantizer:
             tables[:, j, :] = np.maximum(q_norm + c_norm - 2.0 * cross, 0.0)
         return tables
 
+    def scan_tables(self, queries: np.ndarray) -> np.ndarray:
+        """ADC tables in scan orientation: contiguous ``(m, ksub, nq)``.
+
+        Same numbers as :meth:`distance_tables`, transposed once per query
+        batch so the hot block scan (:meth:`scan_codes`) gathers *rows* of
+        ``(ksub, nq)`` sub-tables — contiguous ``nq``-wide copies the CPU
+        streams — instead of one scattered element per (query, code) pair.
+        """
+        # ADC tables are float64 by contract (precision of the m-sum).
+        return np.ascontiguousarray(
+            self.distance_tables(queries).transpose(1, 2, 0),
+            dtype=np.float64,  # repro: noqa[REP102]
+        )
+
     def adc_distances(self, queries: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Asymmetric squared distances queries x codes, ``(nq, n)``."""
-        tables = self.distance_tables(queries)
-        return self.lookup_distances(tables, codes)
+        return self.scan_codes(self.scan_tables(queries), codes)
+
+    @staticmethod
+    def scan_codes(tables_t: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """ADC block scan: gather + reduce over sub-quantizers, ``(nq, n)``.
+
+        ``tables_t`` is the :meth:`scan_tables` layout ``(m, ksub, nq)``.
+        For each sub-quantizer ``j`` the block's codes select whole rows of
+        the ``(ksub, nq)`` sub-table in one vectorised ``np.take`` (each
+        gathered row is a contiguous ``nq``-vector, so the gather runs at
+        memcpy speed), and the ``m`` gathered ``(n, nq)`` planes fold into
+        the accumulator with BLAS-shaped full-array adds.
+
+        The fold runs in fixed ``j = 0..m-1`` order with elementwise adds,
+        so every distance is a pure function of its (query, code row) pair
+        — bit-identical across any block size, shard count, or executor,
+        which is what keeps ``results_identical_across_variants`` exact.
+        (A literal matmul/einsum reduction over ``m`` was measured slower
+        here — it must materialise the full ``(m, n, nq)`` gather — and
+        GEMM kernels may re-associate the ``m``-sum differently per block
+        width, which would break that bit-exactness.)
+        """
+        m, _, nq = tables_t.shape
+        n = len(codes)
+        # Accumulates m float64 table entries per code; keep their precision.
+        out = np.zeros((n, nq), dtype=np.float64)  # repro: noqa[REP102]
+        gathered = np.empty((n, nq), dtype=np.float64)  # repro: noqa[REP102]
+        for j in range(m):
+            np.take(tables_t[j], codes[:, j], axis=0, out=gathered)
+            out += gathered
+        return out.T
 
     @staticmethod
     def lookup_distances(tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
-        """Sum per-sub-space table entries for each code row."""
-        nq, m, _ = tables.shape
-        # Sums m float64 table entries per code; keep their precision.
-        out = np.zeros((nq, len(codes)), dtype=np.float64)  # repro: noqa[REP102]
-        for j in range(m):
-            out += tables[:, j, codes[:, j]]
-        return out
+        """Sum per-sub-space table entries for each code row.
+
+        Compatibility wrapper over :meth:`scan_codes` for callers holding
+        the ``(nq, m, ksub)`` :meth:`distance_tables` layout; batch scans
+        should build :meth:`scan_tables` once and call ``scan_codes``
+        per block instead of re-transposing here every call.
+        """
+        # ADC tables are float64 by contract (precision of the m-sum).
+        return ProductQuantizer.scan_codes(
+            np.ascontiguousarray(
+                tables.transpose(1, 2, 0),
+                dtype=np.float64,  # repro: noqa[REP102]
+            ),
+            codes,
+        )
 
     def _require_trained(self) -> None:
         if self.codebooks is None:
@@ -207,13 +258,13 @@ class PQIndex(VectorIndex):
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
         block = block_size if block_size is not None else self.block_size
-        tables = (
-            self.pq.distance_tables(queries) if self.ntotal else None
-        )  # (nq, m, ksub), once per batch
+        tables_t = (
+            self.pq.scan_tables(queries) if self.ntotal else None
+        )  # (m, ksub, nq), built once per batch
         codes = self._store.view
         ids, distances = blockwise_topk(
-            lambda start, stop: self.pq.lookup_distances(
-                tables, codes[start:stop]
+            lambda start, stop: self.pq.scan_codes(
+                tables_t, codes[start:stop]
             ),
             self.ntotal,
             k,

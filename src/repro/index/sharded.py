@@ -2,9 +2,8 @@
 
 Production entity retrievers (Gillick et al.'s dense retrieval stack,
 FAISS's ``IndexShards``) split the vector store into shards and fan each
-query batch out over worker threads: numpy's distance matmuls release the
-GIL, so shard scans overlap on multi-core serving hosts, and each shard's
-working set is a fraction of the full store.
+query batch out over workers so shard scans overlap on multi-core serving
+hosts, and each shard's working set is a fraction of the full store.
 
 Vectors are striped round-robin by arrival order — the ``g``-th added
 vector lands in shard ``g % num_shards`` — so the global id of a shard's
@@ -14,64 +13,494 @@ results remap to the global id space arithmetically.  Fan-in uses
 together with the blockwise scans inside each shard this makes a sharded
 search return *identical* results to the equivalent unsharded index.
 
-Failure semantics (the serving hardening pass): a shard that raises is
-retried once; a shard that still fails, or whose result does not arrive
-within ``shard_timeout`` seconds, is *dropped* from the fan-in and the
-search returns the merged top-k of the surviving shards with
-``partial=True`` and the dead shards listed in ``failed_shards`` — one
-slow or crashing shard degrades recall instead of failing the whole
-lookup.  Per-shard counters (searches / failures / timeouts / retries)
-are kept in :meth:`ShardedIndex.health_stats` so a serving layer can
-alert on a persistently sick shard.  Pass ``fail_fast=True`` to restore
-strict all-or-nothing behaviour.
+Execution model (``executor=``): the fan-out runs on one of three
+interchangeable executors, all returning bit-identical results:
+
+- ``"process"`` — a persistent pool of worker *processes*, one lazy
+  spawn per pool.  Shard payloads (flat vectors, PQ codes, PQ codebooks)
+  are exported once into ``multiprocessing.shared_memory`` segments (see
+  :mod:`repro.index.shm`) that every worker maps read-only, so only query
+  batches in and ``(distance, id)`` top-k tuples out ever cross a pipe.
+  This is the executor that actually scales with cores: CPython's GIL
+  serialises the *gather/top-k* half of a scan even though the distance
+  matmuls release it, which is why the PR 4 thread fan-out measured
+  slower than one shard on a busy host.  A worker that crashes (or whose
+  request times out) is killed and respawned, counted in
+  :meth:`ShardedIndex.health_stats`; index families without a
+  shared-memory exporter fall back to pickling the shard into the worker
+  at spawn.
+- ``"thread"`` — the PR 4 thread pool (numpy matmuls release the GIL).
+  Still the right choice on 1-CPU hosts, where worker processes would
+  add IPC overhead with no parallelism to win.
+- ``"inline"`` — no pool at all: shards scan serially on the calling
+  thread.  Deterministic and dependency-free, for tests and debugging;
+  ``shard_timeout`` is emulated by comparing each shard's own elapsed
+  wall time against the budget after it finishes (a serial scan cannot
+  be pre-empted).
+- ``"auto"`` (default) — ``"process"`` when the host has more than one
+  CPU and every shard is exportable, else ``"thread"``.
+
+Failure semantics (identical across executors): a shard that raises is
+retried (``max_retries``); a shard that still fails, or whose result
+does not arrive within ``shard_timeout`` seconds, is *dropped* from the
+fan-in and the search returns the merged top-k of the surviving shards
+with ``partial=True`` and the dead shards listed in ``failed_shards`` —
+one slow or crashing shard degrades recall instead of failing the whole
+lookup.  Timeouts are not retried (the hung scan cannot be cancelled; on
+the process executor the stuck *worker* is killed and respawned so the
+next search starts clean).  Per-shard counters (searches / failures /
+timeouts / retries / seconds) are kept in
+:meth:`ShardedIndex.health_stats` so a serving layer can alert on a
+persistently sick shard.  Pass ``fail_fast=True`` to restore strict
+all-or-nothing behaviour.
 
 Fault injection: tests (see :mod:`repro.testing.faults`) pass a
 ``fault_hook`` — any object with optional methods
-``before(shard: int) -> None`` (called on the shard's worker thread
-before its search; may raise or sleep) and
+``before(shard: int) -> None`` (called on the shard's coordinator
+thread before its search; may raise or sleep),
 ``transform(shard: int, ids, distances) -> (ids, distances)`` (applied
-to the shard's result before fan-in).  Production code leaves it
+to the shard's result before fan-in), and
+``should_kill(shard: int) -> bool`` (process executor only: when true
+the shard's worker process is killed before the request, exercising the
+crash-detection → respawn → retry path).  Production code leaves it
 ``None``; the index never imports the testing layer.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
+from multiprocessing.connection import wait as _mp_wait
 from time import monotonic
 
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.index.shm import AttachedSegments, ShmRegistry
 from repro.index.topk import merge_topk
 
-__all__ = ["AllShardsFailedError", "ShardedIndex"]
+__all__ = [
+    "AllShardsFailedError",
+    "ShardedIndex",
+    "ShardTimeoutError",
+    "WorkerCrashedError",
+]
+
+_EXECUTORS = ("auto", "thread", "process", "inline")
 
 
 class AllShardsFailedError(RuntimeError):
     """Every shard of a sharded search failed or timed out."""
 
 
+class ShardTimeoutError(TimeoutError):
+    """A shard's scan missed its ``shard_timeout`` budget."""
+
+
+class WorkerCrashedError(RuntimeError):
+    """A shard's worker process died mid-request (before responding)."""
+
+
 class _ShardHealth:
     """Per-shard serving counters (mutated under the index's stats lock)."""
 
-    __slots__ = ("searches", "failures", "timeouts", "retries")
+    __slots__ = ("searches", "failures", "timeouts", "retries", "respawns", "seconds")
 
     def __init__(self) -> None:
         self.searches = 0
         self.failures = 0
         self.timeouts = 0
         self.retries = 0
+        self.respawns = 0
+        self.seconds = 0.0
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | float]:
         return {
             "searches": self.searches,
             "failures": self.failures,
             "timeouts": self.timeouts,
             "retries": self.retries,
+            "respawns": self.respawns,
+            "seconds": self.seconds,
         }
+
+
+# --------------------------------------------------------------------------
+# Worker-process side of the "process" executor.
+# --------------------------------------------------------------------------
+
+
+def _export_shard(shard: VectorIndex, registry: ShmRegistry) -> dict:
+    """Describe one shard as a picklable payload, bulk arrays in shm.
+
+    Flat and PQ shards — the two families the serving path builds — ship
+    their stores through shared memory; any other family falls back to
+    pickling the whole shard object into the worker (functional, but the
+    payload crosses the pipe once at spawn instead of being mapped).
+    """
+    from repro.index.flat import FlatIndex
+    from repro.index.pq import PQIndex
+
+    if type(shard) is FlatIndex:
+        return {
+            "kind": "flat",
+            "dim": shard.dim,
+            "metric": shard.metric,
+            "block_size": shard.block_size,
+            "vectors": registry.share(shard.vectors),
+        }
+    if type(shard) is PQIndex:
+        if not shard.is_trained:
+            raise RuntimeError("cannot export an untrained PQ shard")
+        return {
+            "kind": "pq",
+            "dim": shard.dim,
+            "m": shard.pq.m,
+            "nbits": shard.pq.nbits,
+            "block_size": shard.block_size,
+            "codes": registry.share(shard.codes),
+            "codebooks": registry.share(shard.pq.codebooks),
+        }
+    return {"kind": "pickle", "index": shard}
+
+
+def _build_shard(payload: dict, segments: AttachedSegments) -> VectorIndex:
+    """Rebuild a worker-local shard over the parent's shm segments."""
+    from repro.index.buffer import GrowBuffer
+    from repro.index.flat import FlatIndex
+    from repro.index.pq import PQIndex
+
+    kind = payload["kind"]
+    if kind == "flat":
+        index = FlatIndex(
+            payload["dim"],
+            metric=payload["metric"],
+            block_size=payload["block_size"],
+        )
+        index._store = GrowBuffer.wrap(segments.attach(payload["vectors"]))
+        return index
+    if kind == "pq":
+        index = PQIndex(
+            payload["dim"],
+            m=payload["m"],
+            nbits=payload["nbits"],
+            block_size=payload["block_size"],
+        )
+        index.pq.codebooks = segments.attach(payload["codebooks"])
+        index._store = GrowBuffer.wrap(segments.attach(payload["codes"]))
+        return index
+    if kind == "pickle":
+        return payload["index"]
+    raise ValueError(f"unknown shard payload kind {kind!r}")
+
+
+def _shard_worker_main(conn, payloads: dict[int, dict]) -> None:
+    """Worker loop: build shards from payloads, serve search requests.
+
+    Protocol (one in-flight request per worker, enforced parent-side):
+
+    - recv ``("search", req_id, shard, queries, k)`` →
+      send ``("ok", req_id, ids, distances, seconds)`` or
+      ``("err", req_id, repr(exc))``
+    - recv ``("stop",)`` → detach segments and exit.
+    """
+    segments = AttachedSegments()
+    try:
+        shards = {
+            s: _build_shard(payload, segments)
+            for s, payload in payloads.items()
+        }
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if msg[0] == "stop":
+                break
+            _, req_id, s, queries, k = msg
+            try:
+                start = monotonic()
+                result = shards[s].search(queries, k)
+                elapsed = monotonic() - start
+                conn.send(
+                    ("ok", req_id, result.ids, result.distances, elapsed)
+                )
+            except Exception as exc:  # serve the next request regardless
+                try:
+                    conn.send(("err", req_id, repr(exc)))
+                except (BrokenPipeError, OSError):
+                    break
+    finally:
+        segments.close()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class _ShardWorker:
+    """Parent-side handle of one worker process (pipe + request lock)."""
+
+    __slots__ = (
+        "shard_ids",
+        "process",
+        "conn",
+        "lock",
+        "req_counter",
+        "injected_kill",
+    )
+
+    def __init__(self, shard_ids: tuple[int, ...]):
+        self.shard_ids = shard_ids
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.req_counter = 0
+        # Set by kill_shard_worker so the next request skips the liveness
+        # pre-heal and exercises the mid-request crash-detection path.
+        self.injected_kill = False
+
+
+class _ProcessShardPool:
+    """Persistent worker-process pool behind the ``"process"`` executor.
+
+    ``start()`` exports every shard payload into one :class:`ShmRegistry`
+    and spawns ``num_workers`` processes, shards assigned round-robin.
+    ``request()`` runs one shard search on its worker with an optional
+    deadline; a dead worker is respawned transparently (counted through
+    ``on_respawn``) and the caller retries per the index's budget.
+    ``close()`` stops the workers and unlinks every segment (idempotent).
+    """
+
+    def __init__(
+        self,
+        shards: list[VectorIndex],
+        num_workers: int,
+        mp_context: str | None = None,
+        on_respawn: Callable[[int], None] | None = None,
+    ):
+        if mp_context is None:
+            # fork reuses the parent's loaded interpreter (fast spawn);
+            # spawn is the portable fallback.
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.mp_context = mp_context
+        self._shards = shards
+        self.num_workers = max(1, min(num_workers, len(shards)))
+        self._on_respawn = on_respawn
+        self._registry: ShmRegistry | None = None
+        self._payloads: dict[int, dict] = {}
+        self._workers: list[_ShardWorker] = []
+        self._worker_of: dict[int, _ShardWorker] = {}
+        self._respawns = 0
+        self._stats_lock = threading.Lock()
+        self._started = False
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def respawns(self) -> int:
+        with self._stats_lock:
+            return self._respawns
+
+    def shared_bytes(self) -> int:
+        """Bytes of shard payload exported to shared memory."""
+        return self._registry.total_bytes() if self._registry else 0
+
+    def worker_pids(self) -> list[int | None]:
+        """Live worker pids, in worker order (None before spawn)."""
+        return [
+            w.process.pid if w.process is not None else None
+            for w in self._workers
+        ]
+
+    def start(self) -> None:
+        """Export payloads to shm and spawn the workers (idempotent)."""
+        if self._started:
+            return
+        self._registry = ShmRegistry()
+        try:
+            self._payloads = {
+                s: _export_shard(shard, self._registry)
+                for s, shard in enumerate(self._shards)
+            }
+        except BaseException:
+            self._registry.close()
+            self._registry = None
+            raise
+        self._workers = [
+            _ShardWorker(tuple(range(w, len(self._shards), self.num_workers)))
+            for w in range(self.num_workers)
+        ]
+        for worker in self._workers:
+            for s in worker.shard_ids:
+                self._worker_of[s] = worker
+            self._spawn(worker)
+        self._started = True
+
+    def _spawn(self, worker: _ShardWorker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        payloads = {s: self._payloads[s] for s in worker.shard_ids}
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, payloads),
+            daemon=True,
+            name=f"shard-worker-{worker.shard_ids[0]}",
+        )
+        process.start()
+        child_conn.close()
+        worker.process = process
+        worker.conn = parent_conn
+
+    def _respawn(self, worker: _ShardWorker, shard: int) -> None:
+        """Replace a dead/stuck worker with a fresh process."""
+        if worker.process is not None:
+            try:
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            except Exception:  # pragma: no cover - platform specific
+                pass
+        if worker.conn is not None:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._spawn(worker)
+        with self._stats_lock:
+            self._respawns += 1
+        if self._on_respawn is not None:
+            self._on_respawn(shard)
+
+    def kill_shard_worker(self, shard: int) -> None:
+        """Kill the worker currently serving ``shard`` (fault injection).
+
+        The worker is marked ``injected_kill`` so the next request sends
+        into the dead pipe instead of pre-healing: the pipe's sentinel
+        fires mid-wait and the request surfaces as a
+        :class:`WorkerCrashedError` after the respawn — the exact path a
+        worker OOM-killed mid-scan takes in production.
+        """
+        worker = self._worker_of[shard]
+        with worker.lock:
+            if worker.process is not None:
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+                worker.injected_kill = True
+
+    def request(
+        self,
+        shard: int,
+        queries: np.ndarray,
+        k: int,
+        deadline: float | None,
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """One shard search on its worker; ``(ids, distances, seconds)``.
+
+        Raises :class:`WorkerCrashedError` when the worker died before
+        responding (after respawning it so the next attempt is clean),
+        :class:`ShardTimeoutError` when ``deadline`` passes first (the
+        stuck worker is killed and respawned — its scan cannot be
+        cancelled, but the *pool* must not stay wedged), and
+        ``RuntimeError`` when the worker reports a search error.
+        """
+        worker = self._worker_of[shard]
+        with worker.lock:
+            if worker.injected_kill:
+                # Leave the corpse in place for this one request so the
+                # send-into-dead-pipe detection below actually runs.
+                worker.injected_kill = False
+            elif worker.process is None or not worker.process.is_alive():
+                self._respawn(worker, shard)
+            worker.req_counter += 1
+            req_id = worker.req_counter
+            try:
+                worker.conn.send(("search", req_id, shard, queries, k))
+            except (BrokenPipeError, OSError):
+                self._respawn(worker, shard)
+                raise WorkerCrashedError(
+                    f"worker for shard {shard} died before accepting request"
+                ) from None
+            while True:
+                timeout = None
+                if deadline is not None:
+                    timeout = max(0.0, deadline - monotonic())
+                ready = _mp_wait(
+                    [worker.conn, worker.process.sentinel], timeout=timeout
+                )
+                if worker.conn in ready:
+                    try:
+                        msg = worker.conn.recv()
+                    except (EOFError, OSError):
+                        self._respawn(worker, shard)
+                        raise WorkerCrashedError(
+                            f"worker for shard {shard} died mid-response"
+                        ) from None
+                    if msg[1] != req_id:  # stale reply from an old cycle
+                        continue
+                    if msg[0] == "ok":
+                        return msg[2], msg[3], msg[4]
+                    raise RuntimeError(
+                        f"shard {shard} worker error: {msg[2]}"
+                    )
+                if not ready:  # deadline expired before data or death
+                    self._respawn(worker, shard)
+                    raise ShardTimeoutError(
+                        f"shard {shard} worker missed its deadline"
+                    )
+                # Sentinel fired: the process died without responding.
+                self._respawn(worker, shard)
+                raise WorkerCrashedError(
+                    f"worker for shard {shard} crashed mid-request"
+                )
+
+    def close(self) -> None:
+        """Stop workers, close pipes, unlink shm segments (idempotent)."""
+        workers, self._workers = self._workers, []
+        self._worker_of = {}
+        for worker in workers:
+            with worker.lock:
+                if worker.conn is not None:
+                    try:
+                        worker.conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
+        for worker in workers:
+            with worker.lock:
+                if worker.process is not None:
+                    worker.process.join(timeout=5.0)
+                    if worker.process.is_alive():  # pragma: no cover
+                        worker.process.kill()
+                        worker.process.join(timeout=5.0)
+                    worker.process = None
+                if worker.conn is not None:
+                    try:
+                        worker.conn.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    worker.conn = None
+        if self._registry is not None:
+            self._registry.close()
+            self._registry = None
+        self._payloads = {}
+        self._started = False
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------
+# The sharded index itself.
+# --------------------------------------------------------------------------
 
 
 class ShardedIndex(VectorIndex):
@@ -88,17 +517,28 @@ class ShardedIndex(VectorIndex):
         to flat shards.  For trained families the factory must produce
         identically-seeded indexes so all shards learn the same quantizer
         (``train`` feeds every shard the full training matrix).
-    max_workers:
-        Thread-pool width (defaults to ``num_shards``).
+    executor:
+        ``"auto"`` | ``"thread"`` | ``"process"`` | ``"inline"`` — the
+        fan-out execution model (module docstring).  ``"auto"`` picks
+        ``"process"`` on multi-core hosts and ``"thread"`` otherwise.
+    num_workers:
+        Fan-out width: worker processes for the process executor (shards
+        are assigned round-robin when fewer workers than shards), thread
+        count otherwise.  Defaults to ``num_shards``.
+    mp_context:
+        Multiprocessing start method for the process executor
+        (``"fork"`` where available, else ``"spawn"``).
     shard_timeout:
         Seconds one search waits for its shard fan-out (a single deadline
         shared by the concurrently-running shards, not a per-shard serial
-        budget).  ``None`` waits forever.
+        budget; the inline executor necessarily budgets per shard).
+        ``None`` waits forever.
     max_retries:
-        Bounded in-thread retries after a shard search raises (the retry
-        runs immediately on the same worker; timeouts are not retried —
-        the hung call cannot be cancelled, so a retry would double the
-        stall).
+        Bounded retries after a shard search raises (the retry runs
+        immediately on the same coordinator; timeouts are not retried —
+        the hung scan cannot be cancelled, so a retry would double the
+        stall).  On the process executor a crashed worker is respawned
+        before the retry.
     fail_fast:
         When ``True``, re-raise the first shard failure instead of
         degrading to a partial result.
@@ -112,6 +552,9 @@ class ShardedIndex(VectorIndex):
         dim: int,
         num_shards: int,
         factory: Callable[[int], VectorIndex] | None = None,
+        executor: str = "auto",
+        num_workers: int | None = None,
+        mp_context: str | None = None,
         max_workers: int | None = None,
         shard_timeout: float | None = None,
         max_retries: int = 1,
@@ -122,6 +565,10 @@ class ShardedIndex(VectorIndex):
             raise ValueError(f"dim must be positive, got {dim}")
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
         if shard_timeout is not None and shard_timeout <= 0:
             raise ValueError(
                 f"shard_timeout must be positive or None, got {shard_timeout}"
@@ -143,8 +590,13 @@ class ShardedIndex(VectorIndex):
                     f"factory built a dim-{shard.dim} shard, expected {dim}"
                 )
         self._ntotal = 0
-        self._max_workers = max_workers or num_shards
+        self.executor = executor
+        # max_workers is the PR 4 name for the same knob; num_workers wins.
+        self._num_workers = num_workers or max_workers or num_shards
+        self._mp_context = mp_context
         self._executor: ThreadPoolExecutor | None = None
+        self._process_pool: _ProcessShardPool | None = None
+        self._resolved: str | None = None
         self.shard_timeout = shard_timeout
         self.max_retries = max_retries
         self.fail_fast = fail_fast
@@ -170,6 +622,7 @@ class ShardedIndex(VectorIndex):
     def train(self, vectors: np.ndarray) -> None:
         """Train every shard on the full matrix (identical quantizers)."""
         vectors = self._check_vectors(vectors, "training vectors")
+        self._invalidate_workers()
         for shard in self._shards:
             shard.train(vectors)
 
@@ -178,6 +631,7 @@ class ShardedIndex(VectorIndex):
         vectors = self._check_vectors(vectors, "vectors")
         if len(vectors) == 0:
             return
+        self._invalidate_workers()
         arrival = self._ntotal + np.arange(len(vectors), dtype=np.int64)
         lanes = arrival % self.num_shards
         for s, shard in enumerate(self._shards):
@@ -186,78 +640,202 @@ class ShardedIndex(VectorIndex):
                 shard.add(rows)
         self._ntotal += len(vectors)
 
+    # -- executors -------------------------------------------------------------
+
+    def resolved_executor(self) -> str:
+        """The concrete executor ``search`` will use (resolves ``auto``)."""
+        if self._resolved is None:
+            self._resolved = self._resolve_executor()
+        return self._resolved
+
+    def _resolve_executor(self) -> str:
+        if self.executor != "auto":
+            return self.executor
+        if (os.cpu_count() or 1) > 1 and self._shards_exportable():
+            return "process"
+        return "thread"
+
+    def _shards_exportable(self) -> bool:
+        """Whether every shard has a zero-copy shared-memory exporter."""
+        from repro.index.flat import FlatIndex
+        from repro.index.pq import PQIndex
+
+        return all(type(s) in (FlatIndex, PQIndex) for s in self._shards)
+
     def _pool(self) -> ThreadPoolExecutor:
+        """Coordinator thread pool (thread executor scans run on it too)."""
         if self._executor is None:
+            width = (
+                self.num_shards
+                if self.resolved_executor() == "process"
+                else min(self._num_workers, self.num_shards)
+            )
             self._executor = ThreadPoolExecutor(
-                max_workers=self._max_workers,
+                max_workers=width,
                 thread_name_prefix="shard-search",
             )
         return self._executor
 
+    def _worker_pool(self) -> _ProcessShardPool:
+        if self._process_pool is None:
+            self._process_pool = _ProcessShardPool(
+                self._shards,
+                num_workers=self._num_workers,
+                mp_context=self._mp_context,
+                on_respawn=self._count_respawn,
+            )
+        self._process_pool.start()
+        return self._process_pool
+
+    def _count_respawn(self, shard: int) -> None:
+        with self._stats_lock:
+            self._health[shard].respawns += 1
+
+    def _invalidate_workers(self) -> None:
+        """Drop the worker pool: its shm payload no longer matches."""
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
+
+    # -- searching -------------------------------------------------------------
+
     def _search_shard(
-        self, s: int, queries: np.ndarray, k: int
+        self,
+        s: int,
+        queries: np.ndarray,
+        k: int,
+        deadline: float | None,
+        mode: str,
     ) -> SearchResult:
-        """One shard's search on a worker thread, with bounded retries."""
+        """One shard's search on its coordinator, with bounded retries."""
         hook = self.fault_hook
         before = getattr(hook, "before", None) if hook is not None else None
         transform = (
             getattr(hook, "transform", None) if hook is not None else None
         )
+        should_kill = (
+            getattr(hook, "should_kill", None) if hook is not None else None
+        )
         attempts = self.max_retries + 1
-        for attempt in range(attempts):
+        start = monotonic()
+        try:
+            for attempt in range(attempts):
+                try:
+                    if before is not None:
+                        before(s)
+                    if mode == "process":
+                        pool = self._worker_pool()
+                        if should_kill is not None and should_kill(s):
+                            pool.kill_shard_worker(s)
+                        ids, distances, _ = pool.request(
+                            s, queries, k, deadline
+                        )
+                        result = SearchResult(ids=ids, distances=distances)
+                    else:
+                        result = self._shards[s].search(queries, k)
+                    if transform is not None:
+                        ids, distances = transform(
+                            s, result.ids, result.distances
+                        )
+                        result = SearchResult(ids=ids, distances=distances)
+                    return result
+                except ShardTimeoutError:
+                    raise  # never retried; the pool already respawned
+                except Exception:
+                    if attempt + 1 >= attempts:
+                        raise
+                    with self._stats_lock:
+                        self._health[s].retries += 1
+            raise AssertionError("unreachable")  # pragma: no cover
+        finally:
+            elapsed = monotonic() - start
+            with self._stats_lock:
+                self._health[s].seconds += elapsed
+
+    def _inline_outcomes(
+        self, queries: np.ndarray, k: int
+    ) -> list[tuple[SearchResult | None, bool, BaseException | None]]:
+        """Serial fan-out: per-shard ``(result, timed_out, error)`` rows.
+
+        Each shard gets its own ``shard_timeout`` budget, checked after
+        the scan (serial execution cannot be pre-empted): a shard whose
+        own wall time blew the budget is dropped exactly like a timed-out
+        concurrent shard, which keeps fault-injection delay tests
+        deterministic on any host.
+        """
+        outcomes: list = []
+        for s in range(self.num_shards):
+            started = monotonic()
             try:
-                if before is not None:
-                    before(s)
-                result = self._shards[s].search(queries, k)
-                if transform is not None:
-                    ids, distances = transform(
-                        s, result.ids, result.distances
-                    )
-                    result = SearchResult(ids=ids, distances=distances)
-                return result
-            except Exception:
-                if attempt + 1 >= attempts:
-                    raise
-                with self._stats_lock:
-                    self._health[s].retries += 1
-        raise AssertionError("unreachable")  # pragma: no cover
+                result = self._search_shard(s, queries, k, None, "inline")
+            except Exception as exc:
+                outcomes.append((None, False, exc))
+                continue
+            elapsed = monotonic() - started
+            if (
+                self.shard_timeout is not None
+                and elapsed > self.shard_timeout
+            ):
+                outcomes.append((None, True, None))
+            else:
+                outcomes.append((result, False, None))
+        return outcomes
 
     def search(self, queries: np.ndarray, k: int) -> SearchResult:
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
+        mode = self.resolved_executor()
         deadline = (
             monotonic() + self.shard_timeout
             if self.shard_timeout is not None
             else None
         )
-        futures = [
-            self._pool().submit(self._search_shard, s, queries, k)
-            for s in range(self.num_shards)
-        ]
+        if mode == "process":
+            # Spawn (or re-export) the worker pool on the calling thread
+            # before fanning out: pool start is not coordinator-safe.
+            self._worker_pool()
+        if mode == "inline":
+            outcomes = self._inline_outcomes(queries, k)
+        else:
+            futures = [
+                self._pool().submit(
+                    self._search_shard, s, queries, k, deadline, mode
+                )
+                for s in range(self.num_shards)
+            ]
+            outcomes = []
+            for future in futures:
+                try:
+                    if deadline is None:
+                        outcomes.append((future.result(), False, None))
+                    else:
+                        outcomes.append(
+                            (
+                                future.result(
+                                    timeout=max(0.0, deadline - monotonic())
+                                ),
+                                False,
+                                None,
+                            )
+                        )
+                except (FutureTimeoutError, ShardTimeoutError):
+                    outcomes.append((None, True, None))
+                except Exception as exc:
+                    outcomes.append((None, False, exc))
+        return self._fan_in(outcomes, queries, k)
+
+    def _fan_in(
+        self,
+        outcomes: list[tuple[SearchResult | None, bool, BaseException | None]],
+        queries: np.ndarray,
+        k: int,
+    ) -> SearchResult:
+        """Merge per-shard outcomes, bookkeeping health and degradation."""
         run_ids = np.full((len(queries), k), -1, dtype=np.int64)
         # Running accumulator in the SearchResult contract, not storage.
         run_d = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
         failed: list[int] = []
-        for s, future in enumerate(futures):
-            timed_out = False
-            try:
-                if deadline is None:
-                    result = future.result()
-                else:
-                    result = future.result(
-                        timeout=max(0.0, deadline - monotonic())
-                    )
-            except FutureTimeoutError:
-                timed_out = True
-                result = None
-            except Exception:
-                if self.fail_fast:
-                    with self._stats_lock:
-                        self._health[s].searches += 1
-                        self._health[s].failures += 1
-                        self._total_searches += 1
-                    raise
-                result = None
+        for s, (result, timed_out, error) in enumerate(outcomes):
             with self._stats_lock:
                 self._health[s].searches += 1
                 if result is None:
@@ -265,9 +843,11 @@ class ShardedIndex(VectorIndex):
                     if timed_out:
                         self._health[s].timeouts += 1
             if result is None:
-                if timed_out and self.fail_fast:
+                if self.fail_fast:
                     with self._stats_lock:
                         self._total_searches += 1
+                    if error is not None:
+                        raise error
                     raise TimeoutError(
                         f"shard {s} exceeded shard_timeout="
                         f"{self.shard_timeout}s"
@@ -297,27 +877,43 @@ class ShardedIndex(VectorIndex):
             failed_shards=tuple(failed),
         )
 
+    # -- introspection ---------------------------------------------------------
+
     def health_stats(self) -> dict:
         """Serving-health snapshot: per-shard counters plus search totals.
 
-        ``searches``/``failures``/``timeouts``/``retries`` per shard;
-        ``partial_searches`` counts degraded (survivor-only) results.
+        ``searches``/``failures``/``timeouts``/``retries``/``respawns``/
+        ``seconds`` per shard; ``partial_searches`` counts degraded
+        (survivor-only) results; ``executor`` is the resolved execution
+        model and ``worker_respawns`` the pool-wide respawn total.
         """
+        pool = self._process_pool
         with self._stats_lock:
             return {
                 "shards": [h.as_dict() for h in self._health],
                 "total_searches": self._total_searches,
                 "partial_searches": self._partial_searches,
+                "executor": self._resolved or self.executor,
+                "worker_respawns": pool.respawns if pool is not None else 0,
             }
 
     def memory_bytes(self) -> int:
         return sum(shard.memory_bytes() for shard in self._shards)
 
     def close(self) -> None:
-        """Shut down the search thread pool (idempotent)."""
+        """Shut down pools and unlink shared memory (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._process_pool is not None:
+            self._process_pool.close()
+            self._process_pool = None
+
+    def __enter__(self) -> "ShardedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:

@@ -21,9 +21,21 @@ Caveat discovered by the ``repro.testing`` differential harness: for the
 differ by ~1 ulp with block width (gemv vs gemm kernels), so cross-
 partition results are bit-identical only up to ulp-level distance ties;
 the PQ ADC path sums its tables in fixed order and is bit-exact across
-any partitioning.  Padding follows
+any partitioning.  (That fixed-order constraint is why
+``ProductQuantizer.scan_codes`` accumulates its per-subquantizer LUT
+gathers with elementwise adds instead of a GEMM reduction: a BLAS dot
+over the ``m`` axis may re-associate the sum per tile width, which would
+quietly re-introduce the flat scan's caveat into the one path the
+differential suite pins bit-exactly.)  Padding follows
 :class:`repro.index.base.SearchResult`: id ``-1`` with ``inf`` distance,
 always sorted last.
+
+The same partition invariance is what lets the sharded fan-in run on
+any executor: :func:`merge_topk` consumes per-shard ``(ids, distances)``
+pairs identically whether a shard scanned on the calling thread, a pool
+thread, or a worker process that shipped its top-k back over a pipe
+(:mod:`repro.index.sharded`) — only the tiny ``(n_queries, k)`` winners
+ever cross the process boundary, never block scores.
 
 Two refinements keep that invariant total even on degenerate scores
 (surfaced by the ``repro.testing`` oracle harness over ±inf-magnitude

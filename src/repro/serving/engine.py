@@ -202,6 +202,9 @@ class LookupEngine(LookupService):
         num_shards: int = 1,
         cache_size: int | None = None,
         block_size: int | None = None,
+        executor: str = "auto",
+        num_workers: int | None = None,
+        shard_timeout: float | None = None,
         **engine_kwargs,
     ) -> "LookupEngine":
         """Build an engine (and its flat/sharded index) from a fitted pipeline.
@@ -211,7 +214,12 @@ class LookupEngine(LookupService):
         :class:`ShardedIndex` of flat shards otherwise.  ``cache_size``
         defaults to the pipeline config's ``query_cache_size``; pass an
         explicit value to override.  ``block_size`` tunes the blockwise
-        scan; ``engine_kwargs`` forward to the constructor.
+        scan.  ``executor`` / ``num_workers`` / ``shard_timeout`` select
+        the sharded execution model — ``executor="process"`` with
+        ``num_workers`` worker processes over shared-memory shards is the
+        multi-core serving configuration, ``"auto"`` picks it only when
+        the host has cores to use (see :mod:`repro.index.sharded`).
+        ``engine_kwargs`` forward to the constructor.
         """
         if pipeline.model is None:
             raise ValueError("from_pipeline requires a fitted pipeline")
@@ -228,6 +236,9 @@ class LookupEngine(LookupService):
                 dim,
                 num_shards,
                 factory=lambda d: FlatIndex(d, block_size=block_size),
+                executor=executor,
+                num_workers=num_workers,
+                shard_timeout=shard_timeout,
             )
         index.train(vectors)
         index.add(vectors)
@@ -428,14 +439,21 @@ class LookupEngine(LookupService):
         only; ``isolation_retries`` counts batches that fell back to
         query-by-query serving; ``failed_queries`` counts queries whose
         handle resolved with an exception; ``deadline_hits`` counts
-        :class:`LookupDeadlineExceeded` raises.
+        :class:`LookupDeadlineExceeded` raises; ``worker_respawns``
+        counts shard worker processes the index replaced after a crash
+        or a timed-out request (0 for non-process executors).
         """
+        respawns = 0
+        health = getattr(self._index, "health_stats", None)
+        if callable(health):
+            respawns = int(health().get("worker_respawns", 0))
         with self._stats_lock:
             return {
                 "partial_results": self._partial_results,
                 "isolation_retries": self._isolation_retries,
                 "failed_queries": self._failed_queries,
                 "deadline_hits": self._deadline_hits,
+                "worker_respawns": respawns,
             }
 
     def reset_timers(self) -> None:
@@ -449,8 +467,19 @@ class LookupEngine(LookupService):
         return self._index.memory_bytes()
 
     def close(self) -> None:
-        """Flush outstanding queries and release index worker threads."""
+        """Flush outstanding queries and release the index's workers.
+
+        Idempotent; for a process-executor :class:`ShardedIndex` this
+        stops the worker processes and unlinks their shared-memory
+        segments, so an engine teardown never leaks either.
+        """
         self.flush()
         close = getattr(self._index, "close", None)
         if callable(close):
             close()
+
+    def __enter__(self) -> "LookupEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -14,7 +14,7 @@ Fault-plan grammar (``FaultPlan.parse``)::
     clause := shard ":" call ":" kind [":" arg]
     shard  := "s" INT | "*"          # one shard, or every shard
     call   := "c" INT | "*"          # the Nth call (0-based), or every call
-    kind   := "raise" | "delay" | "corrupt" | "drop"
+    kind   := "raise" | "delay" | "corrupt" | "drop" | "kill"
     arg    := FLOAT                  # delay seconds (default 0.01)
 
 Kinds:
@@ -31,6 +31,11 @@ Kinds:
   arrays together would be a no-op: the fan-in merge re-sorts pairs.)
 - ``drop``    — raise on the matching call *and every later one*: the
   shard is dead from that point on (retries keep failing).
+- ``kill``    — process executor only: terminate the worker *process*
+  serving the matching shard just before the request is sent, so the
+  index's crash detection sees a dead pipe and must respawn the worker
+  (the :meth:`FaultPlan.should_kill` hook).  Under the thread or inline
+  executors there is no process to kill and the clause is inert.
 
 :class:`QueryPoison` is the analogous hook for
 :class:`repro.serving.LookupEngine`: it makes specific (normalized)
@@ -50,7 +55,7 @@ import numpy as np
 
 __all__ = ["FaultInjected", "FaultPlan", "FaultSpec", "QueryPoison"]
 
-_KINDS = ("raise", "delay", "corrupt", "drop")
+_KINDS = ("raise", "delay", "corrupt", "drop", "kill")
 
 
 class FaultInjected(RuntimeError):
@@ -156,11 +161,13 @@ class FaultPlan:
         with self._lock:
             call = self._calls.get(shard, 0)
             self._calls[shard] = call + 1
-            # corrupt specs act (and count) in transform(), not here.
+            # corrupt specs act (and count) in transform(), kill specs in
+            # should_kill(), not here.
             matched = [
                 s
                 for s in self.specs
-                if s.kind != "corrupt" and s.matches(shard, call)
+                if s.kind not in ("corrupt", "kill")
+                and s.matches(shard, call)
             ]
             if matched:
                 self.fired += 1
@@ -171,6 +178,25 @@ class FaultPlan:
                 raise FaultInjected(
                     f"injected {spec.kind} on shard {shard} call {call}"
                 )
+
+    def should_kill(self, shard: int) -> bool:
+        """Worker-kill hook: true when a ``kill`` spec matches this call.
+
+        Consulted by the process executor after :meth:`before` (which
+        counted the call), just before the shard request is sent to its
+        worker; a ``True`` return makes the pool terminate that worker's
+        process, so the request hits a dead pipe and exercises the
+        crash-detection → respawn → retry path.
+        """
+        with self._lock:
+            call = max(self._calls.get(shard, 1) - 1, 0)
+            matched = any(
+                s.kind == "kill" and s.matches(shard, call)
+                for s in self.specs
+            )
+            if matched:
+                self.fired += 1
+        return matched
 
     def transform(
         self, shard: int, ids: np.ndarray, distances: np.ndarray

@@ -1,11 +1,23 @@
-"""Tests for repro.index.sharded (fan-out equivalence and id remapping)."""
+"""Tests for repro.index.sharded (fan-out equivalence and id remapping).
+
+The executor matrix (inline / thread / process) must be behaviourally
+interchangeable: every executor returns bit-identical results over the
+same store, and the process executor's worker-pool lifecycle (lazy
+spawn, worker reuse, invalidate-on-add, clean close with no shared
+memory left behind) is covered explicitly.
+"""
+
+import os
 
 import numpy as np
 import pytest
 
+from repro.index import shm
 from repro.index.flat import FlatIndex
 from repro.index.pq import PQIndex
 from repro.index.sharded import ShardedIndex
+
+EXECUTORS = ["inline", "thread", "process"]
 
 
 def make_data(n=200, d=16, seed=0):
@@ -98,6 +110,216 @@ class TestFlatEquivalence:
         got = sharded.search(queries, 5)
         assert got.ids.tobytes() == want.ids.tobytes()
         sharded.close()
+
+
+class TestExecutorEquivalence:
+    """Every executor returns bit-identical results on the same store."""
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    @pytest.mark.parametrize("num_shards", [1, 3, 8])
+    def test_flat_bit_identical(self, executor, num_shards):
+        data, queries = make_data(n=150, seed=3)
+        flat = FlatIndex(16)
+        flat.add(data)
+        want = flat.search(queries, 10)
+        with ShardedIndex(16, num_shards, executor=executor) as sharded:
+            sharded.add(data)
+            assert sharded.resolved_executor() == executor
+            got = sharded.search(queries, 10)
+            assert got.ids.tobytes() == want.ids.tobytes()
+            assert got.distances.tobytes() == want.distances.tobytes()
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_pq_bit_identical(self, executor):
+        data, queries = make_data(n=220, seed=21)
+
+        def factory(dim):
+            return PQIndex(dim, m=4, nbits=4, seed=29)
+
+        plain = factory(16)
+        plain.train(data)
+        plain.add(data)
+        want = plain.search(queries, 10)
+        with ShardedIndex(
+            16, 3, factory=factory, executor=executor
+        ) as sharded:
+            sharded.train(data)
+            sharded.add(data)
+            got = sharded.search(queries, 10)
+            assert got.ids.tobytes() == want.ids.tobytes()
+            assert got.distances.tobytes() == want.distances.tobytes()
+
+    def test_auto_resolution_matches_host(self):
+        index = ShardedIndex(8, 2)
+        resolved = index.resolved_executor()
+        expected = "process" if (os.cpu_count() or 1) > 1 else "thread"
+        assert resolved == expected
+        index.close()
+
+    def test_auto_falls_back_for_unexportable_family(self):
+        """Families without a shm exporter never auto-pick processes."""
+        from repro.index.lsh import LSHIndex
+
+        def factory(dim):
+            return LSHIndex(dim, nbits=8, ntables=2, seed=0)
+
+        index = ShardedIndex(8, 2, factory=factory)
+        assert index.resolved_executor() == "thread"
+        index.close()
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedIndex(8, 2, executor="greenlet")
+
+    def test_pickle_fallback_family_still_works_in_process(self):
+        """A family without an shm exporter rides the pickle payload."""
+        from repro.index.lsh import LSHIndex
+
+        def factory(dim):
+            return LSHIndex(dim, nbits=8, ntables=2, seed=0)
+
+        data, queries = make_data(n=60, d=8, seed=9)
+        want_index = ShardedIndex(8, 2, factory=factory, executor="inline")
+        want_index.add(data)
+        want = want_index.search(queries, 5)
+        want_index.close()
+        with ShardedIndex(
+            8, 2, factory=factory, executor="process"
+        ) as sharded:
+            sharded.add(data)
+            got = sharded.search(queries, 5)
+            assert got.ids.tobytes() == want.ids.tobytes()
+
+
+class TestProcessPoolLifecycle:
+    def _build(self, **kwargs):
+        # CI's multiprocessing matrix exercises different pool widths
+        # (REPRO_TEST_NUM_WORKERS); locally the default is one worker
+        # per shard.
+        kwargs.setdefault(
+            "num_workers",
+            int(os.environ.get("REPRO_TEST_NUM_WORKERS", "0")) or None,
+        )
+        data, queries = make_data(n=120, seed=4)
+        index = ShardedIndex(16, 4, executor="process", **kwargs)
+        index.add(data)
+        return index, queries
+
+    def test_pool_spawns_lazily_on_first_search(self):
+        index, queries = self._build()
+        try:
+            assert index._process_pool is None
+            index.search(queries, 5)
+            assert index._process_pool is not None
+            assert index._process_pool.started
+        finally:
+            index.close()
+
+    def test_workers_are_reused_across_searches(self):
+        index, queries = self._build()
+        try:
+            index.search(queries, 5)
+            pids = index._process_pool.worker_pids()
+            assert all(pid is not None for pid in pids)
+            for _ in range(3):
+                index.search(queries, 5)
+            assert index._process_pool.worker_pids() == pids
+            assert index._process_pool.respawns == 0
+        finally:
+            index.close()
+
+    def test_fewer_workers_than_shards_round_robins(self):
+        index, queries = self._build(num_workers=2)
+        flat = FlatIndex(16)
+        flat.add(make_data(n=120, seed=4)[0])
+        want = flat.search(queries, 5)
+        try:
+            got = index.search(queries, 5)
+            assert got.ids.tobytes() == want.ids.tobytes()
+            assert len(index._process_pool.worker_pids()) == 2
+        finally:
+            index.close()
+
+    def test_close_terminates_workers_and_unlinks_shm(self):
+        index, queries = self._build()
+        index.search(queries, 5)
+        pool = index._process_pool
+        pids = pool.worker_pids()
+        assert pool.shared_bytes() > 0
+        index.close()
+        index.close()  # idempotent
+        for pid in pids:
+            # A dead pid raises; a reused pid belongs to someone else.
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                pass
+        assert not any(
+            name.startswith(f"{shm.SEGMENT_PREFIX}-{os.getpid()}-")
+            for name in shm.owned_segment_names()
+        )
+
+    def test_add_invalidates_and_reexports(self):
+        """Growing the store drops the stale pool; the next search maps
+        fresh segments and sees the new rows."""
+        data, queries = make_data(n=80, seed=6)
+        index = ShardedIndex(16, 4, executor="process")
+        index.add(data[:40])
+        try:
+            index.search(queries, 5)
+            first_pids = index._process_pool.worker_pids()
+            index.add(data[40:])
+            assert index._process_pool is None
+            flat = FlatIndex(16)
+            flat.add(data)
+            want = flat.search(queries, 5)
+            got = index.search(queries, 5)
+            assert got.ids.tobytes() == want.ids.tobytes()
+            assert index._process_pool.worker_pids() != first_pids
+        finally:
+            index.close()
+
+    def test_crashed_worker_respawns_and_retry_succeeds(self):
+        # 1:1 workers so the respawn is attributed to shard 2 (with
+        # fewer workers a co-resident shard may trigger the heal first).
+        index, queries = self._build(num_workers=4)
+        flat = FlatIndex(16)
+        flat.add(make_data(n=120, seed=4)[0])
+        want = flat.search(queries, 5)
+        try:
+            index.search(queries, 5)
+            pool = index._process_pool
+            victim = pool._worker_of[2]
+            victim.process.kill()
+            victim.process.join(timeout=5.0)
+            got = index.search(queries, 5)
+            assert got.partial is False
+            assert got.ids.tobytes() == want.ids.tobytes()
+            assert pool.respawns >= 1
+            health = index.health_stats()
+            assert health["worker_respawns"] >= 1
+            assert health["shards"][2]["respawns"] >= 1
+        finally:
+            index.close()
+
+    def test_untrained_pq_shard_fails_export(self):
+        def factory(dim):
+            return PQIndex(dim, m=4, nbits=4, seed=1)
+
+        index = ShardedIndex(16, 2, factory=factory, executor="process")
+        with pytest.raises(RuntimeError, match="untrained"):
+            index._worker_pool()
+        index.close()
+
+    def test_health_stats_reports_executor_and_seconds(self):
+        index, queries = self._build()
+        try:
+            index.search(queries, 5)
+            health = index.health_stats()
+            assert health["executor"] == "process"
+            assert all(s["seconds"] > 0 for s in health["shards"])
+        finally:
+            index.close()
 
 
 class TestPQEquivalence:

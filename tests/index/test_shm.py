@@ -1,0 +1,126 @@
+"""Tests for repro.index.shm (shared-memory segment ownership + leaks)."""
+
+import numpy as np
+import pytest
+
+from repro.index.shm import (
+    SEGMENT_PREFIX,
+    AttachedSegments,
+    ShmArraySpec,
+    ShmRegistry,
+    attach,
+    owned_segment_names,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_preexisting_segments():
+    """Every test starts and must end with a clean /dev/shm namespace."""
+    before = owned_segment_names()
+    assert before == [], f"stale segments from another test: {before}"
+    yield
+    after = owned_segment_names()
+    assert after == [], f"leaked segments: {after}"
+
+
+class TestShmArraySpec:
+    def test_nbytes_matches_numpy(self):
+        spec = ShmArraySpec(name="x", shape=(7, 3), dtype="<f4")
+        assert spec.nbytes() == 7 * 3 * 4
+
+    def test_pickles_roundtrip(self):
+        import pickle
+
+        spec = ShmArraySpec(name="seg", shape=(2, 5), dtype="|u1")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestShmRegistry:
+    def test_share_and_view_roundtrip(self):
+        rng = np.random.default_rng(0)
+        array = rng.standard_normal((11, 4)).astype(np.float32)
+        with ShmRegistry() as registry:
+            spec = registry.share(array)
+            assert spec.shape == (11, 4)
+            assert spec.name.startswith(SEGMENT_PREFIX)
+            view = registry.view(spec)
+            np.testing.assert_array_equal(view, array)
+            assert not view.flags.writeable
+
+    def test_share_copies_not_aliases(self):
+        array = np.ones((3, 3), dtype=np.float64)
+        with ShmRegistry() as registry:
+            spec = registry.share(array)
+            array[:] = 7.0
+            assert float(registry.view(spec)[0, 0]) == 1.0
+
+    def test_close_unlinks_everything(self):
+        registry = ShmRegistry()
+        for _ in range(3):
+            registry.share(np.zeros((4, 2), dtype=np.float32))
+        assert len(owned_segment_names()) == 3
+        registry.close()
+        assert owned_segment_names() == []
+        assert registry.closed
+
+    def test_close_is_idempotent(self):
+        registry = ShmRegistry()
+        registry.share(np.zeros((2, 2), dtype=np.float32))
+        registry.close()
+        registry.close()
+        assert len(registry) == 0
+
+    def test_share_after_close_raises(self):
+        registry = ShmRegistry()
+        registry.close()
+        with pytest.raises(RuntimeError):
+            registry.share(np.zeros((1, 1), dtype=np.float32))
+
+    def test_zero_size_array_is_mappable(self):
+        with ShmRegistry() as registry:
+            spec = registry.share(np.empty((0, 8), dtype=np.float32))
+            assert registry.view(spec).shape == (0, 8)
+
+    def test_total_bytes_counts_segments(self):
+        with ShmRegistry() as registry:
+            registry.share(np.zeros((10, 4), dtype=np.float32))
+            assert registry.total_bytes() >= 10 * 4 * 4
+
+    def test_names_are_unique(self):
+        with ShmRegistry() as registry:
+            names = {
+                registry.share(np.zeros((1, 1), dtype=np.uint8)).name
+                for _ in range(8)
+            }
+            assert len(names) == 8
+
+
+class TestAttach:
+    def test_attach_sees_owner_data_readonly(self):
+        array = np.arange(12, dtype=np.int64).reshape(3, 4)
+        with ShmRegistry() as registry:
+            spec = registry.share(array)
+            view, holder = attach(spec)
+            try:
+                np.testing.assert_array_equal(view, array)
+                with pytest.raises(ValueError):
+                    view[0, 0] = 99
+            finally:
+                holder.close()
+
+    def test_close_detaches_without_unlinking(self):
+        with ShmRegistry() as registry:
+            spec = registry.share(np.ones((2, 2), dtype=np.float32))
+            holder = AttachedSegments()
+            holder.attach(spec)
+            holder.close()
+            holder.close()  # idempotent
+            # The owner still reads its segment after the attach dies.
+            assert float(registry.view(spec)[0, 0]) == 1.0
+
+    def test_attach_unknown_segment_raises(self):
+        missing = ShmArraySpec(
+            name=f"{SEGMENT_PREFIX}-0-0-deadbeef", shape=(1,), dtype="<f4"
+        )
+        with pytest.raises(FileNotFoundError):
+            attach(missing)

@@ -246,6 +246,62 @@ class TestFaultKinds:
         finally:
             index.close()
 
+    def test_kill_fault_respawns_worker_and_retry_recovers(self):
+        """kill on the process executor: the worker serving the shard is
+        terminated just before the request, crash detection respawns it,
+        and the retried call serves the full (non-partial) result."""
+        vectors, queries = self._store()
+        plan = FaultPlan.parse("s2:c0:kill")
+        index = build_sharded(
+            8, vectors, fault_hook=plan, executor="process", max_retries=1
+        )
+        try:
+            got = index.search(queries, 5)
+            assert plan.fired >= 1
+            assert got.partial is False
+            assert_topk_equal(got, manual_fanin(vectors, queries, 5))
+            health = index.health_stats()
+            assert health["worker_respawns"] >= 1
+            assert health["shards"][2]["respawns"] >= 1
+            assert health["shards"][2]["retries"] == 1
+            # The respawned pool keeps serving without fresh faults.
+            again = index.search(queries, 5)
+            assert again.partial is False
+        finally:
+            index.close()
+
+    def test_kill_fault_is_inert_off_process_executor(self):
+        vectors, queries = self._store()
+        plan = FaultPlan.parse("s2:*:kill")
+        index = build_sharded(
+            8, vectors, fault_hook=plan, executor="thread"
+        )
+        try:
+            got = index.search(queries, 5)
+            assert got.partial is False
+            assert_topk_equal(got, manual_fanin(vectors, queries, 5))
+        finally:
+            index.close()
+
+    @pytest.mark.parametrize("executor", ["inline", "thread", "process"])
+    def test_degradation_semantics_uniform_across_executors(self, executor):
+        """PR 5's drop-the-dead-shard contract holds verbatim on every
+        executor: same partial flag, same failed set, same merged ids."""
+        vectors, queries = self._store()
+        plan = FaultPlan.parse("s1:c0:drop")
+        index = build_sharded(
+            8, vectors, fault_hook=plan, executor=executor, max_retries=1
+        )
+        try:
+            got = index.search(queries, 5)
+            assert got.partial is True and got.failed_shards == (1,)
+            assert plan.calls(1) == 2  # first call + one retry
+            assert_topk_equal(
+                got, manual_fanin(vectors, queries, 5, skip_shard=1)
+            )
+        finally:
+            index.close()
+
 
 class TestEngineFaults:
     @pytest.fixture()

@@ -69,6 +69,39 @@ class TestSynchronousLookup:
         )
         sharded.close()
 
+    @pytest.mark.parametrize("executor", ["inline", "thread", "process"])
+    def test_executor_choice_does_not_change_results(
+        self, executor, trained_service
+    ):
+        """The serving answer is executor-invariant: worker processes
+        over shared memory return what the in-process scan returns."""
+        queries = ["germany", "tokyo", "acme corp", "uni of oxford"]
+        baseline = LookupEngine.from_pipeline(trained_service, num_shards=3)
+        want = baseline.lookup_batch(queries, 5)
+        baseline.close()
+        with LookupEngine.from_pipeline(
+            trained_service, num_shards=3, executor=executor, num_workers=2
+        ) as engine:
+            assert engine.index.resolved_executor() == executor
+            assert engine.lookup_batch(queries, 5) == want
+            stats = engine.serving_stats()
+            assert stats["worker_respawns"] == 0
+
+    def test_process_engine_teardown_unlinks_shm(self, trained_service):
+        import os
+
+        from repro.index import shm
+
+        mine = f"{shm.SEGMENT_PREFIX}-{os.getpid()}-"
+        engine = LookupEngine.from_pipeline(
+            trained_service, num_shards=2, executor="process"
+        )
+        engine.lookup_batch(["germany"], 3)
+        assert any(n.startswith(mine) for n in shm.owned_segment_names())
+        engine.close()
+        engine.close()
+        assert not any(n.startswith(mine) for n in shm.owned_segment_names())
+
     def test_stage_timers_accumulate(self, trained_service):
         engine = LookupEngine.from_pipeline(trained_service)
         engine.lookup_batch(["germany"], 3)
