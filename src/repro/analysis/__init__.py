@@ -13,7 +13,9 @@ the codebase grows:
   performance rules (:mod:`repro.analysis.perf_rules`);
 - a **project import/call graph** (:mod:`repro.analysis.graph`) powering
   the interprocedural REP6xx gradient-flow rules
-  (:mod:`repro.analysis.grad_rules`) and the architecture-contract
+  (:mod:`repro.analysis.grad_rules`), the REP7xx concurrency /
+  process-safety rules (:mod:`repro.analysis.concurrency`,
+  ``repro racecheck``), and the architecture-contract
   checker (:mod:`repro.analysis.contract`, ``repro archcheck``);
 - a **shape/dtype abstract interpreter**
   (:mod:`repro.analysis.shapecheck`) that propagates symbolic
@@ -54,6 +56,7 @@ from repro.analysis.rules import (
 )
 
 # Importing the rule modules registers their rules as a side effect.
+from repro.analysis import concurrency as _concurrency_rules  # noqa: F401
 from repro.analysis import grad_rules as _grad_rules  # noqa: F401
 from repro.analysis import perf_rules as _perf_rules  # noqa: F401
 from repro.analysis.shapecheck import (

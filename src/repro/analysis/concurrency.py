@@ -1,0 +1,928 @@
+"""Concurrency & process-safety lint rules (REP7xx).
+
+The process-parallel serving stack (persistent ``multiprocessing`` shard
+workers, shared-memory segments, pipes, per-object locks) concentrates a
+bug class the dtype/gradient rules cannot see: data races on shared
+counters, lock-order deadlocks, unpicklable objects crossing process
+boundaries, and leaked ``/dev/shm`` segments.  These rules encode the
+discipline the serving layer follows, reusing the project call graph
+(:mod:`repro.analysis.graph`) for thread-reachability and the code-unit
+iteration of the dataflow engine (:mod:`repro.analysis.dataflow`):
+
+- **REP701 unlocked-shared-write** (project, error) — an augmented
+  assignment through ``self``/a parameter, or a write to a ``global``
+  name, on a path reachable from thread or process entry points
+  (methods of lock-owning classes, executor-``submit`` callables,
+  ``Thread``/``Process`` targets) without a guarding ``with <lock>:``.
+- **REP702 acquire-outside-with** (file, error) — ``lock.acquire()``
+  as a bare statement not paired with a ``try/finally`` release.
+- **REP703 lock-order-inversion** (project, error) — a cycle in the
+  lock-acquisition-order graph built across functions (nested ``with``
+  blocks plus calls made while holding locks), detected with the same
+  Tarjan SCC pass the import-cycle checker uses: a static deadlock
+  detector.  The runtime sanitizer
+  (:mod:`repro.testing.sanitizer`) cross-validates this rule
+  dynamically during the property suites.
+- **REP704 pickle-unsafe-flow** (file, warning) — a lock, shm handle,
+  or open file flowing into ``Pipe.send``/``pickle.dumps``/process-pool
+  ``submit``/``Process(args=...)``; such objects do not survive pickling
+  across a process boundary.
+- **REP705 shm-lifecycle** (file, error) — a ``SharedMemory``/
+  registry/``attach`` handle bound in a function that neither escapes
+  nor reaches ``close()``/``unlink()`` on all paths (the static
+  generalization of the ``owned_segment_names`` leak probe).
+- **REP706 blocking-no-timeout** (file, warning, serving packages
+  only) — ``recv()``/``acquire()``/``join()``/``result()``/``wait()``
+  with no timeout on the serving path can hang a request forever.
+
+Static approximations are deliberate and documented per rule: lock
+identity is canonicalised by *name* (``module.Class.attr`` for
+``self``-attached locks, ``module.function.name`` for locals), so two
+instances of one class share a lock node — exactly the abstraction the
+runtime sanitizer's creation-site naming mirrors.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.dataflow import iter_code_units, iter_unit_nodes
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.graph import _strongly_connected_cycles
+from repro.analysis.rules import (
+    LintContext,
+    LintRule,
+    ProjectRule,
+    _dotted_name,
+    _in_packages,
+    register,
+    register_project,
+)
+
+__all__ = [
+    "SERVING_PACKAGES",
+    "AcquireOutsideWithRule",
+    "BlockingNoTimeoutRule",
+    "LockOrderInversionRule",
+    "PickleUnsafeFlowRule",
+    "ShmLifecycleRule",
+    "UnlockedSharedWriteRule",
+]
+
+#: Packages where a blocked call stalls live queries (REP706 scope).
+SERVING_PACKAGES: tuple[str, ...] = (
+    "repro/index",
+    "repro/lookup",
+    "repro/serving",
+)
+
+#: Constructors whose result is a lock-like synchronisation primitive.
+_LOCK_CTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Constructors whose result is a shared-memory handle.
+_SHM_CTORS = frozenset({"SharedMemory", "ShmRegistry", "AttachedSegments"})
+
+
+def _terminal(node: ast.AST) -> str | None:
+    """Last component of a callable expression (``threading.Lock`` → Lock)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _lockish(name: str) -> bool:
+    """Whether a name reads as a lock by convention (``_stats_lock`` …)."""
+    lowered = name.lower()
+    return "lock" in lowered or "mutex" in lowered
+
+
+def _class_lock_attrs(tree: ast.AST) -> dict[str, set[str]]:
+    """Per-class instance attributes assigned a lock constructor.
+
+    ``self._cond = threading.Condition()`` marks ``_cond`` as a lock
+    attribute of its class even though the name itself is not lockish.
+    """
+    out: dict[str, set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        attrs: set[str] = set()
+        for sub in ast.walk(node):
+            if not (
+                isinstance(sub, ast.Assign)
+                and isinstance(sub.value, ast.Call)
+                and _terminal(sub.value.func) in _LOCK_CTORS
+            ):
+                continue
+            for target in sub.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+        if attrs:
+            out[node.name] = attrs
+    return out
+
+
+def _is_lock_guard(expr: ast.expr, owner_lock_attrs: set[str]) -> bool:
+    """Whether a ``with`` item's context expression is a lock.
+
+    Accepts dotted lockish names, ``self.<declared lock attr>``, and
+    lock-returning helper calls (``self._lock_for(key)``).
+    """
+    dotted = _dotted_name(expr)
+    if dotted is None:
+        if isinstance(expr, ast.Call):
+            name = _terminal(expr.func)
+            return name is not None and _lockish(name)
+        return False
+    parts = dotted.split(".")
+    if _lockish(parts[-1]):
+        return True
+    return parts[0] == "self" and len(parts) > 1 and parts[1] in owner_lock_attrs
+
+
+def _stmt_lists(stmt: ast.stmt) -> list[list[ast.stmt]]:
+    """Nested statement lists of a compound statement (handlers included)."""
+    lists: list[list[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        sub = getattr(stmt, attr, None)
+        if sub:
+            lists.append(sub)
+    for handler in getattr(stmt, "handlers", []):
+        lists.append(handler.body)
+    return lists
+
+
+# -- REP701 ---------------------------------------------------------------------
+
+
+@register_project
+class UnlockedSharedWriteRule(ProjectRule):
+    """REP701: unguarded write to shared state on a thread-reachable path.
+
+    Entry points: every method of a class that owns a lock (its instances
+    are, by construction, shared across threads), every callable handed to
+    an executor ``submit``, and every ``Thread``/``Process`` ``target=``.
+    On the call-graph closure of those seeds, an augmented assignment
+    whose target roots at ``self`` or a parameter (objects that escaped
+    the function) — or any write to a ``global`` name — must sit inside a
+    ``with <lock>:`` block.  Writes through function-locals are private
+    and ignored; read-modify-write is the racy shape, so plain attribute
+    assignment is left alone.
+    """
+
+    rule_id = "REP701"
+    name = "unlocked-shared-write"
+    severity = Severity.ERROR
+    description = "shared state written on a thread-reachable path without a lock"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Flag unguarded RMW/global writes reachable from thread seeds."""
+        graph = project.call_graph
+        lock_attrs: dict[tuple[str, str], set[str]] = {}
+        for module in project.modules.values():
+            for cls_name, attrs in _class_lock_attrs(module.tree).items():
+                lock_attrs[(module.name, cls_name)] = attrs
+        reached = graph.reachable_from(self._seeds(graph, lock_attrs))
+        for key in sorted(reached):
+            info = graph.functions.get(key)
+            if info is None:
+                continue
+            module = graph.modules.get(info.module)
+            if module is None:
+                continue
+            owner_attrs = (
+                lock_attrs.get((info.module, info.owner_class), set())
+                if info.owner_class
+                else set()
+            )
+            for node, what in self._unguarded_writes(info, owner_attrs):
+                yield Finding(
+                    rule=self.rule_id,
+                    path=module.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    severity=self.severity,
+                    message=(
+                        f"{what} is written in {info.qualname}() on a "
+                        "thread/process-reachable path without a guarding "
+                        "`with <lock>:`"
+                    ),
+                )
+
+    def _seeds(self, graph, lock_attrs) -> set[tuple[str, str]]:
+        """Thread/process entry points: lock-owner methods + submitted fns."""
+        seeds: set[tuple[str, str]] = set()
+        for key, info in graph.functions.items():
+            if (
+                info.owner_class
+                and (info.module, info.owner_class) in lock_attrs
+            ):
+                seeds.add(key)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "submit"
+                    and node.args
+                ):
+                    target = graph.resolve_callable(info, node.args[0])
+                    if target is not None:
+                        seeds.add(target)
+                if _terminal(func) in ("Thread", "Process"):
+                    for kw in node.keywords:
+                        if kw.arg == "target":
+                            target = graph.resolve_callable(info, kw.value)
+                            if target is not None:
+                                seeds.add(target)
+        return seeds
+
+    def _unguarded_writes(
+        self, info, owner_attrs: set[str]
+    ) -> list[tuple[ast.stmt, str]]:
+        args = info.node.args
+        params = {
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        } - {"self"}
+        global_names = {
+            name
+            for node in ast.walk(info.node)
+            if isinstance(node, ast.Global)
+            for name in node.names
+        }
+        out: list[tuple[ast.stmt, str]] = []
+
+        def visit(body: list[ast.stmt], held: bool) -> None:
+            for stmt in body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    locked = held or any(
+                        _is_lock_guard(item.context_expr, owner_attrs)
+                        for item in stmt.items
+                    )
+                    visit(stmt.body, locked)
+                    continue
+                if not held:
+                    if isinstance(stmt, ast.AugAssign):
+                        root = self._shared_root(stmt.target, params)
+                        if root is not None:
+                            out.append(
+                                (stmt, f"`{ast.unparse(stmt.target)}`")
+                            )
+                        elif (
+                            isinstance(stmt.target, ast.Name)
+                            and stmt.target.id in global_names
+                        ):
+                            out.append(
+                                (stmt, f"global `{stmt.target.id}`")
+                            )
+                    elif isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if (
+                                isinstance(target, ast.Name)
+                                and target.id in global_names
+                            ):
+                                out.append(
+                                    (stmt, f"global `{target.id}`")
+                                )
+                                break
+                for sub in _stmt_lists(stmt):
+                    visit(sub, held)
+
+        visit(info.node.body, False)
+        return out
+
+    @staticmethod
+    def _shared_root(target: ast.expr, params: set[str]) -> str | None:
+        """Root name of an attribute-bearing target, if it escaped the fn."""
+        node: ast.expr = target
+        saw_attribute = False
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            saw_attribute |= isinstance(node, ast.Attribute)
+            node = node.value
+        if not (saw_attribute and isinstance(node, ast.Name)):
+            return None
+        if node.id == "self" or node.id in params:
+            return node.id
+        return None
+
+
+# -- REP702 ---------------------------------------------------------------------
+
+
+@register
+class AcquireOutsideWithRule(LintRule):
+    """REP702: bare ``lock.acquire()`` without ``with`` / try-finally.
+
+    An acquire statement whose release is not structurally guaranteed
+    leaks the lock on any exception between acquire and release.  The two
+    sanctioned shapes are ``with lock:`` (preferred) and an acquire
+    immediately protected by ``try: ... finally: lock.release()`` —
+    either with the acquire as the first statement of the ``try`` body or
+    on the line directly before it.
+    """
+
+    rule_id = "REP702"
+    name = "acquire-outside-with"
+    severity = Severity.ERROR
+    description = "lock.acquire() not protected by with/try-finally"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag acquire statements with no matching finally release."""
+        lock_attrs = set().union(
+            *(_class_lock_attrs(ctx.tree).values() or [set()])
+        )
+        findings: list[tuple[ast.stmt, str]] = []
+
+        def released_in(finalbody: list[ast.stmt]) -> set[str]:
+            out: set[str] = set()
+            for stmt in finalbody:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "release"
+                    ):
+                        dotted = _dotted_name(node.func.value)
+                        if dotted is not None:
+                            out.add(dotted)
+            return out
+
+        def acquire_target(stmt: ast.stmt) -> str | None:
+            if not (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and isinstance(stmt.value.func, ast.Attribute)
+                and stmt.value.func.attr == "acquire"
+            ):
+                return None
+            dotted = _dotted_name(stmt.value.func.value)
+            if dotted is None:
+                return None
+            parts = dotted.split(".")
+            if _lockish(parts[-1]) or (
+                parts[0] == "self" and len(parts) > 1 and parts[1] in lock_attrs
+            ):
+                return dotted
+            return None
+
+        def scan(body: list[ast.stmt], released: set[str]) -> None:
+            for index, stmt in enumerate(body):
+                dotted = acquire_target(stmt)
+                if dotted is not None and dotted not in released:
+                    following = body[index + 1] if index + 1 < len(body) else None
+                    if not (
+                        isinstance(following, ast.Try)
+                        and dotted in released_in(following.finalbody)
+                    ):
+                        findings.append((stmt, dotted))
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    scan(stmt.body, set())
+                elif isinstance(stmt, ast.Try):
+                    protected = released | released_in(stmt.finalbody)
+                    scan(stmt.body, protected)
+                    scan(stmt.orelse, protected)
+                    for handler in stmt.handlers:
+                        scan(handler.body, released)
+                    scan(stmt.finalbody, released)
+                else:
+                    for sub in _stmt_lists(stmt):
+                        scan(sub, released)
+
+        scan(ctx.tree.body, set())
+        for stmt, dotted in findings:
+            yield ctx.finding(
+                self,
+                stmt,
+                f"{dotted}.acquire() outside `with`/try-finally leaks the "
+                "lock on any exception before release",
+            )
+
+
+# -- REP703 ---------------------------------------------------------------------
+
+
+@register_project
+class LockOrderInversionRule(ProjectRule):
+    """REP703: cycle in the cross-function lock-acquisition-order graph.
+
+    For every function the rule records which locks are entered via
+    ``with`` while which others are already held (intra-function edges),
+    and which project functions are *called* while holding locks — the
+    callee's transitive lock set (a fixpoint over the call graph) then
+    contributes held → callee-lock edges.  A cycle in the resulting
+    directed graph, found with the same Tarjan SCC pass the import-cycle
+    checker uses, means two code paths take the same locks in opposite
+    orders: a static deadlock.  Lock identity is by canonical name
+    (``module.Class.attr`` / ``module.func.local``); re-acquisition of
+    the same name is not an edge (RLock re-entry and sibling instances
+    would be indistinguishable).
+    """
+
+    rule_id = "REP703"
+    name = "lock-order-inversion"
+    severity = Severity.ERROR
+    description = "lock-acquisition-order cycle across functions (deadlock risk)"
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Flag acquisition/call sites on edges of a lock-order cycle."""
+        graph = project.call_graph
+        lock_attrs: dict[tuple[str, str], set[str]] = {}
+        for module in project.modules.values():
+            for cls_name, attrs in _class_lock_attrs(module.tree).items():
+                lock_attrs[(module.name, cls_name)] = attrs
+
+        facts: dict[tuple[str, str], tuple[list, list]] = {}
+        for key, info in graph.functions.items():
+            owner_attrs = (
+                lock_attrs.get((info.module, info.owner_class), set())
+                if info.owner_class
+                else set()
+            )
+            facts[key] = self._collect(info, owner_attrs)
+
+        # Fixpoint: every lock a function may take, directly or through
+        # any project callee (monotone over a finite lattice).
+        closure: dict[tuple[str, str], set[str]] = {
+            key: {lock for lock, _held, _node in acquisitions}
+            for key, (acquisitions, _calls) in facts.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for key in facts:
+                for callee in graph.edges.get(key, ()):
+                    extra = closure.get(callee, set()) - closure[key]
+                    if extra:
+                        closure[key] |= extra
+                        changed = True
+
+        adjacency: dict[str, set[str]] = {}
+        sites: dict[tuple[str, str], list[tuple[str, ast.AST]]] = {}
+
+        def edge(held: str, taken: str, path: str, node: ast.AST) -> None:
+            if held == taken:
+                return
+            adjacency.setdefault(held, set()).add(taken)
+            adjacency.setdefault(taken, set())
+            sites.setdefault((held, taken), []).append((path, node))
+
+        for key, (acquisitions, calls) in facts.items():
+            info = graph.functions[key]
+            module = graph.modules.get(info.module)
+            if module is None:
+                continue
+            for lock, held, node in acquisitions:
+                for other in held:
+                    edge(other, lock, module.path, node)
+            for held, call_node in calls:
+                if not held:
+                    continue
+                callee = graph.resolve_call(info, call_node)
+                if callee is None:
+                    continue
+                for lock in closure.get(callee, ()):
+                    for other in held:
+                        edge(other, lock, module.path, call_node)
+
+        flagged: set[tuple[str, int, int]] = set()
+        for cycle in _strongly_connected_cycles(adjacency):
+            members = set(cycle)
+            order = " -> ".join([*cycle, cycle[0]])
+            for held, taken in sites:
+                if held not in members or taken not in members:
+                    continue
+                if taken not in adjacency.get(held, ()):
+                    continue
+                for path, node in sites[(held, taken)]:
+                    anchor = (path, node.lineno, node.col_offset)
+                    if anchor in flagged:
+                        continue
+                    flagged.add(anchor)
+                    yield Finding(
+                        rule=self.rule_id,
+                        path=path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        severity=self.severity,
+                        message=(
+                            f"lock-order inversion: takes `{taken}` while "
+                            f"holding `{held}`, but another path orders "
+                            f"them oppositely (cycle: {order})"
+                        ),
+                    )
+
+    def _collect(
+        self, info, owner_attrs: set[str]
+    ) -> tuple[
+        list[tuple[str, tuple[str, ...], ast.AST]],
+        list[tuple[tuple[str, ...], ast.Call]],
+    ]:
+        """(acquisitions, calls-with-held-locks) for one function body."""
+        acquisitions: list[tuple[str, tuple[str, ...], ast.AST]] = []
+        calls: list[tuple[tuple[str, ...], ast.Call]] = []
+
+        def record_calls(node: ast.AST, held: list[str]) -> None:
+            snapshot = tuple(held)
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call):
+                    calls.append((snapshot, sub))
+
+        def visit(body: list[ast.stmt], held: list[str]) -> None:
+            for stmt in body:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    entered: list[str] = []
+                    for item in stmt.items:
+                        lock = _canonical_lock(
+                            info, item.context_expr, owner_attrs
+                        )
+                        if lock is not None:
+                            acquisitions.append(
+                                (lock, tuple(held + entered), item.context_expr)
+                            )
+                            entered.append(lock)
+                        else:
+                            record_calls(item.context_expr, held + entered)
+                    visit(stmt.body, held + entered)
+                    continue
+                if isinstance(stmt, (ast.If, ast.While)):
+                    record_calls(stmt.test, held)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    record_calls(stmt.iter, held)
+                elif not isinstance(stmt, ast.Try):
+                    record_calls(stmt, held)
+                for sub in _stmt_lists(stmt):
+                    visit(sub, held)
+
+        visit(info.node.body, [])
+        return acquisitions, calls
+
+
+def _canonical_lock(info, expr: ast.expr, owner_attrs: set[str]) -> str | None:
+    """Canonical graph-node name for a lock expression, or ``None``.
+
+    ``self.<attr>`` locks canonicalise to ``module.Class.attr`` (shared
+    by every instance of the class — the same abstraction the runtime
+    sanitizer's creation-site naming produces); bare locals to
+    ``module.function.name`` (never merged across functions); other
+    dotted chains to ``module.<chain>``.
+    """
+    dotted = _dotted_name(expr)
+    if dotted is None:
+        return None
+    parts = dotted.split(".")
+    if parts[0] == "self":
+        if len(parts) < 2 or info.owner_class is None:
+            return None
+        if _lockish(parts[-1]) or parts[1] in owner_attrs:
+            return f"{info.module}.{info.owner_class}." + ".".join(parts[1:])
+        return None
+    if not _lockish(parts[-1]):
+        return None
+    if len(parts) == 1:
+        return f"{info.module}.{info.qualname}.{dotted}"
+    return f"{info.module}.{dotted}"
+
+
+# -- REP704 ---------------------------------------------------------------------
+
+
+@register
+class PickleUnsafeFlowRule(LintRule):
+    """REP704: lock/shm/fd objects flowing across a process boundary.
+
+    ``threading.Lock``, ``SharedMemory`` handles, and open files either
+    refuse to pickle or arrive broken on the far side of a ``fork``/
+    ``spawn``; sending one through ``Pipe.send``, ``pickle.dumps``, a
+    process-pool ``submit``, or ``Process(args=...)`` is a latent crash.
+    Tracking is lexical per code unit: names bound to lock/shm/``open``
+    constructors (or instances of a file-local lock-owning class) plus
+    lock-attribute chains.
+    """
+
+    rule_id = "REP704"
+    name = "pickle-unsafe-flow"
+    severity = Severity.WARNING
+    description = "lock/shm/file object flows into a process boundary"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag unsafe names/attributes used as process-boundary arguments."""
+        class_lock_attrs = _class_lock_attrs(ctx.tree)
+        lock_classes = set(class_lock_attrs)
+        all_lock_attrs = set().union(
+            *(class_lock_attrs.values() or [set()])
+        )
+        for unit in iter_code_units(ctx.tree):
+            unsafe: dict[str, str] = {}
+            for node in iter_unit_nodes(unit):
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                ctor = _terminal(node.value.func)
+                target = node.targets[0].id
+                if ctor in _LOCK_CTORS:
+                    unsafe[target] = "a lock"
+                elif ctor in _SHM_CTORS:
+                    unsafe[target] = "a shared-memory handle"
+                elif ctor == "open":
+                    unsafe[target] = "an open file object"
+                elif ctor in lock_classes:
+                    unsafe[target] = f"a lock-owning {ctor} instance"
+            for node in iter_unit_nodes(unit):
+                if not isinstance(node, ast.Call):
+                    continue
+                for arg, sink in self._sink_args(node):
+                    what = self._unsafe_desc(arg, unsafe, all_lock_attrs)
+                    if what is not None:
+                        yield ctx.finding(
+                            self,
+                            arg,
+                            f"{what} flows into {sink}; locks/fds/shm "
+                            "handles do not survive pickling across a "
+                            "process boundary",
+                        )
+
+    @staticmethod
+    def _sink_args(node: ast.Call) -> list[tuple[ast.expr, str]]:
+        """(argument, sink label) pairs for process-boundary calls."""
+
+        def flatten(values: list[ast.expr]) -> list[ast.expr]:
+            out: list[ast.expr] = []
+            for value in values:
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    out.extend(flatten(list(value.elts)))
+                else:
+                    out.append(value)
+            return out
+
+        func = node.func
+        dotted = _dotted_name(func)
+        if isinstance(func, ast.Attribute) and func.attr == "send":
+            return [(a, "Pipe.send()") for a in flatten(node.args)]
+        if dotted is not None and dotted.endswith("pickle.dumps"):
+            return [(a, "pickle.dumps()") for a in flatten(node.args)]
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            receiver = _dotted_name(func.value) or ""
+            if "process" in receiver.lower():
+                return [
+                    (a, "a process-pool submit()") for a in flatten(node.args)
+                ]
+        if _terminal(func) == "Process":
+            out: list[tuple[ast.expr, str]] = []
+            for kw in node.keywords:
+                if kw.arg == "args":
+                    out.extend(
+                        (a, "Process(args=...)") for a in flatten([kw.value])
+                    )
+            return out
+        return []
+
+    @staticmethod
+    def _unsafe_desc(
+        expr: ast.expr, unsafe: dict[str, str], lock_attrs: set[str]
+    ) -> str | None:
+        if isinstance(expr, ast.Name):
+            return unsafe.get(expr.id)
+        dotted = _dotted_name(expr)
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        if _lockish(parts[-1]):
+            return f"lock attribute `{dotted}`"
+        if parts[0] == "self" and len(parts) > 1 and parts[1] in lock_attrs:
+            return f"lock attribute `{dotted}`"
+        return None
+
+
+# -- REP705 ---------------------------------------------------------------------
+
+
+@register
+class ShmLifecycleRule(LintRule):
+    """REP705: shm handle that does not reach close/unlink on all paths.
+
+    A ``SharedMemory`` mapping (or registry/attach holder) bound to a
+    local name must either *escape* the function (returned, stored on an
+    object, passed to another call — ownership transferred) or be closed
+    in a ``finally`` block.  A close on the straight-line path only is
+    still a leak on the exception path; no close at all leaks the
+    ``/dev/shm`` segment unconditionally — the static form of the
+    ``owned_segment_names()`` runtime leak probe.
+    """
+
+    rule_id = "REP705"
+    name = "shm-lifecycle"
+    severity = Severity.ERROR
+    description = "SharedMemory/attach handle not closed on all paths"
+
+    _CTORS = _SHM_CTORS | {"attach"}
+    _CLOSERS = ("close", "unlink")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag non-escaping shm handles lacking a finally-path close."""
+        for unit in iter_code_units(ctx.tree):
+            tracked: dict[str, ast.Assign] = {}
+            for node in iter_unit_nodes(unit):
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                    and _terminal(node.value.func) in self._CTORS
+                ):
+                    tracked[node.targets[0].id] = node
+            if not tracked:
+                continue
+            escaped = self._escaped_names(unit, set(tracked))
+            finally_calls, anywhere_calls = self._close_calls(unit)
+            for name, node in tracked.items():
+                if name in escaped:
+                    continue
+                if name in finally_calls:
+                    continue
+                if name in anywhere_calls:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"shm handle `{name}` is closed only on the "
+                        "non-exception path; move close()/unlink() into "
+                        "a finally block",
+                    )
+                else:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"shm handle `{name}` is never closed/unlinked "
+                        "and never escapes; the segment leaks",
+                    )
+
+    def _escaped_names(self, unit: ast.AST, names: set[str]) -> set[str]:
+        """Tracked names whose ownership leaves the function."""
+        escaped: set[str] = set()
+
+        def direct(value: ast.expr | None) -> list[str]:
+            if value is None:
+                return []
+            if isinstance(value, ast.Name):
+                return [value.id]
+            if isinstance(value, (ast.Tuple, ast.List)):
+                return [
+                    e.id for e in value.elts if isinstance(e, ast.Name)
+                ]
+            return []
+
+        for node in iter_unit_nodes(unit):
+            if isinstance(node, ast.Return):
+                escaped.update(n for n in direct(node.value) if n in names)
+            elif isinstance(node, ast.Call):
+                receiver_is_tracked = (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in names
+                    and node.func.attr in self._CLOSERS
+                )
+                if receiver_is_tracked:
+                    continue
+                for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                    if isinstance(arg, ast.Name) and arg.id in names:
+                        escaped.add(arg.id)
+            elif isinstance(node, ast.Assign):
+                stores_elsewhere = any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                )
+                if stores_elsewhere:
+                    escaped.update(
+                        n for n in direct(node.value) if n in names
+                    )
+        return escaped
+
+    def _close_calls(self, unit: ast.AST) -> tuple[set[str], set[str]]:
+        """Names with ``close``/``unlink`` calls (in-finally, anywhere)."""
+        in_finally: set[str] = set()
+        anywhere: set[str] = set()
+
+        def closer_names(root: ast.AST) -> set[str]:
+            out: set[str] = set()
+            for node in ast.walk(root):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in self._CLOSERS
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    out.add(node.func.value.id)
+            return out
+
+        for node in iter_unit_nodes(unit):
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    in_finally.update(closer_names(stmt))
+                for handler in node.handlers:
+                    # A handler that closes and re-raises also covers the
+                    # exception path (the `except BaseException: raise`
+                    # idiom used where finally would double-close).
+                    if any(
+                        isinstance(s, ast.Raise) for s in handler.body
+                    ):
+                        for stmt in handler.body:
+                            in_finally.update(closer_names(stmt))
+        for node in iter_unit_nodes(unit):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._CLOSERS
+                and isinstance(node.func.value, ast.Name)
+            ):
+                anywhere.add(node.func.value.id)
+        return in_finally, anywhere
+
+
+# -- REP706 ---------------------------------------------------------------------
+
+
+@register
+class BlockingNoTimeoutRule(LintRule):
+    """REP706: unbounded blocking call on the serving path.
+
+    A ``recv()``/``acquire()``/``join()``/``result()``/``wait()`` with no
+    timeout inside the index/lookup/serving packages can park a request
+    thread forever behind a dead worker or a stuck peer.  Deliberate
+    wait-forever sites (worker mainloops, explicit ``deadline=None``
+    semantics) carry a justified noqa.
+    """
+
+    rule_id = "REP706"
+    name = "blocking-no-timeout"
+    severity = Severity.WARNING
+    description = "blocking recv/acquire/join/result/wait without a timeout"
+
+    _BLOCKERS = ("recv", "join", "result", "wait")
+
+    def applies_to(self, path: str) -> bool:
+        """Serving-path packages only."""
+        return _in_packages(path, SERVING_PACKAGES)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Flag zero-argument blocking method calls."""
+        lock_attrs = set().union(
+            *(_class_lock_attrs(ctx.tree).values() or [set()])
+        )
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            if node.args or node.keywords:
+                continue
+            attr = node.func.attr
+            if attr in self._BLOCKERS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f".{attr}() without a timeout can block a serving "
+                    "thread forever; pass a timeout and handle expiry",
+                )
+            elif attr == "acquire":
+                dotted = _dotted_name(node.func.value)
+                parts = dotted.split(".") if dotted else []
+                if parts and (
+                    _lockish(parts[-1])
+                    or (
+                        parts[0] == "self"
+                        and len(parts) > 1
+                        and parts[1] in lock_attrs
+                    )
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        ".acquire() without a timeout can block a "
+                        "serving thread forever; pass timeout= and "
+                        "handle failure",
+                    )

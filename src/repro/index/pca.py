@@ -29,8 +29,14 @@ class PCATransform:
         return self.components is not None
 
     def train(self, vectors: np.ndarray) -> "PCATransform":
-        """Fit on ``(n, d)`` data via SVD of the centred matrix."""
-        vectors = np.asarray(vectors, dtype=np.float64)
+        """Fit on ``(n, d)`` data via SVD of the centred matrix.
+
+        Fitting runs in float64 on purpose: the SVD of a centred matrix
+        loses orthogonality in float32 accumulation, and training is a
+        one-time cost.  Everything stored for serving is cast back to
+        float32 by the callers of :meth:`apply`/:meth:`inverse`.
+        """
+        vectors = np.asarray(vectors, dtype=np.float64)  # repro: noqa[REP102] f64 SVD numerics by design
         if vectors.ndim != 2:
             raise ValueError(f"expected 2-D matrix, got shape {vectors.shape}")
         n, d = vectors.shape
@@ -53,14 +59,16 @@ class PCATransform:
         """Project ``(n, d)`` vectors to ``(n, n_components)`` float32."""
         if self.components is None or self.mean is None:
             raise RuntimeError("PCATransform.apply called before train()")
-        vectors = np.asarray(vectors, dtype=np.float64)
+        # Project in float64 to match the training numerics, return f32.
+        vectors = np.asarray(vectors, dtype=np.float64)  # repro: noqa[REP102] f64 projection, f32 output
         return ((vectors - self.mean) @ self.components.T).astype(np.float32)
 
     def inverse(self, projected: np.ndarray) -> np.ndarray:
         """Best-effort reconstruction back to the original space."""
         if self.components is None or self.mean is None:
             raise RuntimeError("PCATransform.inverse called before train()")
-        projected = np.asarray(projected, dtype=np.float64)
+        # Reconstruct in float64 to match the training numerics, return f32.
+        projected = np.asarray(projected, dtype=np.float64)  # repro: noqa[REP102] f64 reconstruction, f32 output
         return (projected @ self.components + self.mean).astype(np.float32)
 
     def bytes_per_vector(self) -> int:

@@ -216,7 +216,10 @@ def _shard_worker_main(conn, payloads: dict[int, dict]) -> None:
         }
         while True:
             try:
-                msg = conn.recv()
+                # The worker has nothing else to do between requests;
+                # blocking forever is the mainloop's contract, and the
+                # parent kills the process on shutdown/timeout.
+                msg = conn.recv()  # repro: noqa[REP706] worker mainloop blocks by design
             except (EOFError, OSError):
                 break
             if msg[0] == "stop":
@@ -436,7 +439,9 @@ class _ProcessShardPool:
                 )
                 if worker.conn in ready:
                     try:
-                        msg = worker.conn.recv()
+                        # _mp_wait above proved the pipe is readable, so
+                        # this recv returns without blocking.
+                        msg = worker.conn.recv()  # repro: noqa[REP706] readiness-checked via _mp_wait
                     except (EOFError, OSError):
                         self._respawn(worker, shard)
                         raise WorkerCrashedError(
@@ -638,7 +643,10 @@ class ShardedIndex(VectorIndex):
             rows = vectors[lanes == s]
             if len(rows):
                 shard.add(rows)
-        self._ntotal += len(vectors)
+        # train/add are single-writer by contract (mutation under live
+        # traffic is a ROADMAP item, not a supported mode today); the
+        # searchers only read _ntotal after _invalidate_workers rebuilds.
+        self._ntotal += len(vectors)  # repro: noqa[REP701] single-writer add/train contract
 
     # -- executors -------------------------------------------------------------
 
@@ -807,7 +815,10 @@ class ShardedIndex(VectorIndex):
             for future in futures:
                 try:
                     if deadline is None:
-                        outcomes.append((future.result(), False, None))
+                        # shard_timeout=None explicitly selects
+                        # wait-forever semantics; bounded waits take the
+                        # timeout branch below.
+                        outcomes.append((future.result(), False, None))  # repro: noqa[REP706] deadline=None means wait forever
                     else:
                         outcomes.append(
                             (
@@ -886,15 +897,22 @@ class ShardedIndex(VectorIndex):
         ``seconds`` per shard; ``partial_searches`` counts degraded
         (survivor-only) results; ``executor`` is the resolved execution
         model and ``worker_respawns`` the pool-wide respawn total.
+
+        The snapshot is atomic: every per-shard dict and both totals are
+        copied under one ``_stats_lock`` hold, so concurrent searches
+        cannot produce a report whose totals disagree with its rows.
+        The pool respawn counter is read *before* taking the index lock
+        (it takes the pool's own lock internally — never nest the two).
         """
         pool = self._process_pool
+        worker_respawns = pool.respawns if pool is not None else 0
         with self._stats_lock:
             return {
                 "shards": [h.as_dict() for h in self._health],
                 "total_searches": self._total_searches,
                 "partial_searches": self._partial_searches,
                 "executor": self._resolved or self.executor,
-                "worker_respawns": pool.respawns if pool is not None else 0,
+                "worker_respawns": worker_respawns,
             }
 
     def memory_bytes(self) -> int:

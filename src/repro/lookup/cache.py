@@ -66,10 +66,12 @@ class _LRUStore:
     def get(self, key: Any) -> Any | None:
         entry = self._entries.get(key)
         if entry is None:
-            self.stats.misses += 1
+            # Counter updates run under the owning QueryCache._lock —
+            # every public caller takes it before reaching the store.
+            self.stats.misses += 1  # repro: noqa[REP701] guarded by QueryCache._lock
             return None
         self._entries.move_to_end(key)
-        self.stats.hits += 1
+        self.stats.hits += 1  # repro: noqa[REP701] guarded by QueryCache._lock
         return entry
 
     def put(self, key: Any, value: Any) -> None:
@@ -78,7 +80,7 @@ class _LRUStore:
         self._entries[key] = value
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.evictions += 1  # repro: noqa[REP701] guarded by QueryCache._lock
 
     def clear(self) -> None:
         self._entries.clear()
@@ -215,5 +217,10 @@ class QueryCache:
                 self._results.clear()
 
     def stats_dict(self) -> dict[str, float]:
-        """Counter snapshot (hits/misses/evictions/hit_rate) for benches."""
-        return self.stats.as_dict()
+        """Counter snapshot (hits/misses/evictions/hit_rate) for benches.
+
+        Taken under the cache lock so the four numbers are mutually
+        consistent even while other threads are hitting the stores.
+        """
+        with self._lock:
+            return self.stats.as_dict()

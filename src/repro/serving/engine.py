@@ -442,6 +442,12 @@ class LookupEngine(LookupService):
         :class:`LookupDeadlineExceeded` raises; ``worker_respawns``
         counts shard worker processes the index replaced after a crash
         or a timed-out request (0 for non-process executors).
+
+        The four engine counters are copied in one ``_stats_lock`` hold,
+        so the snapshot is atomic with respect to concurrent serving
+        threads.  The index's ``health_stats()`` is read *before* the
+        engine lock (it takes the index's own stats lock internally), so
+        the two locks never nest.
         """
         respawns = 0
         health = getattr(self._index, "health_stats", None)

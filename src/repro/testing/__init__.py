@@ -10,7 +10,11 @@ Three pieces, all dependency-free (numpy only):
   ``REPRO_SEED``/``REPRO_CASE`` replay;
 - :mod:`repro.testing.faults` — the :class:`FaultPlan` / `QueryPoison`
   injectors the hardened ``ShardedIndex`` / ``LookupEngine`` hook points
-  accept.
+  accept;
+- :mod:`repro.testing.sanitizer` — the runtime lock-order tracker
+  (``REPRO_SANITIZER=1``) that records the dynamic lock-acquisition
+  graph during the property suites and fails tests on inversions,
+  cross-validating the static REP703 deadlock detector.
 
 Layering: this package may import the production layers it tests
 (index, lookup, serving); no production layer may import it — enforced
@@ -19,6 +23,13 @@ the test suite is the ``repro selftest`` CLI diagnostics command.
 """
 
 from repro.testing.faults import FaultInjected, FaultPlan, FaultSpec, QueryPoison
+from repro.testing.sanitizer import (
+    LockOrderTracker,
+    LockOrderViolation,
+    TrackedLock,
+    current_tracker,
+    tracked_factory,
+)
 from repro.testing.oracle import (
     assert_topk_agrees,
     assert_topk_equal,
@@ -49,9 +60,12 @@ __all__ = [
     "GridCase",
     "GridStrategy",
     "LabelStrategy",
+    "LockOrderTracker",
+    "LockOrderViolation",
     "PropertyFailure",
     "QueryPoison",
     "StoreCase",
+    "TrackedLock",
     "TupleStrategy",
     "VectorStoreStrategy",
     "assert_topk_agrees",
@@ -60,7 +74,9 @@ __all__ = [
     "base_seed",
     "brute_force_topk",
     "case_rng",
+    "current_tracker",
     "exact_topk",
     "recall_at_k",
     "run_cases",
+    "tracked_factory",
 ]

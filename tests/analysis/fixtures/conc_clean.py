@@ -1,0 +1,62 @@
+"""The same concurrency work as ``conc_violations.py``, done idiomatically.
+
+Must produce zero REP7xx findings under ``src/repro/index/fake_conc.py``.
+"""
+
+import threading
+from multiprocessing import shared_memory
+
+
+class Counter:
+    """Lock-owning class whose every shared write holds the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def bump(self):
+        with self._lock:
+            self.hits += 1
+
+    def bump_more(self):
+        with self._lock:
+            self.misses += 1
+
+    def guarded_acquire(self):
+        if self._lock.acquire(timeout=1.0):
+            try:
+                self.hits = 0
+            finally:
+                self._lock.release()
+
+
+def ship_state(conn, counter: Counter):
+    # Only plain data crosses the pipe; the lock stays on this side.
+    with counter._lock:
+        snapshot = {"hits": counter.hits, "misses": counter.misses}
+    conn.send(snapshot)
+    return snapshot
+
+
+def copy_segment(spec):
+    seg = shared_memory.SharedMemory(name=spec.name)  # closed in finally
+    try:
+        return bytes(seg.buf)
+    finally:
+        seg.close()
+
+
+def handoff_segment(registry, spec):
+    seg = shared_memory.SharedMemory(name=spec.name)
+    registry.adopt(seg)  # ownership escapes; the registry closes it
+    return seg.size
+
+
+def drain_bounded(conn, worker_thread):
+    if conn.poll(1.0):
+        msg = conn.recv()  # repro: noqa[REP706] readiness-checked via poll()
+    else:
+        msg = None
+    worker_thread.join(timeout=1.0)
+    return msg

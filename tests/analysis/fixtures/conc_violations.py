@@ -1,0 +1,47 @@
+"""Deliberate REP701/702/704/705/706 violations (one per marked line).
+
+Linted under the virtual path ``src/repro/index/fake_conc.py`` so the
+serving-path scoping of REP706 applies.  Never imported.
+"""
+
+import pickle
+import threading
+from multiprocessing import shared_memory
+
+
+class Counter:
+    """Lock-owning class: every method is a REP701 thread-reachability seed."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def bump(self):
+        self.hits += 1  # REP701: RMW on self without holding the lock
+
+    def bump_guarded(self):
+        with self._lock:
+            self.misses += 1  # guarded: clean
+
+    def legacy_acquire(self):
+        self._lock.acquire()  # REP702 (+REP706: no timeout on serving path)
+        self.hits = 0
+        self._lock.release()
+
+
+def ship_state(conn, counter: Counter):
+    lock = threading.Lock()
+    conn.send(lock)  # REP704: a lock through Pipe.send
+    return pickle.dumps(lock)  # REP704: a lock through pickle.dumps
+
+
+def leak_segment(spec):
+    seg = shared_memory.SharedMemory(name=spec.name)  # REP705: never closed
+    return seg.size
+
+
+def drain(conn, worker_thread):
+    msg = conn.recv()  # REP706: blocking recv without timeout
+    worker_thread.join()  # REP706: join without timeout
+    return msg

@@ -1,0 +1,181 @@
+"""REP7xx concurrency-rule tests: fixture positives/negatives + scoping."""
+
+from repro.analysis import lint_source
+
+from tests.analysis.fixtures import fixture_source
+
+SERVING_PATH = "src/repro/index/fake_conc.py"
+LOCKORDER_PATH = "src/repro/index/fake_lockorder.py"
+OFF_SERVING_PATH = "src/repro/core/fake_conc.py"
+
+CONC = ["REP7"]
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+def rule_lines(findings):
+    return [(f.rule, f.line) for f in findings]
+
+
+class TestFixtures:
+    def test_violations_trip_every_rule(self):
+        findings = lint_source(
+            fixture_source("conc_violations.py"), SERVING_PATH, select=CONC
+        )
+        assert rule_lines(findings) == [
+            ("REP701", 21),  # Counter.bump RMW without the lock
+            ("REP702", 28),  # bare acquire() with no try/finally
+            ("REP706", 28),  # acquire() without timeout on serving path
+            ("REP704", 35),  # lock through Pipe.send
+            ("REP704", 36),  # lock through pickle.dumps
+            ("REP705", 40),  # SharedMemory never closed
+            ("REP706", 45),  # recv() without timeout
+            ("REP706", 46),  # join() without timeout
+        ]
+
+    def test_clean_counterparts_stay_quiet(self):
+        findings = lint_source(
+            fixture_source("conc_clean.py"), SERVING_PATH, select=CONC
+        )
+        assert findings == []
+
+    def test_lockorder_fixture_trips_both_cycles(self):
+        findings = lint_source(
+            fixture_source("lockorder_violations.py"),
+            LOCKORDER_PATH,
+            select=CONC,
+        )
+        assert rule_lines(findings) == [
+            ("REP703", 21),  # InvertedPair.ab: alpha -> beta
+            ("REP703", 26),  # InvertedPair.ba: beta -> alpha
+            ("REP703", 40),  # Ledger.transfer -> _record under accounts
+            ("REP703", 48),  # Ledger.audit: audit -> accounts
+        ]
+
+    def test_ordered_lockorder_counterpart_stays_quiet(self):
+        findings = lint_source(
+            fixture_source("lockorder_clean.py"), LOCKORDER_PATH, select=CONC
+        )
+        assert findings == []
+
+    def test_severities_match_the_catalog(self):
+        findings = lint_source(
+            fixture_source("conc_violations.py"), SERVING_PATH, select=CONC
+        )
+        by_rule = {f.rule: f.severity for f in findings}
+        assert by_rule["REP701"] == "error"
+        assert by_rule["REP702"] == "error"
+        assert by_rule["REP704"] == "warning"
+        assert by_rule["REP705"] == "error"
+        assert by_rule["REP706"] == "warning"
+
+    def test_messages_name_the_offending_symbol(self):
+        findings = lint_source(
+            fixture_source("conc_violations.py"), SERVING_PATH, select=CONC
+        )
+        rep701 = next(f for f in findings if f.rule == "REP701")
+        assert "hits" in rep701.message
+        rep705 = next(f for f in findings if f.rule == "REP705")
+        assert "seg" in rep705.message
+
+
+class TestScoping:
+    def test_rep706_is_serving_path_only(self):
+        findings = lint_source(
+            fixture_source("conc_violations.py"), OFF_SERVING_PATH, select=CONC
+        )
+        rules = rules_of(findings)
+        assert "REP706" not in rules
+        # The process-safety rules still apply off the serving path.
+        assert "REP701" in rules
+        assert "REP702" in rules
+        assert "REP704" in rules
+        assert "REP705" in rules
+
+    def test_noqa_suppresses_conc_findings(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0\n"
+            "    def bump(self):\n"
+            "        self.n += 1  # repro: noqa[REP701] single-writer\n"
+        )
+        assert lint_source(source, SERVING_PATH, select=CONC) == []
+
+    def test_guarded_write_needs_no_noqa(self):
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self.n = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self.n += 1\n"
+        )
+        assert lint_source(source, SERVING_PATH, select=CONC) == []
+
+
+class TestPrecision:
+    def test_local_accumulators_are_not_shared_state(self):
+        """REP701 targets self/parameter roots, not plain locals."""
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def count(self, items):\n"
+            "        total = 0\n"
+            "        for item in items:\n"
+            "            total += item\n"
+            "        return total\n"
+        )
+        assert lint_source(source, SERVING_PATH, select=["REP701"]) == []
+
+    def test_str_join_is_not_a_blocking_join(self):
+        source = (
+            "def render(parts):\n"
+            "    return ', '.join(parts)\n"
+        )
+        assert lint_source(source, SERVING_PATH, select=["REP706"]) == []
+
+    def test_reentrant_same_lock_is_not_an_inversion(self):
+        """Nesting one lock inside itself (sibling instances) is skipped."""
+        source = (
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def merge(self, other):\n"
+            "        with self._lock:\n"
+            "            with other._lock:\n"
+            "                pass\n"
+        )
+        assert lint_source(source, LOCKORDER_PATH, select=["REP703"]) == []
+
+    def test_escaped_segment_is_not_a_leak(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def adopt(registry, name):\n"
+            "    seg = shared_memory.SharedMemory(name=name)\n"
+            "    registry.adopt(seg)\n"
+            "    return seg.size\n"
+        )
+        assert lint_source(source, SERVING_PATH, select=["REP705"]) == []
+
+    def test_close_outside_finally_is_still_flagged(self):
+        source = (
+            "from multiprocessing import shared_memory\n"
+            "def peek(name):\n"
+            "    seg = shared_memory.SharedMemory(name=name)\n"
+            "    data = bytes(seg.buf)\n"
+            "    seg.close()\n"
+            "    return data\n"
+        )
+        findings = lint_source(source, SERVING_PATH, select=["REP705"])
+        assert rules_of(findings) == ["REP705"]
+        assert "non-exception path" in findings[0].message

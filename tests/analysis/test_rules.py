@@ -37,8 +37,12 @@ class TestRegistry:
             "REP503",
             "REP504",
             "REP601",
+            "REP702",
+            "REP704",
+            "REP705",
+            "REP706",
         }
-        assert set(PROJECT_RULES) == {"REP602"}
+        assert set(PROJECT_RULES) == {"REP602", "REP701", "REP703"}
 
     def test_registry_keys_match_instances(self):
         for rule_id, rule in {**RULES, **PROJECT_RULES}.items():

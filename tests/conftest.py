@@ -2,15 +2,63 @@
 
 Expensive artefacts (generated KGs, the trained EmbLookup pipeline) are
 session-scoped: built once, shared read-only by every test that needs them.
+
+When ``REPRO_SANITIZER=1`` the runtime lock-order sanitizer
+(:mod:`repro.testing.sanitizer`) is installed for the whole session:
+every ``threading.Lock`` created in repro or test code is tracked, each
+test fails if it introduced a lock-order inversion, and teardown checks
+that no shared-memory segment created by this process is still
+registered.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core import EmbLookup, EmbLookupConfig
 from repro.kg import KnowledgeGraph, SyntheticKGConfig, generate_kg
 from repro.tables import BenchmarkConfig, TabularDataset, generate_benchmark
+
+SANITIZE = os.environ.get("REPRO_SANITIZER") == "1"
+
+if SANITIZE:
+    from repro.testing import sanitizer as _sanitizer
+
+    _sanitizer.install()
+
+
+@pytest.fixture(autouse=SANITIZE)
+def _lock_order_sanitizer():
+    """Fail any test that introduced a new lock-order inversion."""
+    if not SANITIZE:
+        yield
+        return
+    tracker = _sanitizer.current_tracker()
+    before = len(tracker.violations())
+    yield
+    after = tracker.violations()
+    new = after[before:]
+    assert not new, (
+        f"{len(new)} lock-order violation(s) introduced by this test:\n"
+        + "\n".join(f"  - {message}" for message in new)
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Under the sanitizer, leaked shm segments fail the run at teardown."""
+    if not SANITIZE:
+        return
+    from repro.index.shm import owned_segment_names
+
+    leaked = owned_segment_names()
+    if leaked:
+        session.exitstatus = 1
+        raise pytest.UsageError(
+            f"shared-memory segments still registered at session teardown: "
+            f"{sorted(leaked)}"
+        )
 
 
 @pytest.fixture(scope="session")

@@ -160,6 +160,46 @@ class TestEngineConcurrency:
         assert stats.requests == stats.hits + stats.misses
         assert sharded_engine.serving_stats()["failed_queries"] == 0
 
+    def test_stats_snapshots_stay_consistent_under_fanout(
+        self, sharded_engine, tiny_kg
+    ):
+        """Readers hammering the stats APIs during fan-out always see an
+        atomic snapshot: each dict is internally consistent even while
+        writers are mid-update.  Runs under the lock-order sanitizer when
+        ``REPRO_SANITIZER=1``, which additionally proves the stats paths
+        never nest the engine, index, and cache locks inversely."""
+        labels = [e.label for e in tiny_kg.entities()][:24]
+
+        def worker(ti):
+            rng = case_rng(23, ti)
+            if ti % 2 == 0:  # writers drive the fan-out
+                for _ in range(15):
+                    label = labels[int(rng.integers(0, len(labels)))]
+                    sharded_engine.submit(label, k=3)
+                sharded_engine.flush()
+            else:  # readers poll every stats surface
+                for _ in range(60):
+                    serving = sharded_engine.serving_stats()
+                    assert serving["failed_queries"] >= 0
+                    assert serving["partial_results"] >= 0
+                    health = sharded_engine.index.health_stats()
+                    assert (
+                        health["total_searches"]
+                        >= health["partial_searches"]
+                    )
+                    assert len(health["shards"]) == 4
+                    cache = sharded_engine.cache.stats_dict()
+                    assert cache["hits"] >= 0 and cache["misses"] >= 0
+                    assert 0.0 <= cache["hit_rate"] <= 1.0
+
+        hammer(worker)
+        sharded_engine.flush()
+        assert sharded_engine.pending == 0
+        final = sharded_engine.serving_stats()
+        assert final["failed_queries"] == 0
+        stats = sharded_engine.cache.stats
+        assert stats.requests == stats.hits + stats.misses
+
     def test_poisoned_queries_fail_alone_under_concurrency(
         self, sharded_engine, tiny_kg
     ):
