@@ -1,0 +1,1004 @@
+"""Array-contract analysis (REP8xx): shape/dtype/layout across call sites.
+
+The blockwise top-k, PQ transposed-LUT gather, and shm shard payloads all
+assume ``(nq, d) float32`` C-contiguous inputs and ``int64`` id
+arithmetic.  This pass proves those assumptions from the declared
+contracts (:func:`repro.utils.contracts.array_contract`): it treats each
+contract as a function summary and runs a per-function abstract
+interpreter over ``(shape, dtype, contiguity)`` facts, resolving calls
+through the existing :class:`~repro.analysis.graph.CallGraph`.
+
+Rules (all documented in DESIGN.md §8):
+
+- **REP801 dim mismatch** — an argument's tracked ndim or symbolic dims
+  conflict with the callee's declared dims.  Symbols unify per call
+  site: one callee symbol bound to two *different* caller dims (two ints,
+  or two distinct locally-rooted symbols — the transposed-argument
+  signature) is a conflict.  Symbols minted fresh for unresolved callee
+  return dims (spelled ``name?line``) never conflict, so one quantity
+  reaching a call along two paths is not a false positive.
+- **REP802 dtype violation** — e.g. a ``float64`` fact entering a
+  declared ``f32`` kernel (the silent upcast that invalidates the 256 B
+  -> 8 B PQ memory story).
+- **REP803 layout violation** — a transposed / Fortran / strided fact
+  entering a kernel declared C-contiguous (``np.take`` row gathers and
+  blockwise reductions assume C layout).
+- **REP804 id-width hazard** — arithmetic (``* + - ** <<``) on an
+  integer array fact narrower than int64 inside the index/serving/lookup
+  packages (the ``local * num_shards + shard`` remap must never run in
+  int32), or a sub-int64 integer fact flowing where ``i64`` is declared.
+- **REP805 missing contract** — a public API in ``repro.index`` /
+  ``repro.serving`` / ``repro.lookup`` with ``ndarray`` in its signature
+  annotations but no ``@array_contract`` (or an unparseable one).
+
+REP801–REP804 share one cached interprocedural pass per
+:class:`~repro.analysis.graph.ProjectContext`; REP805 is a per-file rule
+so fixtures exercise it through ``lint_source`` like every other family.
+The runtime validator (``REPRO_ARRAYCHECK=1``; see
+:mod:`repro.utils.contracts`) enforces the same contracts on live
+arrays, and the fixture pair ``arrays_violations.py`` /
+``arrays_clean.py`` is asserted to trip — and not trip — both halves.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.analysis.dataflow import numpy_aliases
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.graph import CallGraph, FunctionInfo, ProjectContext
+from repro.analysis.rules import (
+    LintContext,
+    LintRule,
+    ProjectRule,
+    _in_packages,
+    register,
+    register_project,
+)
+from repro.utils.contracts import (
+    NARROW_INT_DTYPES,
+    ArrayContract,
+    ArraySpec,
+    ContractError,
+    ScalarSpec,
+    dtype_verdict,
+    parse_contract,
+)
+
+__all__ = ["ARRAY_PACKAGES"]
+
+#: Packages whose public array APIs must declare contracts.
+ARRAY_PACKAGES: tuple[str, ...] = (
+    "repro/index",
+    "repro/serving",
+    "repro/lookup",
+)
+
+#: dtype token -> the concrete dtype a contracted return is trusted to carry.
+_TOKEN_DTYPE: dict[str, str] = {
+    "f32": "float32",
+    "f64": "float64",
+    "i64": "int64",
+    "i32": "int32",
+    "u8": "uint8",
+    "u64": "uint64",
+    "bool": "bool",
+}
+
+#: numpy attribute -> dtype name, for ``dtype=np.float32``-style keywords.
+_NP_DTYPE_ATTRS: dict[str, str] = {
+    "float16": "float16",
+    "float32": "float32",
+    "float64": "float64",
+    "int8": "int8",
+    "int16": "int16",
+    "int32": "int32",
+    "int64": "int64",
+    "intp": "int64",
+    "uint8": "uint8",
+    "uint16": "uint16",
+    "uint32": "uint32",
+    "uint64": "uint64",
+    "bool_": "bool",
+}
+
+#: BinOp operators whose result can exceed a narrow operand's range.
+_OVERFLOW_OPS = (ast.Mult, ast.Add, ast.Sub, ast.Pow, ast.LShift)
+
+
+@dataclass(frozen=True)
+class _Fact:
+    """Abstract array value: symbolic dims + dtype name + contiguity.
+
+    ``dims`` entries are ints, symbol strings, or ``None`` (unknown);
+    symbols containing ``?`` were minted for an unresolved callee return
+    dim and are treated as unification wildcards.  ``None`` fields mean
+    "unknown", never "violating".
+    """
+
+    dims: tuple | None
+    dtype: str | None
+    contig: bool | None
+
+
+def _rooted(dim) -> bool:
+    """Whether ``dim`` is a symbol the caller can vouch for (not minted)."""
+    return isinstance(dim, str) and "?" not in dim
+
+
+@dataclass(frozen=True)
+class _ContractInfo:
+    """A collected contract plus the callee's (self-stripped) param names."""
+
+    contract: ArrayContract
+    param_names: tuple[str, ...]
+
+
+def _decorator_spec(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """The ``@array_contract("...")`` literal on ``node``, if present."""
+    for decorator in node.decorator_list:
+        if not (isinstance(decorator, ast.Call) and decorator.args):
+            continue
+        func = decorator.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        if name != "array_contract":
+            continue
+        first = decorator.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            return first.value
+    return None
+
+
+def _has_contract_decorator(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = (
+            target.id
+            if isinstance(target, ast.Name)
+            else target.attr
+            if isinstance(target, ast.Attribute)
+            else None
+        )
+        if name == "array_contract":
+            return True
+    return False
+
+
+def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    names = [a.arg for a in (*node.args.posonlyargs, *node.args.args)]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _collect_contracts(
+    graph: CallGraph,
+) -> dict[tuple[str, str], _ContractInfo]:
+    table: dict[tuple[str, str], _ContractInfo] = {}
+    for key, info in graph.functions.items():
+        spec = _decorator_spec(info.node)
+        if spec is None:
+            continue
+        try:
+            contract = parse_contract(spec)
+        except ContractError:
+            continue  # REP805 reports unparseable contracts per-file
+        table[key] = _ContractInfo(
+            contract=contract, param_names=tuple(_param_names(info.node))
+        )
+    return table
+
+
+# -- the interprocedural pass ------------------------------------------------------
+
+
+class _ArrayPass:
+    """One run over every project function; findings keyed by rule id."""
+
+    def __init__(self, project: ProjectContext):
+        self.graph = project.call_graph
+        self.contracts = _collect_contracts(self.graph)
+        self.paths = {
+            name: module.path for name, module in project.modules.items()
+        }
+        self.aliases = {
+            name: numpy_aliases(module.tree)
+            for name, module in project.modules.items()
+        }
+        self.findings: list[Finding] = []
+        self._seen: set[tuple] = set()
+
+    def run(self) -> list[Finding]:
+        for info in self.graph.functions.values():
+            _FunctionInterp(self, info).run()
+        return self.findings
+
+    def emit(
+        self, rule: str, module: str, node: ast.AST, message: str
+    ) -> None:
+        path = self.paths.get(module, module)
+        key = (
+            rule,
+            path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=path,
+                line=key[2],
+                col=key[3],
+                severity=Severity.ERROR,
+                message=message,
+            )
+        )
+
+
+def _project_findings(project: ProjectContext) -> list[Finding]:
+    """The shared pass, cached on the context (one run serves REP801-804)."""
+    cached = getattr(project, "_rep8_findings", None)
+    if cached is None:
+        cached = _ArrayPass(project).run()
+        project._rep8_findings = cached
+    return cached
+
+
+class _FunctionInterp:
+    """Linear abstract interpretation of one function body."""
+
+    def __init__(self, pass_: _ArrayPass, info: FunctionInfo):
+        self.pass_ = pass_
+        self.info = info
+        self.np_aliases = pass_.aliases.get(info.module, frozenset())
+        self.in_array_pkg = _in_packages(
+            pass_.paths.get(info.module, info.module), ARRAY_PACKAGES
+        )
+        self.own = pass_.contracts.get((info.module, info.qualname))
+        self.env: dict[str, _Fact] = {}
+        self.checked: set[int] = set()
+
+    # -- entry ------------------------------------------------------------------
+
+    def run(self) -> None:
+        if self.own is not None:
+            self._seed_from_contract()
+        self._visit_body(self.info.node.body)
+
+    def _seed_from_contract(self) -> None:
+        contract = self.own.contract
+        for index, entry in enumerate(contract.params):
+            if index >= len(self.own.param_names):
+                break
+            if not isinstance(entry, ArraySpec):
+                continue
+            name = self.own.param_names[index]
+            if any(d == "..." for d in entry.dims):
+                dims = None
+            else:
+                dims = tuple(
+                    None if d == "_" else d for d in entry.dims
+                )
+            self.env[name] = _Fact(
+                dims=dims,
+                dtype=_TOKEN_DTYPE.get(entry.dtype),
+                contig=True if entry.layout == "C" else None,
+            )
+
+    def _own_bindings(self) -> dict:
+        """Pre-bind this function's own contract symbols to themselves."""
+        bindings: dict = {}
+        contract = self.own.contract
+        for index, entry in enumerate(contract.params):
+            if isinstance(entry, ArraySpec):
+                for dim in entry.dims:
+                    if isinstance(dim, str) and dim not in ("...", "_"):
+                        bindings[dim] = dim
+            elif index < len(self.own.param_names):
+                name = self.own.param_names[index]
+                bindings[name] = name
+        return bindings
+
+    # -- statements -------------------------------------------------------------
+
+    def _visit_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            fact = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, fact)
+            self._sweep(stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            fact = self._eval(stmt.value) if stmt.value is not None else None
+            self._bind(stmt.target, fact)
+            self._sweep(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value)
+            self._check_overflow_op(stmt.op, stmt.target, stmt)
+            self._sweep(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_return(stmt)
+            self._sweep(stmt)
+        elif isinstance(stmt, (ast.Expr, ast.Assert, ast.Raise, ast.Delete)):
+            self._sweep(stmt)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._sweep(stmt.test)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            self._sweep(stmt.iter)
+            self._bind(stmt.target, None)
+            self._visit_body(stmt.body)
+            self._visit_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._sweep(item.context_expr)
+            self._visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_body(handler.body)
+            self._visit_body(stmt.orelse)
+            self._visit_body(stmt.finalbody)
+        # nested defs/classes are separate call-graph entries; skip here
+
+    def _sweep(self, node: ast.AST) -> None:
+        """Evaluate any calls this statement reaches that _eval missed."""
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) and id(child) not in self.checked:
+                self._eval_call(child)
+
+    def _bind(self, target: ast.expr, fact) -> None:
+        if isinstance(target, ast.Name):
+            if isinstance(fact, _Fact):
+                self.env[target.id] = fact
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            facts = fact if isinstance(fact, tuple) else [None] * len(
+                target.elts
+            )
+            if len(facts) != len(target.elts):
+                facts = [None] * len(target.elts)
+            for element, sub in zip(target.elts, facts):
+                self._bind(element, sub)
+        # attribute/subscript stores don't update the local env
+
+    # -- expressions ------------------------------------------------------------
+
+    def _eval(self, node: ast.expr | None):
+        """A ``_Fact``, a tuple of facts (multi-return), or ``None``."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            if node.attr == "T":
+                return self._transposed(self._eval(node.value))
+            self._eval(node.value)
+            return None
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            self._eval(node.body)
+            self._eval(node.orelse)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return tuple(self._eval(element) for element in node.elts)
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return None
+        if isinstance(node, ast.Starred):
+            self._eval(node.value)
+            return None
+        return None
+
+    def _eval_binop(self, node: ast.BinOp):
+        left = self._eval(node.left)
+        right = self._eval(node.right)
+        if isinstance(node.op, _OVERFLOW_OPS):
+            for side in (left, right):
+                if (
+                    isinstance(side, _Fact)
+                    and side.dtype in NARROW_INT_DTYPES
+                    and self.in_array_pkg
+                ):
+                    self.pass_.emit(
+                        "REP804",
+                        self.info.module,
+                        node,
+                        f"{self.info.qualname}: arithmetic on a "
+                        f"{side.dtype} array can overflow before reaching "
+                        "int64; widen ids to int64 first",
+                    )
+                    break
+        facts = [f for f in (left, right) if isinstance(f, _Fact)]
+        if not facts:
+            return None
+        dims = None
+        for fact in facts:
+            if fact.dims is not None and (
+                dims is None or len(fact.dims) > len(dims)
+            ):
+                dims = fact.dims
+        if len(facts) == 2 and facts[0].dtype == facts[1].dtype:
+            dtype = facts[0].dtype
+        else:
+            dtype = None  # promotion with an unknown operand is unknown
+        return _Fact(dims=dims, dtype=dtype, contig=True)
+
+    def _transposed(self, fact):
+        if not isinstance(fact, _Fact):
+            return None
+        if fact.dims is not None and len(fact.dims) == 1:
+            return fact  # 1-D transpose is the identity
+        dims = tuple(reversed(fact.dims)) if fact.dims is not None else None
+        return _Fact(dims=dims, dtype=fact.dtype, contig=False)
+
+    def _eval_subscript(self, node: ast.Subscript):
+        base = self._eval(node.value)
+        self._eval(node.slice)
+        if not isinstance(base, _Fact) or base.dims is None:
+            return None
+        index = node.slice
+        if isinstance(index, ast.Constant) and index.value is None:
+            return _Fact((1, *base.dims), base.dtype, base.contig)
+        if isinstance(index, ast.Slice):
+            step_one = index.step is None
+            first = None if (index.lower or index.upper) else base.dims[0]
+            return _Fact(
+                (first, *base.dims[1:]),
+                base.dtype,
+                base.contig if step_one else False,
+            )
+        if isinstance(index, (ast.Constant, ast.Name)) and not isinstance(
+            getattr(index, "value", 0), (tuple, slice)
+        ):
+            if len(base.dims) >= 1:  # x[i]: drop the leading axis
+                return _Fact(tuple(base.dims[1:]) or None, base.dtype, base.contig)
+        if isinstance(index, ast.Tuple) and base.dims:
+            elements = index.elts
+            # x[None, :] / x[:, j]: the two view shapes kernels receive
+            if (
+                len(elements) == 2
+                and isinstance(elements[0], ast.Constant)
+                and elements[0].value is None
+            ):
+                return _Fact((1, *base.dims), base.dtype, base.contig)
+            if (
+                len(elements) == 2
+                and len(base.dims) == 2
+                and isinstance(elements[0], ast.Slice)
+                and elements[0].lower is None
+                and elements[0].upper is None
+                and not isinstance(elements[1], ast.Slice)
+            ):
+                return _Fact((base.dims[0],), base.dtype, False)
+        return None
+
+    # -- numpy constructors & methods --------------------------------------------
+
+    def _dim_of(self, node: ast.expr):
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return node.value
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            dotted = []
+            current = node
+            while isinstance(current, ast.Attribute):
+                dotted.append(current.attr)
+                current = current.value
+            if isinstance(current, ast.Name):
+                dotted.append(current.id)
+                return ".".join(reversed(dotted))
+        return None
+
+    def _shape_of(self, node: ast.expr) -> tuple | None:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return tuple(self._dim_of(element) for element in node.elts)
+        dim = self._dim_of(node)
+        return (dim,) if dim is not None else None
+
+    def _dtype_of(self, node: ast.expr | None) -> str | None:
+        if node is None:
+            return None
+        if isinstance(node, ast.Attribute):
+            root = node.value
+            if isinstance(root, ast.Name) and root.id in self.np_aliases:
+                return _NP_DTYPE_ATTRS.get(node.attr)
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value if node.value in _NP_DTYPE_ATTRS.values() else None
+        if isinstance(node, ast.Name):
+            return {"float": "float64", "int": "int64", "bool": "bool"}.get(
+                node.id
+            )
+        return None
+
+    def _kwarg(self, node: ast.Call, name: str) -> ast.expr | None:
+        for keyword in node.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    def _numpy_fact(self, node: ast.Call, arg_facts: list):
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.np_aliases
+        ):
+            return None
+        name = func.attr
+        dtype_kw = self._dtype_of(self._kwarg(node, "dtype"))
+        if name in ("zeros", "ones", "empty", "full"):
+            shape = self._shape_of(node.args[0]) if node.args else None
+            return _Fact(shape, dtype_kw or "float64", True)
+        if name == "arange":
+            return _Fact((None,), dtype_kw, True)
+        if name in ("asarray", "array"):
+            base = arg_facts[0] if arg_facts else None
+            base = base if isinstance(base, _Fact) else _Fact(None, None, None)
+            if dtype_kw is not None:
+                return _Fact(base.dims, dtype_kw, None)
+            return _Fact(base.dims, base.dtype, base.contig)
+        if name == "ascontiguousarray":
+            base = arg_facts[0] if arg_facts else None
+            base = base if isinstance(base, _Fact) else _Fact(None, None, None)
+            return _Fact(base.dims, dtype_kw or base.dtype, True)
+        if name == "asfortranarray":
+            base = arg_facts[0] if arg_facts else None
+            base = base if isinstance(base, _Fact) else _Fact(None, None, None)
+            if base.dims is not None and len(base.dims) == 1:
+                return _Fact(base.dims, dtype_kw or base.dtype, True)
+            return _Fact(base.dims, dtype_kw or base.dtype, False)
+        if name == "transpose":
+            return self._transposed(
+                arg_facts[0] if arg_facts else None
+            )
+        if name == "take_along_axis" and arg_facts:
+            base = arg_facts[0]
+            if isinstance(base, _Fact):
+                return _Fact(None, base.dtype, True)
+        return None
+
+    def _method_fact(self, node: ast.Call, arg_facts: list):
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        base = self._eval(func.value)
+        base = base if isinstance(base, _Fact) else None
+        name = func.attr
+        if name == "astype":
+            dtype = self._dtype_of(node.args[0]) if node.args else None
+            dtype = dtype or self._dtype_of(self._kwarg(node, "dtype"))
+            copy_kw = self._kwarg(node, "copy")
+            copies = not (
+                isinstance(copy_kw, ast.Constant) and copy_kw.value is False
+            )
+            dims = base.dims if base else None
+            contig = True if copies else (base.contig if base else None)
+            return _Fact(dims, dtype, contig)
+        if base is None:
+            return None
+        if name == "copy":
+            return _Fact(base.dims, base.dtype, True)
+        if name in ("ravel", "flatten"):
+            return _Fact((None,), base.dtype, True)
+        if name == "reshape":
+            shape = None
+            if len(node.args) == 1:
+                shape = self._shape_of(node.args[0])
+            elif node.args:
+                shape = tuple(self._dim_of(a) for a in node.args)
+            if shape is not None and any(d == -1 for d in shape):
+                shape = tuple(None if d == -1 else d for d in shape)
+            return _Fact(shape, base.dtype, True)
+        if name == "transpose":
+            if not node.args:
+                return self._transposed(base)
+            if base.dims is not None and all(
+                isinstance(a, ast.Constant) and isinstance(a.value, int)
+                for a in node.args
+            ):
+                order = [a.value for a in node.args]
+                if sorted(order) == list(range(len(base.dims))):
+                    dims = tuple(base.dims[i] for i in order)
+                    return _Fact(dims, base.dtype, False)
+            return _Fact(None, base.dtype, False)
+        if name in ("sum", "mean", "min", "max", "prod"):
+            axis = None
+            axis_node = (
+                node.args[0] if node.args else self._kwarg(node, "axis")
+            )
+            if isinstance(axis_node, ast.Constant) and isinstance(
+                axis_node.value, int
+            ):
+                axis = axis_node.value
+            dims = None
+            if base.dims is not None and axis is not None:
+                if -len(base.dims) <= axis < len(base.dims):
+                    kept = list(base.dims)
+                    del kept[axis]
+                    dims = tuple(kept) or None
+            return _Fact(dims, base.dtype, True)
+        return None
+
+    # -- calls -------------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call):
+        self.checked.add(id(node))
+        arg_facts = [self._eval(a) for a in node.args]
+        for keyword in node.keywords:
+            self._eval(keyword.value)
+        fact = self._numpy_fact(node, arg_facts)
+        if fact is not None:
+            return fact
+        fact = self._method_fact(node, arg_facts)
+        if fact is not None:
+            return fact
+        key = self.pass_.graph.resolve_call(self.info, node)
+        if key is not None and key in self.pass_.contracts:
+            return self._check_contracted_call(node, key, arg_facts)
+        return None
+
+    def _check_contracted_call(
+        self, node: ast.Call, key: tuple[str, str], arg_facts: list
+    ):
+        cinfo = self.pass_.contracts[key]
+        contract = cinfo.contract
+        callee = f"{key[0].rsplit('.', 1)[-1]}.{key[1]}"
+        bindings: dict = {}
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            return self._instantiate_returns(contract, bindings, node)
+        keyword_nodes = {
+            kw.arg: kw.value for kw in node.keywords if kw.arg is not None
+        }
+        for index, entry in enumerate(contract.params):
+            param = (
+                cinfo.param_names[index]
+                if index < len(cinfo.param_names)
+                else None
+            )
+            if index < len(node.args):
+                arg_node = node.args[index]
+                fact = arg_facts[index]
+            elif param is not None and param in keyword_nodes:
+                arg_node = keyword_nodes[param]
+                fact = self.env.get(arg_node.id) if isinstance(
+                    arg_node, ast.Name
+                ) else self._eval(arg_node)
+            else:
+                continue
+            if isinstance(entry, ScalarSpec):
+                if param is not None:
+                    dim = self._dim_of(arg_node)
+                    if dim is not None:
+                        bindings.setdefault(param, dim)
+                continue
+            self._check_value(
+                arg_node,
+                f"{self.info.qualname}: argument "
+                f"{param or index} of {callee}()",
+                entry,
+                fact,
+                bindings,
+            )
+        return self._instantiate_returns(contract, bindings, node)
+
+    def _instantiate_returns(
+        self, contract: ArrayContract, bindings: dict, node: ast.Call
+    ):
+        if contract.returns is None:
+            return None
+        facts = []
+        for spec in contract.returns:
+            if any(d == "..." for d in spec.dims):
+                dims = None
+            else:
+                dims = tuple(
+                    bindings.setdefault(d, f"{d}?{node.lineno}")
+                    if isinstance(d, str) and d != "_"
+                    else (None if d == "_" else d)
+                    for d in spec.dims
+                )
+            facts.append(
+                _Fact(
+                    dims=dims,
+                    dtype=_TOKEN_DTYPE.get(spec.dtype),
+                    contig=True if spec.layout == "C" else None,
+                )
+            )
+        return facts[0] if len(facts) == 1 else tuple(facts)
+
+    def _check_value(
+        self,
+        loc: ast.AST,
+        label: str,
+        spec: ArraySpec,
+        fact,
+        bindings: dict,
+    ) -> None:
+        if not isinstance(fact, _Fact):
+            return
+        emit = self.pass_.emit
+        module = self.info.module
+        if fact.dims is not None:
+            dims = spec.dims
+            if dims and dims[0] == "...":
+                fixed = dims[1:]
+                if len(fact.dims) < len(fixed):
+                    emit(
+                        "REP801",
+                        module,
+                        loc,
+                        f"{label} declared {spec.describe()}, tracked fact "
+                        f"has only {len(fact.dims)} dim(s)",
+                    )
+                    pairs = []
+                else:
+                    tail = fact.dims[len(fact.dims) - len(fixed) :]
+                    pairs = list(zip(fixed, tail))
+            elif len(dims) != len(fact.dims):
+                emit(
+                    "REP801",
+                    module,
+                    loc,
+                    f"{label} declared {len(dims)}-d {spec.describe()}, "
+                    f"tracked fact is {len(fact.dims)}-d",
+                )
+                pairs = []
+            else:
+                pairs = list(zip(dims, fact.dims))
+            for dim, actual in pairs:
+                if dim == "_" or actual is None:
+                    continue
+                if isinstance(dim, int):
+                    if isinstance(actual, int) and actual != dim:
+                        emit(
+                            "REP801",
+                            module,
+                            loc,
+                            f"{label} declared dim {dim}, tracked size is "
+                            f"{actual}",
+                        )
+                        break
+                    continue
+                bound = bindings.get(dim)
+                if bound is None:
+                    bindings[dim] = actual
+                    continue
+                conflict = (
+                    isinstance(bound, int)
+                    and isinstance(actual, int)
+                    and bound != actual
+                ) or (
+                    _rooted(bound) and _rooted(actual) and bound != actual
+                )
+                if conflict:
+                    emit(
+                        "REP801",
+                        module,
+                        loc,
+                        f"{label} dim '{dim}' already bound to "
+                        f"'{bound}', tracked dim is '{actual}' "
+                        "(transposed or mismatched argument?)",
+                    )
+                    break
+        if fact.dtype is not None:
+            verdict = dtype_verdict(spec.dtype, fact.dtype)
+            if verdict is not None:
+                rule, why = verdict
+                emit(rule, module, loc, f"{label} {why}")
+        if spec.layout == "C" and fact.contig is False:
+            emit(
+                "REP803",
+                module,
+                loc,
+                f"{label} declared C-contiguous {spec.describe()}, tracked "
+                "fact is non-contiguous (transposed/Fortran view?)",
+            )
+
+    def _check_overflow_op(
+        self, op: ast.operator, target: ast.expr, stmt: ast.stmt
+    ) -> None:
+        if not isinstance(op, _OVERFLOW_OPS) or not self.in_array_pkg:
+            return
+        fact = self._eval(target) if isinstance(target, ast.Name) else None
+        if isinstance(fact, _Fact) and fact.dtype in NARROW_INT_DTYPES:
+            self.pass_.emit(
+                "REP804",
+                self.info.module,
+                stmt,
+                f"{self.info.qualname}: in-place arithmetic on a "
+                f"{fact.dtype} array can overflow before reaching int64",
+            )
+
+    def _check_return(self, stmt: ast.Return) -> None:
+        if self.own is None or self.own.contract.returns is None:
+            self._eval(stmt.value)
+            return
+        specs = self.own.contract.returns
+        bindings = self._own_bindings()
+        label = f"{self.info.qualname}: return value"
+        if len(specs) == 1:
+            fact = self._eval(stmt.value)
+            if isinstance(fact, tuple):
+                return
+            self._check_value(stmt, label, specs[0], fact, bindings)
+            return
+        if isinstance(stmt.value, ast.Tuple) and len(stmt.value.elts) == len(
+            specs
+        ):
+            for index, (spec, element) in enumerate(
+                zip(specs, stmt.value.elts)
+            ):
+                fact = self._eval(element)
+                if isinstance(fact, tuple):
+                    continue
+                self._check_value(
+                    stmt, f"{label} {index}", spec, fact, bindings
+                )
+            return
+        fact = self._eval(stmt.value)
+        if isinstance(fact, tuple) and len(fact) == len(specs):
+            for index, (spec, sub) in enumerate(zip(specs, fact)):
+                self._check_value(stmt, f"{label} {index}", spec, sub, bindings)
+
+
+# -- registered rules --------------------------------------------------------------
+
+
+class _ArrayPassRule(ProjectRule):
+    """Base for REP801-804: filter the shared cached pass by rule id."""
+
+    severity = Severity.ERROR
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for finding in _project_findings(project):
+            if finding.rule == self.rule_id:
+                yield finding
+
+
+@register_project
+class DimMismatchRule(_ArrayPassRule):
+    """REP801: tracked dims/ndim conflict with a declared contract."""
+
+    rule_id = "REP801"
+    name = "array-dim-mismatch"
+    description = "array dims conflict with the callee's declared contract"
+
+
+@register_project
+class DtypeContractRule(_ArrayPassRule):
+    """REP802: tracked dtype violates a declared contract (f64 into f32)."""
+
+    rule_id = "REP802"
+    name = "array-dtype-contract"
+    description = "array dtype violates the declared contract"
+
+
+@register_project
+class LayoutContractRule(_ArrayPassRule):
+    """REP803: non-contiguous fact entering a kernel declared C-contiguous."""
+
+    rule_id = "REP803"
+    name = "array-layout-contract"
+    description = "non-contiguous array entering a C-contiguous kernel"
+
+
+@register_project
+class IdWidthRule(_ArrayPassRule):
+    """REP804: id arithmetic (or an i64 contract) on sub-int64 integers."""
+
+    rule_id = "REP804"
+    name = "id-width-overflow"
+    description = "integer id arithmetic narrower than int64"
+
+
+@register
+class MissingContractRule(LintRule):
+    """REP805: public array API without (or with an invalid) contract."""
+
+    rule_id = "REP805"
+    name = "missing-array-contract"
+    severity = Severity.WARNING
+    description = "public ndarray API without an @array_contract declaration"
+
+    _PROPERTY_DECORATORS = frozenset({"property", "cached_property", "setter"})
+
+    def applies_to(self, path: str) -> bool:
+        """Index/serving/lookup only: the contracted surface."""
+        return _in_packages(path, ARRAY_PACKAGES)
+
+    def _is_property(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        for decorator in node.decorator_list:
+            name = (
+                decorator.id
+                if isinstance(decorator, ast.Name)
+                else decorator.attr
+                if isinstance(decorator, ast.Attribute)
+                else None
+            )
+            if name in self._PROPERTY_DECORATORS:
+                return True
+        return False
+
+    def _mentions_ndarray(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        annotations = [
+            a.annotation
+            for a in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs)
+            if a.annotation is not None
+        ]
+        if node.returns is not None:
+            annotations.append(node.returns)
+        return any("ndarray" in ast.unparse(a) for a in annotations)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        """Walk defs with class context; flag uncontracted public array APIs."""
+        yield from self._visit(ctx, ctx.tree.body, public_scope=True)
+
+    def _visit(
+        self, ctx: LintContext, body: list[ast.stmt], public_scope: bool
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._visit(
+                    ctx,
+                    stmt.body,
+                    public_scope and not stmt.name.startswith("_"),
+                )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                spec = _decorator_spec(stmt)
+                if spec is not None:
+                    try:
+                        parse_contract(spec)
+                    except ContractError as exc:
+                        yield ctx.finding(
+                            self, stmt, f"invalid array contract: {exc}"
+                        )
+                    continue
+                if _has_contract_decorator(stmt):
+                    continue  # non-literal spec: trust it (checked at import)
+                if (
+                    public_scope
+                    and not stmt.name.startswith("_")
+                    and not self._is_property(stmt)
+                    and self._mentions_ndarray(stmt)
+                ):
+                    yield ctx.finding(
+                        self,
+                        stmt,
+                        f"public array API {stmt.name}() has ndarray "
+                        "annotations but no @array_contract declaration",
+                    )

@@ -8,6 +8,7 @@ Subcommands cover the full lifecycle a downstream user needs:
 - ``evaluate``      — score the model's lookup success on noisy queries.
 - ``lint``          — run the repo's static-analysis rules over source trees.
 - ``racecheck``     — run only the REP7xx concurrency/process-safety rules.
+- ``arraycheck``    — run only the REP8xx array shape/dtype/layout rules.
 - ``archcheck``     — enforce the declared architecture contract on imports.
 - ``shapecheck``    — statically verify a dual-tower config's shapes/dtypes.
 - ``selftest``      — run seeded property diagnostics over the lookup stack.
@@ -21,6 +22,7 @@ Example::
     python -m repro lint src/repro --baseline tools/lint_baseline.json
     python -m repro lint src/repro --profile perf
     python -m repro racecheck src/repro --baseline tools/lint_baseline.json
+    python -m repro arraycheck src/repro --baseline tools/lint_baseline.json
     python -m repro archcheck src/repro --contract tools/arch_contract.toml
     python -m repro shapecheck --dim 64 --max-length 32
     python -m repro selftest --cases 25 --seed 1
@@ -130,6 +132,7 @@ _LINT_PROFILES: dict[str, list[str] | None] = {
     "perf": ["REP5"],
     "grad": ["REP6"],
     "conc": ["REP7"],
+    "arrays": ["REP8"],
 }
 
 
@@ -191,6 +194,37 @@ def _cmd_racecheck(args: argparse.Namespace) -> int:
     else:
         suffix = f" ({len(known)} baselined)" if known else ""
         print(f"racecheck OK: no new REP7xx findings{suffix}")
+    return 1 if new else 0
+
+
+def _cmd_arraycheck(args: argparse.Namespace) -> int:
+    """Run only the REP8xx array-contract rules.
+
+    A focused alias for ``repro lint --profile arrays`` with ``archcheck``
+    exit-code semantics: 0 = no unbaselined REP8xx finding, 1 = at least
+    one new finding (a shape/dtype/layout contract violation or an
+    uncontracted public array API landed since the baseline), 2 = usage
+    error.  The runtime half of this check is the ``REPRO_ARRAYCHECK=1``
+    contract validator in the test suite.
+    """
+    try:
+        findings = analysis.lint_paths(args.paths, select=["REP8"])
+    except FileNotFoundError as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    baseline = (
+        analysis.load_baseline(args.baseline)
+        if args.baseline and not args.no_baseline
+        else frozenset()
+    )
+    new, known = analysis.partition_findings(findings, baseline)
+    if args.format == "json":
+        print(analysis.render_json(new, known))
+    elif new:
+        print(analysis.render_text(new, known))
+    else:
+        suffix = f" ({len(known)} baselined)" if known else ""
+        print(f"arraycheck OK: no new REP8xx findings{suffix}")
     return 1 if new else 0
 
 
@@ -452,7 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "rule-family shortcut: perf=REP5xx, grad=REP6xx, "
-            "conc=REP7xx, all=every rule"
+            "conc=REP7xx, arrays=REP8xx, all=every rule"
         ),
     )
     p.set_defaults(func=_cmd_lint)
@@ -474,6 +508,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.set_defaults(func=_cmd_racecheck)
+
+    p = sub.add_parser(
+        "arraycheck",
+        help="run the REP8xx array shape/dtype/layout contract rules",
+    )
+    p.add_argument("paths", nargs="*", default=["src/repro"])
+    p.add_argument(
+        "--baseline",
+        default="tools/lint_baseline.json",
+        help="baseline JSON to honor (default tools/lint_baseline.json)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring the baseline",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=_cmd_arraycheck)
 
     p = sub.add_parser(
         "archcheck",

@@ -17,6 +17,7 @@ from repro.index.base import SearchResult, VectorIndex
 from repro.index.buffer import GrowBuffer
 from repro.index.kmeans import _squared_distances
 from repro.index.topk import blockwise_topk
+from repro.utils.contracts import array_contract
 
 __all__ = ["FlatIndex"]
 
@@ -55,6 +56,7 @@ class FlatIndex(VectorIndex):
         """The stored matrix (read-only view; re-fetch after ``add``)."""
         return self._store.view
 
+    @array_contract("vectors: (..., d) num::any -> None")
     def add(self, vectors: np.ndarray) -> None:
         vectors = self._check_vectors(vectors, "vectors")
         self._store.append(vectors)
@@ -68,6 +70,7 @@ class FlatIndex(VectorIndex):
         # accumulation keeps ties stable (storage stays float32).
         return -(queries.astype(np.float64) @ block.astype(np.float64).T)  # repro: noqa[REP102]
 
+    @array_contract("queries: (..., d) num::any, k: int -> SearchResult")
     def search(
         self, queries: np.ndarray, k: int, block_size: int | None = None
     ) -> SearchResult:
@@ -83,6 +86,7 @@ class FlatIndex(VectorIndex):
         )
         return SearchResult(ids=ids, distances=distances)
 
+    @array_contract("idx: int -> (d,) f32")
     def reconstruct(self, idx: int) -> np.ndarray:
         """Return the stored vector for row ``idx``."""
         return self._store.view[idx].copy()

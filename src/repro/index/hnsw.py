@@ -20,6 +20,7 @@ import numpy as np
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.buffer import GrowBuffer
 from repro.utils.rng import as_rng
+from repro.utils.contracts import array_contract
 
 __all__ = ["HNSWIndex"]
 
@@ -76,11 +77,12 @@ class HNSWIndex(VectorIndex):
     # -- distance helpers ---------------------------------------------------------
 
     def _distance(self, a: np.ndarray, node: int) -> float:
-        diff = self._vectors[node].astype(np.float64) - a
+        diff = self._vectors[node].astype(np.float64) - a  # repro: noqa[REP102] f64 distance keeps graph ties platform-stable
         return float((diff * diff).sum())
 
     # -- insertion -----------------------------------------------------------------
 
+    @array_contract("vectors: (..., d) num::any -> None")
     def add(self, vectors: np.ndarray) -> None:
         vectors = self._check_vectors(vectors, "vectors")
         if len(vectors) == 0:
@@ -105,7 +107,7 @@ class HNSWIndex(VectorIndex):
             self._max_layer = level
             return
 
-        query = vector.astype(np.float64)
+        query = vector.astype(np.float64)  # repro: noqa[REP102] f64 distance keeps graph ties platform-stable
         current = self._entry_point
         # Greedy descent through layers above the new node's level.
         for layer in range(self._max_layer, level, -1):
@@ -123,7 +125,7 @@ class HNSWIndex(VectorIndex):
                 links = self._neighbours[other][layer]
                 links.append(node)
                 if len(links) > limit:
-                    other_vec = self._vectors[other].astype(np.float64)
+                    other_vec = self._vectors[other].astype(np.float64)  # repro: noqa[REP102] f64 distance keeps graph ties platform-stable
                     ranked = sorted(
                         (self._distance(other_vec, x), x) for x in links
                     )
@@ -154,7 +156,7 @@ class HNSWIndex(VectorIndex):
         for d_base, candidate in ranked:
             if len(selected) == limit:
                 break
-            cand_vec = self._vectors[candidate].astype(np.float64)
+            cand_vec = self._vectors[candidate].astype(np.float64)  # repro: noqa[REP102] f64 distance keeps graph ties platform-stable
             dominated = any(
                 self._distance(cand_vec, kept) < d_base for kept in selected
             )
@@ -219,6 +221,7 @@ class HNSWIndex(VectorIndex):
 
     # -- query -----------------------------------------------------------------------
 
+    @array_contract("queries: (..., d) num::any, k: int -> SearchResult")
     def search(
         self, queries: np.ndarray, k: int, ef: int | None = None
     ) -> SearchResult:
@@ -226,12 +229,13 @@ class HNSWIndex(VectorIndex):
         self._check_k(k)
         ef = max(ef if ef is not None else self.ef_search, k)
         ids = np.full((len(queries), k), -1, dtype=np.int64)
-        distances = np.full((len(queries), k), np.inf, dtype=np.float64)
+        # Distance accumulator in the SearchResult contract, not storage.
+        distances = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
         if self._entry_point is None:
             return SearchResult(ids=ids, distances=distances)
 
         for qi in range(len(queries)):
-            query = queries[qi].astype(np.float64)
+            query = queries[qi].astype(np.float64)  # repro: noqa[REP102] f64 distance keeps graph ties platform-stable
             current = self._entry_point
             for layer in range(self._max_layer, 0, -1):
                 current = self._greedy_step(query, current, layer)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.contracts import array_contract
 from repro.utils.rng import as_rng
 
 __all__ = ["KMeans"]
@@ -45,6 +46,7 @@ class KMeans:
         self.centroids: np.ndarray | None = None
         self.inertia: float = float("inf")
 
+    @array_contract("points: (n, d) num::any -> any")
     def fit(self, points: np.ndarray) -> "KMeans":
         """Fit centroids to ``points`` of shape ``(n, d)``."""
         points = np.asarray(points, dtype=np.float32)
@@ -75,6 +77,7 @@ class KMeans:
         self.inertia = previous_inertia
         return self
 
+    @array_contract("points: (n, d) num::any -> (n,) i64")
     def predict(self, points: np.ndarray) -> np.ndarray:
         """Nearest-centroid id for each point."""
         if self.centroids is None:
@@ -84,6 +87,7 @@ class KMeans:
         )
         return assignments
 
+    @array_contract("points: (n, d) num::any -> (n, nlist) f64")
     def transform(self, points: np.ndarray) -> np.ndarray:
         """Squared distance from each point to every centroid, ``(n, k)``."""
         if self.centroids is None:
@@ -125,10 +129,11 @@ class KMeans:
         self, points: np.ndarray, assignments: np.ndarray, centroids: np.ndarray
     ) -> np.ndarray:
         k, d = centroids.shape
-        sums = np.zeros((k, d), dtype=np.float64)
-        counts = np.bincount(assignments, minlength=k).astype(np.float64)
+        # Centroid updates accumulate n float32 terms; f64 keeps them exact.
+        sums = np.zeros((k, d), dtype=np.float64)  # repro: noqa[REP102]
+        counts = np.bincount(assignments, minlength=k).astype(np.float64)  # repro: noqa[REP102] f64 accumulation
         np.add.at(sums, assignments, points)
-        new_centroids = centroids.astype(np.float64).copy()
+        new_centroids = centroids.astype(np.float64).copy()  # repro: noqa[REP102] f64 accumulation
         nonempty = counts > 0
         new_centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
         # Re-seed empty clusters from the farthest points.
@@ -143,8 +148,9 @@ class KMeans:
 
 def _squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Pairwise squared L2 distances, ``(len(a), len(b))``, clipped at 0."""
-    a64 = a.astype(np.float64, copy=False)
-    b64 = b.astype(np.float64, copy=False)
+    # ||a||^2+||b||^2-2ab cancels catastrophically in f32; storage stays f32.
+    a64 = a.astype(np.float64, copy=False)  # repro: noqa[REP102]
+    b64 = b.astype(np.float64, copy=False)  # repro: noqa[REP102]
     cross = a64 @ b64.T
     a_norms = (a64 * a64).sum(axis=1)[:, None]
     b_norms = (b64 * b64).sum(axis=1)[None, :]

@@ -16,6 +16,7 @@ from repro.index.base import SearchResult, VectorIndex
 from repro.index.buffer import GrowBuffer
 from repro.index.kmeans import KMeans
 from repro.index.topk import blockwise_topk
+from repro.utils.contracts import array_contract
 from repro.utils.rng import as_rng
 
 __all__ = ["PQIndex", "ProductQuantizer"]
@@ -69,6 +70,7 @@ class ProductQuantizer:
         """Bytes per encoded vector (one byte per sub-code)."""
         return self.m
 
+    @array_contract("vectors: (n, d) num::any -> None")
     def train(self, vectors: np.ndarray) -> None:
         """Learn one k-means codebook per sub-space."""
         vectors = np.asarray(vectors, dtype=np.float32)
@@ -87,6 +89,7 @@ class ProductQuantizer:
             codebooks[j] = km.centroids
         self.codebooks = codebooks
 
+    @array_contract("vectors: (n, d) num::any -> (n, m) u8")
     def encode(self, vectors: np.ndarray) -> np.ndarray:
         """Quantize ``(n, dim)`` vectors into ``(n, m)`` uint8 codes."""
         self._require_trained()
@@ -99,6 +102,7 @@ class ProductQuantizer:
             codes[:, j] = _nearest_codes(sub, self.codebooks[j])
         return codes
 
+    @array_contract("codes: (n, m) int::any -> (n, d) f32")
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """Reconstruct approximate vectors from codes."""
         self._require_trained()
@@ -112,6 +116,7 @@ class ProductQuantizer:
             ]
         return out
 
+    @array_contract("queries: (nq, d) num::any -> (nq, m, ksub) f64")
     def distance_tables(self, queries: np.ndarray) -> np.ndarray:
         """ADC lookup tables: ``(n_queries, m, ksub)`` squared distances."""
         self._require_trained()
@@ -133,6 +138,7 @@ class ProductQuantizer:
             tables[:, j, :] = np.maximum(q_norm + c_norm - 2.0 * cross, 0.0)
         return tables
 
+    @array_contract("queries: (nq, d) num::any -> (m, ksub, nq) f64")
     def scan_tables(self, queries: np.ndarray) -> np.ndarray:
         """ADC tables in scan orientation: contiguous ``(m, ksub, nq)``.
 
@@ -147,11 +153,17 @@ class ProductQuantizer:
             dtype=np.float64,  # repro: noqa[REP102]
         )
 
+    @array_contract(
+        "queries: (nq, d) num::any, codes: (n, m) int::any -> (nq, n) f64::any"
+    )
     def adc_distances(self, queries: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Asymmetric squared distances queries x codes, ``(nq, n)``."""
         return self.scan_codes(self.scan_tables(queries), codes)
 
     @staticmethod
+    @array_contract(
+        "tables_t: (m, ksub, nq) f64, codes: (n, m) int::any -> (nq, n) f64::any"
+    )
     def scan_codes(tables_t: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """ADC block scan: gather + reduce over sub-quantizers, ``(nq, n)``.
 
@@ -182,6 +194,9 @@ class ProductQuantizer:
         return out.T
 
     @staticmethod
+    @array_contract(
+        "tables: (nq, m, ksub) f64::any, codes: (n, m) int::any -> (nq, n) f64::any"
+    )
     def lookup_distances(tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Sum per-sub-space table entries for each code row.
 
@@ -243,15 +258,18 @@ class PQIndex(VectorIndex):
         """The stored code matrix (read-only view; re-fetch after ``add``)."""
         return self._store.view
 
+    @array_contract("vectors: (..., d) num::any -> None")
     def train(self, vectors: np.ndarray) -> None:
         self.pq.train(self._check_vectors(vectors, "training vectors"))
 
+    @array_contract("vectors: (..., d) num::any -> None")
     def add(self, vectors: np.ndarray) -> None:
         if not self.is_trained:
             raise RuntimeError("PQIndex.add called before train()")
         vectors = self._check_vectors(vectors, "vectors")
         self._store.append(self.pq.encode(vectors))
 
+    @array_contract("queries: (..., d) num::any, k: int -> SearchResult")
     def search(
         self, queries: np.ndarray, k: int, block_size: int | None = None
     ) -> SearchResult:
@@ -273,6 +291,7 @@ class PQIndex(VectorIndex):
         )
         return SearchResult(ids=ids, distances=distances)
 
+    @array_contract("idx: int -> (d,) f32")
     def reconstruct(self, idx: int) -> np.ndarray:
         """Approximate stored vector for row ``idx`` (decoded from codes)."""
         return self.pq.decode(self._store.view[idx : idx + 1])[0]

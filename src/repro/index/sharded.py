@@ -82,6 +82,7 @@ import numpy as np
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.shm import AttachedSegments, ShmRegistry
 from repro.index.topk import merge_topk
+from repro.utils.contracts import array_contract
 
 __all__ = [
     "AllShardsFailedError",
@@ -624,6 +625,7 @@ class ShardedIndex(VectorIndex):
     def ntotal(self) -> int:
         return self._ntotal
 
+    @array_contract("vectors: (..., d) num::any -> None")
     def train(self, vectors: np.ndarray) -> None:
         """Train every shard on the full matrix (identical quantizers)."""
         vectors = self._check_vectors(vectors, "training vectors")
@@ -631,6 +633,7 @@ class ShardedIndex(VectorIndex):
         for shard in self._shards:
             shard.train(vectors)
 
+    @array_contract("vectors: (..., d) num::any -> None")
     def add(self, vectors: np.ndarray) -> None:
         """Stripe a batch round-robin by global arrival order."""
         vectors = self._check_vectors(vectors, "vectors")
@@ -789,6 +792,7 @@ class ShardedIndex(VectorIndex):
                 outcomes.append((result, False, None))
         return outcomes
 
+    @array_contract("queries: (..., d) num::any, k: int -> SearchResult")
     def search(self, queries: np.ndarray, k: int) -> SearchResult:
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)

@@ -35,6 +35,8 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.utils.contracts import array_contract
+
 __all__ = [
     "AttachedSegments",
     "ShmArraySpec",
@@ -86,6 +88,7 @@ class ShmRegistry:
         """Payload bytes across all owned segments."""
         return sum(seg.size for seg in self._segments.values())
 
+    @array_contract("array: (...) any::any -> any")
     def share(self, array: np.ndarray) -> ShmArraySpec:
         """Copy ``array`` into a fresh owned segment; return its spec."""
         if self._closed:
@@ -110,6 +113,7 @@ class ShmRegistry:
             name=name, shape=tuple(array.shape), dtype=array.dtype.str
         )
 
+    @array_contract("spec: any -> (...) any")
     def view(self, spec: ShmArraySpec) -> np.ndarray:
         """Owner-side read-only view of a segment this registry created."""
         seg = self._segments[spec.name]
@@ -154,6 +158,7 @@ class AttachedSegments:
     def __init__(self) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
 
+    @array_contract("spec: any -> (...) any")
     def attach(self, spec: ShmArraySpec) -> np.ndarray:
         """Map ``spec``'s segment and return a read-only ndarray view.
 
@@ -191,6 +196,7 @@ class AttachedSegments:
             pass
 
 
+@array_contract("spec: any -> any")
 def attach(spec: ShmArraySpec) -> tuple[np.ndarray, AttachedSegments]:
     """One-spec convenience: mapped read-only array + its detach handle."""
     holder = AttachedSegments()

@@ -49,6 +49,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.contracts import array_contract
+
 __all__ = ["DEFAULT_BLOCK_SIZE", "block_topk", "blockwise_topk", "merge_topk"]
 
 #: Default scan granularity: 4096 rows/block keeps a 256-query float64
@@ -76,6 +78,10 @@ def _rank_topk(
     )
 
 
+@array_contract(
+    "distances: (nq, b) num::any, k: int, id_offset: int"
+    " -> (nq, k) i64, (nq, k) num"
+)
 def block_topk(
     distances: np.ndarray, k: int, id_offset: int = 0
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -128,6 +134,11 @@ def block_topk(
     return pad_ids, pad_d
 
 
+@array_contract(
+    "ids_a: (nq, ka) i64::any, d_a: (nq, ka) num::any,"
+    " ids_b: (nq, kb) i64::any, d_b: (nq, kb) num::any, k: int"
+    " -> (nq, _) i64, (nq, _) num"
+)
 def merge_topk(
     ids_a: np.ndarray,
     d_a: np.ndarray,
@@ -154,6 +165,10 @@ def merge_topk(
     return _rank_topk(ids, distances, k)
 
 
+@array_contract(
+    "score_block: callable, ntotal: int, k: int, num_queries: int"
+    " -> (num_queries, k) i64, (num_queries, k) num"
+)
 def blockwise_topk(
     score_block,
     ntotal: int,

@@ -21,6 +21,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.utils.contracts import array_contract
+
 __all__ = ["CacheStats", "QueryCache"]
 
 
@@ -124,6 +126,7 @@ class QueryCache:
 
     # -- embedding store --------------------------------------------------------
 
+    @array_contract("query: str -> any")
     def get_embedding(self, query: str) -> np.ndarray | None:
         """Cached embedding for ``query`` or ``None`` (counts hit/miss).
 
@@ -133,6 +136,7 @@ class QueryCache:
         with self._lock:
             return self._embeddings.get(query)
 
+    @array_contract("query: str, vector: (d,) num::any -> None")
     def put_embedding(self, query: str, vector: np.ndarray) -> None:
         """Store ``query``'s embedding (copied and frozen read-only)."""
         entry = np.array(vector, copy=True)
@@ -140,6 +144,7 @@ class QueryCache:
         with self._lock:
             self._embeddings.put(query, entry)
 
+    @array_contract("normalized: any, embed_fn: callable -> (n, d) f32::any")
     def get_embeddings(
         self,
         normalized: list[str],

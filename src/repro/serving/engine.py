@@ -45,6 +45,7 @@ from repro.index.sharded import ShardedIndex
 from repro.lookup.base import Candidate, LookupService
 from repro.lookup.cache import QueryCache
 from repro.text.tokenize import normalize
+from repro.utils.contracts import array_contract
 from repro.utils.timing import Stopwatch
 
 __all__ = ["LookupDeadlineExceeded", "LookupEngine", "PendingLookup"]
@@ -390,6 +391,7 @@ class LookupEngine(LookupService):
         with self.stage_times["rank"]:
             return self._rank(result.ids, result.distances, k)
 
+    @array_contract("normalized: any -> (n, d) f32::any")
     def _embed(self, normalized: list[str]) -> np.ndarray:
         """Embed normalized queries, memoizing repeats when cache enabled."""
         if self.cache is None:
@@ -398,6 +400,9 @@ class LookupEngine(LookupService):
             normalized, self.pipeline.embed_queries
         )
 
+    @array_contract(
+        "ids: (nq, kr) i64::any, distances: (nq, kr) num::any, k: int -> any"
+    )
     def _rank(
         self, ids: np.ndarray, distances: np.ndarray, k: int
     ) -> list[list[Candidate]]:

@@ -1,0 +1,415 @@
+"""REP8xx static array-contract rules: grammar, pass, fixtures, CLI.
+
+The interprocedural pass is exercised through ``lint_source`` exactly
+like every other project rule: the fixture files carry a trailing
+``# REP80x`` marker on each violating line, and the tests assert the
+pass flags those lines — and nothing else.  The runtime half of the
+family lives in ``tests/testing/test_contract_validator.py``; the
+cross-validation test there asserts the two halves agree on the fixture
+pair.
+"""
+
+import pytest
+
+from repro.analysis import PROJECT_RULES, RULES, lint_source
+from repro.utils.contracts import (
+    ArraySpec,
+    ContractError,
+    ScalarSpec,
+    parse_contract,
+)
+
+from tests.analysis.fixtures import fixture_source
+
+ARRAY_PATH = "src/repro/index/fake.py"
+
+
+def array_findings(source, path=ARRAY_PATH):
+    return lint_source(source, path=path, select=["REP8"])
+
+
+class TestContractGrammar:
+    def test_full_contract_parses(self):
+        contract = parse_contract(
+            "(nq, d) f32, k: int -> (nq, k) f32, (nq, k) i64"
+        )
+        queries, k = contract.params
+        assert isinstance(queries, ArraySpec)
+        assert queries.dims == ("nq", "d")
+        assert queries.dtype == "f32"
+        assert queries.layout == "C"
+        assert isinstance(k, ScalarSpec) and k.kind == "int"
+        assert [r.dims for r in contract.returns] == [("nq", "k")] * 2
+        assert [r.dtype for r in contract.returns] == ["f32", "i64"]
+
+    def test_named_params_and_layout_opt_out(self):
+        contract = parse_contract("ids: (n,) i64::any, k: int -> None")
+        ids = contract.params[0]
+        assert ids.name == "ids"
+        assert ids.dims == ("n",)
+        assert ids.layout == "any"
+        assert contract.returns is None
+
+    def test_leading_ellipsis_and_wildcard_dims(self):
+        contract = parse_contract("(..., d) num::any, (n, _) any -> any")
+        assert contract.params[0].dims == ("...", "d")
+        assert contract.params[1].dims == ("n", "_")
+        assert contract.returns is None  # opaque 'any' return
+
+    def test_bare_ellipsis_is_any_ndarray(self):
+        contract = parse_contract("(...) any::any -> (...) any")
+        assert contract.params[0].dims == ("...",)
+        assert contract.returns[0].dims == ("...",)
+
+    def test_integer_dims(self):
+        contract = parse_contract("(3, d) f32 -> None")
+        assert contract.params[0].dims == (3, "d")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "(nq d) f32 -> None",  # missing comma
+            "(nq, d) f99 -> None",  # unknown dtype token
+            "(nq, d) f32",  # no arrow
+            "(a, ..., b) f32 -> None",  # ellipsis must lead
+            "(n,) f32 -> ",  # empty returns
+            "(n,) f32 -> (n,) f32, None",  # mixed array/opaque returns
+            "(n,) f32 -> (n,) f32 junk",  # trailing junk on a return spec
+            "(n,) f32::F -> None",  # unknown layout
+        ],
+    )
+    def test_rejects_malformed_contracts(self, bad):
+        with pytest.raises(ContractError):
+            parse_contract(bad)
+
+    def test_decorator_rejects_param_name_mismatch(self):
+        from repro.utils.contracts import array_contract
+
+        with pytest.raises(ContractError):
+
+            @array_contract("wrong: (n,) f32 -> None")
+            def f(ids):
+                return None
+
+    def test_decorator_rejects_too_many_entries(self):
+        from repro.utils.contracts import array_contract
+
+        with pytest.raises(ContractError):
+
+            @array_contract("(n,) f32, (m,) f32 -> None")
+            def f(only):
+                return None
+
+
+class TestRegistry:
+    def test_rules_registered_with_severities(self):
+        for rule_id in ("REP801", "REP802", "REP803", "REP804"):
+            assert PROJECT_RULES[rule_id].severity == "error"
+        assert RULES["REP805"].severity == "warning"
+
+
+class TestFixturePair:
+    def test_every_marked_line_flagged(self):
+        source = fixture_source("arrays_violations.py")
+        findings = lint_source(
+            source,
+            path="repro/index/arrays_violations.py",
+            select=["REP8"],
+        )
+        lines = source.splitlines()
+        flagged = {(f.rule, f.line) for f in findings}
+        expected = {
+            (rule, number)
+            for number, text in enumerate(lines, start=1)
+            for rule in ("REP801", "REP802", "REP803", "REP804", "REP805")
+            if f"# {rule}" in text
+        }
+        assert expected, "fixture lost its # REP80x markers"
+        assert flagged == expected
+
+    def test_clean_fixture_is_silent(self):
+        findings = lint_source(
+            fixture_source("arrays_clean.py"),
+            path="repro/index/arrays_clean.py",
+            select=["REP8"],
+        )
+        assert findings == []
+
+    def test_noqa_suppresses_array_findings(self):
+        source = fixture_source("arrays_violations.py").replace(
+            "# REP802 float64 into an f32 kernel",
+            "# repro: noqa[REP802] deliberate upcast",
+        )
+        findings = lint_source(
+            source, path="repro/index/arrays_violations.py", select=["REP8"]
+        )
+        assert "REP802" not in {f.rule for f in findings}
+        assert "REP801" in {f.rule for f in findings}
+
+
+class TestMissingContractRule:
+    def test_public_array_api_without_contract(self):
+        findings = array_findings(
+            "import numpy as np\n"
+            "class Index:\n"
+            "    def search(self, queries: np.ndarray, k: int):\n"
+            "        return queries\n"
+        )
+        assert [f.rule for f in findings] == ["REP805"]
+        assert "search" in findings[0].message
+
+    def test_private_and_property_members_exempt(self):
+        findings = array_findings(
+            "import numpy as np\n"
+            "class Index:\n"
+            "    def _scan(self, queries: np.ndarray):\n"
+            "        return queries\n"
+            "    @property\n"
+            "    def vectors(self) -> np.ndarray:\n"
+            "        return self._v\n"
+            "class _Private:\n"
+            "    def search(self, queries: np.ndarray):\n"
+            "        return queries\n"
+        )
+        assert findings == []
+
+    def test_non_array_signature_exempt(self):
+        findings = array_findings(
+            "class Index:\n"
+            "    def ntotal(self) -> int:\n"
+            "        return 0\n"
+        )
+        assert findings == []
+
+    def test_invalid_contract_reported(self):
+        findings = array_findings(
+            "import numpy as np\n"
+            "from repro.utils.contracts import array_contract\n"
+            "@array_contract('(nq d) f32 -> None')\n"
+            "def rank(queries: np.ndarray):\n"
+            "    return queries\n"
+        )
+        assert [f.rule for f in findings] == ["REP805"]
+        assert "invalid array contract" in findings[0].message
+
+    def test_outside_array_packages_exempt(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "def helper(x: np.ndarray):\n"
+            "    return x\n",
+            path="src/repro/nn/fake.py",
+            select=["REP8"],
+        )
+        assert findings == []
+
+
+class TestInterproceduralPass:
+    KERNEL = (
+        "import numpy as np\n"
+        "from repro.utils.contracts import array_contract\n"
+        "@array_contract('(nq, d) f32, k: int -> (nq, k) f32')\n"
+        "def rank(queries, k):\n"
+        "    return np.ascontiguousarray(queries[:, :k])\n"
+    )
+
+    def test_keyword_arguments_checked(self):
+        findings = array_findings(
+            self.KERNEL
+            + "def caller():\n"
+            + "    q = np.zeros((2, 8))\n"
+            + "    return rank(queries=q, k=3)\n"
+        )
+        assert [f.rule for f in findings] == ["REP802"]
+
+    def test_facts_flow_through_locals(self):
+        findings = array_findings(
+            self.KERNEL
+            + "def caller():\n"
+            + "    q = np.zeros((2, 8), dtype=np.float32)\n"
+            + "    t = q.T\n"
+            + "    return rank(t, 3)\n"
+        )
+        assert {f.rule for f in findings} == {"REP803"}
+
+    def test_contracted_returns_feed_downstream_calls(self):
+        findings = array_findings(
+            self.KERNEL
+            + "@array_contract('(n,) f32 -> None')\n"
+            + "def consume(row):\n"
+            + "    return None\n"
+            + "def caller():\n"
+            + "    q = np.zeros((2, 8), dtype=np.float32)\n"
+            + "    scores = rank(q, 3)\n"
+            + "    return consume(scores)\n"
+        )
+        assert [f.rule for f in findings] == ["REP801"]
+
+    def test_self_method_resolution(self):
+        findings = array_findings(
+            "import numpy as np\n"
+            "from repro.utils.contracts import array_contract\n"
+            "class Index:\n"
+            "    @array_contract('(nq, d) f32, k: int -> (nq, k) f32')\n"
+            "    def rank(self, queries, k):\n"
+            "        return np.ascontiguousarray(queries[:, :k])\n"
+            "    def _search(self):\n"
+            "        q = np.zeros((2, 8))\n"
+            "        return self.rank(q, 3)\n"
+        )
+        assert [f.rule for f in findings] == ["REP802"]
+
+    def test_symbol_unification_catches_transpose(self):
+        findings = array_findings(
+            "import numpy as np\n"
+            "from repro.utils.contracts import array_contract\n"
+            "@array_contract('(a, b) f32::any, (b, a) f32::any -> None')\n"
+            "def paired(x, y):\n"
+            "    return None\n"
+            "def caller():\n"
+            "    q = np.zeros((3, 4), dtype=np.float32)\n"
+            "    return paired(q, q)\n"
+        )
+        assert [f.rule for f in findings] == ["REP801"]
+
+    def test_fresh_symbols_do_not_conflict(self):
+        # Two independent call sites returning the same symbolic dim must
+        # not be unified: fresh per-call symbols keep this silent.
+        findings = array_findings(
+            self.KERNEL
+            + "@array_contract('(n,) f32::any, (n,) f32::any -> None')\n"
+            + "def fold(a, b):\n"
+            + "    return None\n"
+            + "def caller(q1, q2):\n"
+            + "    a = rank(q1, 3)\n"
+            + "    b = rank(q2, 3)\n"
+            + "    return fold(a[0], b[0])\n"
+        )
+        assert findings == []
+
+    def test_narrow_int_arithmetic_scoped_to_array_packages(self):
+        body = (
+            "import numpy as np\n"
+            "def remap(ids):\n"
+            "    local = np.arange(6, dtype=np.int32)\n"
+            "    return local * 8\n"
+        )
+        inside = array_findings(body)
+        assert [f.rule for f in inside] == ["REP804"]
+        outside = lint_source(
+            body, path="src/repro/kg/fake.py", select=["REP8"]
+        )
+        assert outside == []
+
+    def test_int64_arithmetic_clean(self):
+        findings = array_findings(
+            "import numpy as np\n"
+            "def remap(ids):\n"
+            "    local = np.arange(6, dtype=np.int64)\n"
+            "    return local * 8 + 3\n"
+        )
+        assert findings == []
+
+
+class TestRepoIsClean:
+    def test_repo_has_no_new_rep8_findings(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_paths, load_baseline, partition_findings
+
+        root = Path(__file__).resolve().parents[2]
+        findings = lint_paths([str(root / "src" / "repro")], select=["REP8"])
+        baseline = load_baseline(str(root / "tools" / "lint_baseline.json"))
+        new, _ = partition_findings(findings, baseline)
+        assert new == []
+
+
+class TestArraycheckCommand:
+    def write_index_module(self, tmp_path, source):
+        pkg = tmp_path / "repro" / "index"
+        pkg.mkdir(parents=True)
+        target = pkg / "module.py"
+        target.write_text(source)
+        return target
+
+    def test_repo_passes_its_own_arraycheck(self, capsys):
+        from pathlib import Path
+
+        from repro.cli import main
+
+        root = Path(__file__).resolve().parents[2]
+        rc = main([
+            "arraycheck", str(root / "src" / "repro"),
+            "--baseline", str(root / "tools" / "lint_baseline.json"),
+        ])
+        assert rc == 0
+        assert "arraycheck OK" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self.write_index_module(
+            tmp_path,
+            "import numpy as np\n"
+            "from repro.utils.contracts import array_contract\n"
+            "@array_contract('(nq, d) f32 -> None')\n"
+            "def rank(queries):\n"
+            "    return None\n"
+            "def caller():\n"
+            "    return rank(np.zeros((2, 3)))\n",
+        )
+        rc = main(["arraycheck", str(tmp_path), "--no-baseline"])
+        assert rc == 1
+        assert "REP802" in capsys.readouterr().out
+
+    def test_only_rep8_rules_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # A dtype lint (REP101) must not surface through arraycheck.
+        self.write_index_module(
+            tmp_path, "import numpy as np\nx = np.zeros(3)\n"
+        )
+        rc = main(["arraycheck", str(tmp_path), "--no-baseline"])
+        assert rc == 0
+        assert "arraycheck OK" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        self.write_index_module(
+            tmp_path,
+            "import numpy as np\n"
+            "class Index:\n"
+            "    def search(self, queries: np.ndarray):\n"
+            "        return queries\n",
+        )
+        rc = main([
+            "arraycheck", str(tmp_path), "--no-baseline", "--format", "json",
+        ])
+        assert rc == 1
+        document = json.loads(capsys.readouterr().out)
+        assert [r["rule"] for r in document["findings"]] == ["REP805"]
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(["arraycheck", str(tmp_path / "nope"), "--no-baseline"])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_lint_profile_arrays(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self.write_index_module(
+            tmp_path,
+            "import numpy as np\n"
+            "class Index:\n"
+            "    def search(self, queries: np.ndarray):\n"
+            "        return queries\n",
+        )
+        rc = main([
+            "lint", str(tmp_path), "--profile", "arrays", "--no-baseline",
+        ])
+        assert rc == 1
+        assert "REP805" in capsys.readouterr().out

@@ -41,8 +41,17 @@ class TestRegistry:
             "REP704",
             "REP705",
             "REP706",
+            "REP805",
         }
-        assert set(PROJECT_RULES) == {"REP602", "REP701", "REP703"}
+        assert set(PROJECT_RULES) == {
+            "REP602",
+            "REP701",
+            "REP703",
+            "REP801",
+            "REP802",
+            "REP803",
+            "REP804",
+        }
 
     def test_registry_keys_match_instances(self):
         for rule_id, rule in {**RULES, **PROJECT_RULES}.items():

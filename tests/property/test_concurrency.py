@@ -84,7 +84,10 @@ class TestQueryCacheConcurrency:
         def embed(keys):
             with lock:
                 calls.append(list(keys))
-            return np.array([[float(k[1:])] for k in keys])
+            # float32, like the production embed path the cache serves.
+            return np.array(
+                [[float(k[1:])] for k in keys], dtype=np.float32
+            )
 
         def worker(ti):
             rng = case_rng(13, ti)
