@@ -1,0 +1,323 @@
+"""Tiered-router benchmark: mixed-workload latency, tier costs, type filters.
+
+Writes ``BENCH_router.json`` at the repo root (override with ``--out``).
+Measurement families, matching the router's design levers:
+
+1. **Mixed-workload latency** — per-query wall times over a realistic
+   annotation mix (exact label hits, short/symbolic strings, typo'd
+   labels) served one query at a time, for the pure-embedding engine and
+   the routed engine.  The headline number is the p50: the router's
+   exact tier answers the head of the mix in hash-probe time, so its p50
+   must sit *strictly below* the pure-embedding baseline (asserted).
+2. **Per-tier costs** — seconds per query for the exact probe, the fuzzy
+   tier, and the full embed+search+rank ANN path, from the router's tier
+   stopwatches and the engine's stage stopwatches.  The exact tier must
+   be >= 10x cheaper per query than the ANN path (asserted).
+3. **Type-constrained lookups** — rows scanned under ``type_filter`` on
+   a :class:`TypePartitionedIndex` versus the full index, plus an
+   identity check: partition-restricted results must match a full-scan
+   engine's post-filtered results (same entities, scores to float
+   tolerance — asserted).
+4. **Accuracy** — top-10 recall of both engines on the ground-truthed
+   part of the mix; the router must not lose accuracy (asserted).
+
+``--smoke`` shrinks the workload to CI scale; the checked-in
+``BENCH_router.json`` comes from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+for _var in (
+    "OPENBLAS_NUM_THREADS",
+    "OMP_NUM_THREADS",
+    "MKL_NUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
+import numpy as np  # noqa: E402
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT))
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.config import EmbLookupConfig  # noqa: E402
+from repro.core.pipeline import EmbLookup  # noqa: E402
+from repro.evaluation.metrics import candidate_recall_at_k  # noqa: E402
+from repro.index.partitioned import TypePartitionedIndex  # noqa: E402
+from repro.kg import SyntheticKGConfig, generate_kg  # noqa: E402
+from repro.serving.engine import LookupEngine  # noqa: E402
+from repro.text.noise import NoiseModel  # noqa: E402
+from tools.bench_json import write_bench_json  # noqa: E402
+
+K = 10
+
+
+def build_workload(kg, num_queries: int, seed: int):
+    """A heavy-tailed annotation mix over ``kg``'s entities.
+
+    Returns ``(queries, truth, kinds)``: 50% verbatim labels/aliases
+    (exact-tier food), 25% typo'd labels (ANN-tier food), 25% short
+    prefixes (fuzzy-tier food).  Every query keeps its source entity as
+    ground truth so both engines are scored on the same workload.
+    """
+    rng = np.random.default_rng(seed)
+    entities = list(kg.entities())
+    noise = NoiseModel(max_edits=2, seed=seed + 1)
+    queries, truth, kinds = [], [], []
+    for _ in range(num_queries):
+        entity = entities[int(rng.integers(0, len(entities)))]
+        roll = rng.random()
+        if roll < 0.5:
+            mentions = entity.mentions
+            queries.append(mentions[int(rng.integers(0, len(mentions)))])
+            kinds.append("exact")
+        elif roll < 0.75:
+            queries.append(noise.corrupt(entity.label))
+            kinds.append("typo")
+        else:
+            queries.append(entity.label[:3])
+            kinds.append("short")
+        truth.append(entity.entity_id)
+    return queries, truth, kinds
+
+
+def per_query_times(engine, queries: list[str]) -> np.ndarray:
+    """Serve one query at a time, recording each wall time."""
+    times = np.empty(len(queries))
+    for i, query in enumerate(queries):
+        start = time.perf_counter()
+        engine.lookup_batch([query], K)
+        times[i] = time.perf_counter() - start
+    return times
+
+
+def percentiles(times: np.ndarray) -> dict[str, float]:
+    return {
+        "p50_us": float(np.percentile(times, 50) * 1e6),
+        "p90_us": float(np.percentile(times, 90) * 1e6),
+        "p99_us": float(np.percentile(times, 99) * 1e6),
+        "mean_us": float(times.mean() * 1e6),
+    }
+
+
+def bench_latency(baseline, routed, queries, truth):
+    """Mixed-workload per-query latency plus top-10 recall, both engines."""
+    out = {}
+    for name, engine in (("pure_embedding", baseline), ("router", routed)):
+        engine.reset_timers()
+        times = per_query_times(engine, queries)
+        rows = engine.lookup_batch(queries, K)
+        recall = candidate_recall_at_k(
+            [[c.entity_id for c in row] for row in rows], truth, K
+        )
+        out[name] = {**percentiles(times), "recall_at_10": recall}
+    speedup = out["pure_embedding"]["p50_us"] / out["router"]["p50_us"]
+    out["p50_speedup"] = speedup
+    assert out["router"]["p50_us"] < out["pure_embedding"]["p50_us"], (
+        "router p50 must be strictly below the pure-embedding baseline"
+    )
+    assert out["router"]["recall_at_10"] >= out["pure_embedding"][
+        "recall_at_10"
+    ], "router must not lose accuracy on the mixed workload"
+    return out
+
+
+def bench_tiers(routed, queries):
+    """Per-tier seconds/query from the tier and stage stopwatches."""
+    routed.reset_timers()
+    for query in queries:
+        routed.lookup_batch([query], K)
+    stats = routed.serving_stats()
+    tiers = routed.router.tier_seconds()
+    stages = routed.stage_seconds()
+    total = len(queries)
+    exact_per_probe = tiers["exact"] / total  # every query is probed
+    fuzzy_per_query = (
+        tiers["fuzzy"] / stats["fuzzy_routed"] if stats["fuzzy_routed"] else 0.0
+    )
+    ann_seconds = stages["embed"] + stages["search"] + stages["rank"]
+    ann_per_query = (
+        ann_seconds / stats["ann_routed"] if stats["ann_routed"] else 0.0
+    )
+    assert stats["ann_routed"], "workload never reached the ANN tier"
+    assert ann_per_query >= 10 * exact_per_probe, (
+        f"exact probe ({exact_per_probe * 1e6:.2f}us) must be >=10x cheaper "
+        f"than the ANN path ({ann_per_query * 1e6:.2f}us)"
+    )
+    return {
+        "queries": total,
+        "routed": {
+            "exact_hits": stats["exact_hits"],
+            "fuzzy_routed": stats["fuzzy_routed"],
+            "ann_routed": stats["ann_routed"],
+        },
+        "exact_probe_us_per_query": exact_per_probe * 1e6,
+        "fuzzy_us_per_query": fuzzy_per_query * 1e6,
+        "ann_us_per_query": ann_per_query * 1e6,
+        "ann_over_exact": ann_per_query / exact_per_probe,
+    }
+
+
+def bench_type_filter(pipeline, routed, queries):
+    """Partition-scan savings and the full-scan identity check."""
+    kg = pipeline.kg
+    type_map = routed._type_map
+    index = routed.index
+    assert isinstance(index, TypePartitionedIndex)
+    # The narrowest and the widest populated types bracket the savings.
+    coverage = sorted(
+        (index.rows_in(type_map.partitions_for(t.type_id)), t.type_id)
+        for t in kg.types()
+        if type_map.allowed(t.type_id)
+    )
+    fallback = LookupEngine.from_pipeline(pipeline, router=True)
+    rows_by_type = {}
+    identical = True
+    for rows_in, tid in (coverage[0], coverage[-1]):
+        before = routed.serving_stats()
+        # One query per call: every ANN-routed query then maps to exactly
+        # one typed search (exact/fuzzy-tier hits never scan the index).
+        got = [
+            routed.lookup_batch([query], K, type_filter=tid)[0]
+            for query in queries
+        ]
+        after = routed.serving_stats()
+        scanned = (
+            after["type_filtered_rows_scanned"]
+            - before["type_filtered_rows_scanned"]
+        )
+        ann_routed = after["ann_routed"] - before["ann_routed"]
+        assert ann_routed > 0, "typed workload never reached the ANN scan"
+        assert scanned == rows_in * ann_routed, (
+            "typed scan must touch exactly the matching partitions' rows"
+        )
+        want = fallback.lookup_batch(queries, K, type_filter=tid)
+        for got_row, want_row in zip(got, want):
+            if [c.entity_id for c in got_row] != [
+                c.entity_id for c in want_row
+            ]:
+                identical = False
+            elif not np.allclose(
+                [c.score for c in got_row],
+                [c.score for c in want_row],
+                rtol=1e-6,
+                atol=1e-9,
+            ):
+                identical = False
+        rows_by_type[tid] = {
+            "rows_scanned_per_query": rows_in,
+            "fraction_of_index": rows_in / index.ntotal,
+        }
+    assert identical, (
+        "partition-restricted results diverged from post-filtered full scan"
+    )
+    return {
+        "index_rows": index.ntotal,
+        "per_type": rows_by_type,
+        "identical_to_post_filtered_full_scan": identical,
+    }
+
+
+def main(argv=None) -> int:
+    """Run the router benchmark and write BENCH_router.json."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=ROOT / "BENCH_router.json",
+        help="output JSON path",
+    )
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        num_entities, num_queries = 300, 400
+        config = EmbLookupConfig(
+            epochs=4, triplets_per_entity=10, fasttext_epochs=6,
+            batch_size=64, seed=2,
+        )
+    else:
+        num_entities, num_queries = 2000, 3000
+        config = EmbLookupConfig(
+            epochs=8, triplets_per_entity=20, fasttext_epochs=8,
+            batch_size=128, seed=2,
+        )
+
+    kg = generate_kg(SyntheticKGConfig(num_entities=num_entities, seed=args.seed))
+    pipeline = EmbLookup(config)
+    pipeline.fit(kg)
+    queries, truth, kinds = build_workload(kg, num_queries, args.seed)
+    mix = {kind: kinds.count(kind) for kind in ("exact", "typo", "short")}
+    print(
+        f"workload: {len(queries)} queries over {num_entities} entities "
+        f"(mix={mix})"
+    )
+
+    baseline = LookupEngine.from_pipeline(pipeline)
+    routed = LookupEngine.from_pipeline(
+        pipeline, partition_by_type=True, router=True
+    )
+
+    # Warm both engines (first call pays numpy/BLAS one-time costs).
+    baseline.lookup_batch(queries[:8], K)
+    routed.lookup_batch(queries[:8], K)
+
+    latency = bench_latency(baseline, routed, queries, truth)
+    for name in ("pure_embedding", "router"):
+        row = latency[name]
+        print(
+            f"  {name:15s} p50={row['p50_us']:8.1f}us "
+            f"p99={row['p99_us']:9.1f}us recall@10={row['recall_at_10']:.3f}"
+        )
+    print(f"  p50 speedup: {latency['p50_speedup']:.1f}x")
+
+    tiers = bench_tiers(routed, queries)
+    print(
+        f"  tiers: exact={tiers['exact_probe_us_per_query']:.2f}us "
+        f"fuzzy={tiers['fuzzy_us_per_query']:.1f}us "
+        f"ann={tiers['ann_us_per_query']:.1f}us "
+        f"(ann/exact={tiers['ann_over_exact']:.0f}x)"
+    )
+
+    type_filter = bench_type_filter(pipeline, routed, queries[:32])
+    for tid, row in type_filter["per_type"].items():
+        print(
+            f"  type_filter={tid}: scans {row['rows_scanned_per_query']} of "
+            f"{type_filter['index_rows']} rows "
+            f"({row['fraction_of_index']:.1%})"
+        )
+
+    metrics = {
+        "smoke": args.smoke,
+        "workload": {
+            "num_entities": num_entities,
+            "num_queries": num_queries,
+            "k": K,
+            "seed": args.seed,
+            "mix": mix,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "latency": latency,
+        "tier_costs": tiers,
+        "type_filter": type_filter,
+    }
+    path = write_bench_json(args.out, "router", metrics)
+    print(f"wrote {path}")
+    routed.close()
+    baseline.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,7 +53,11 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.index.flat import FlatIndex  # noqa: E402
 from repro.index.pq import PQIndex  # noqa: E402
 from repro.index.sharded import ShardedIndex  # noqa: E402
-from repro.index.topk import block_topk, blockwise_topk  # noqa: E402
+from repro.index.topk import (  # noqa: E402
+    auto_block_size,
+    block_topk,
+    blockwise_topk,
+)
 from repro.lookup.cache import QueryCache  # noqa: E402
 from tools.bench_json import write_bench_json  # noqa: E402
 
@@ -109,6 +113,20 @@ def bench_scans(data, queries, k, block_sizes, repeats):
             "seconds": sec,
             "queries_per_sec": nq / sec,
         }
+    # The cache-budget heuristic (block_size=None): the largest
+    # power-of-two block whose score tile stays inside the LLC budget —
+    # this is what fixed the blockwise-8192 regression at nq=256.
+    index = FlatIndex(data.shape[1])
+    index.add(data)
+    sec, result = timed(lambda: index.search(queries, k), repeats)
+    assert np.array_equal(result.ids, ref_ids), (
+        "auto-block scan diverged from full scan"
+    )
+    scans["blockwise_auto"] = {
+        "seconds": sec,
+        "queries_per_sec": nq / sec,
+        "block_size": auto_block_size(nq),
+    }
     return scans, shard_ref_ids, full_s
 
 

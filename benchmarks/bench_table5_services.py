@@ -26,6 +26,7 @@ from repro.lookup.levenshtein import LevenshteinLookup
 from repro.lookup.lsh_lookup import LSHStringLookup
 from repro.lookup.qgram import QGramLookup
 from repro.lookup.remote import RemoteServiceModel, SimulatedRemoteLookup
+from repro.lookup.router import LookupRouter
 from repro.text.noise import NoiseModel
 
 K = 10
@@ -99,6 +100,25 @@ def table5(kg_wikidata, el_wikidata, workload):
                 "base_noisy": base_noisy_f,
             }
         )
+    # The tiered router *on top of* EmbLookup (ISSUE 9): exact hits
+    # short-circuit the embedding path, short/symbolic strings go to
+    # q-gram, the rest falls through to the same EmbLookup ANN tier.  A
+    # speedup_cpu below 1.0 means it beats pure EmbLookup on this
+    # workload while the accuracy columns must not regress.
+    router = LookupRouter.build(
+        kg_wikidata, ann=EmbLookupService(el_wikidata), fuzzy="qgram"
+    )
+    router_clean_f, router_clean_t = _success(router, clean, truth)
+    router_noisy_f, router_noisy_t = _success(router, noisy, truth)
+    rows.append(
+        {
+            "name": "TieredRouter",
+            "speedup_cpu": (router_clean_t + router_noisy_t) / el_time,
+            "speedup_gpu": (router_clean_t + router_noisy_t) / (el_gpu_t * 2),
+            "base_clean": router_clean_f,
+            "base_noisy": router_noisy_f,
+        }
+    )
     return rows, el_clean_f, el_noisy_f
 
 
@@ -154,3 +174,13 @@ def test_table5_lookup_services(benchmark, table5):
     # (which pay 1-2 orders of magnitude more time for that accuracy; at
     # this KG scale the scans are effectively exact, see EXPERIMENTS.md).
     assert el_noisy > by_name["FuzzyWuzzy"]["base_noisy"] - 0.3
+
+    # Shape 4 (ISSUE 9): the tiered router must be strictly faster than
+    # pure EmbLookup on this workload (clean queries are mostly exact
+    # hits that never pay the embedding tower) at no accuracy cost —
+    # exact hits cannot miss, and ANN-routed queries get EmbLookup's own
+    # answers.
+    router = by_name["TieredRouter"]
+    assert router["speedup_cpu"] < 1.0
+    assert router["base_clean"] >= el_clean
+    assert router["base_noisy"] >= el_noisy - 0.02

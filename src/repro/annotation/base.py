@@ -38,15 +38,32 @@ class CeaAnnotator:
         Candidate generator (the component the paper swaps out).
     candidate_k:
         Candidates fetched per cell (the paper's applications use 20-100).
+    type_filter:
+        Optional entity-type id forwarded to every candidate lookup;
+        requires a ``lookup_service`` with ``supports_type_filter`` (the
+        router or the serving engine).  Used when a column's type is
+        known up front, so candidate generation scans only that type's
+        index partitions.
     """
 
     name: str = "abstract"
 
-    def __init__(self, lookup_service: LookupService, candidate_k: int = 20):
+    def __init__(
+        self,
+        lookup_service: LookupService,
+        candidate_k: int = 20,
+        type_filter: str | None = None,
+    ):
         if candidate_k < 1:
             raise ValueError(f"candidate_k must be >= 1, got {candidate_k}")
+        if type_filter is not None and not lookup_service.supports_type_filter:
+            raise ValueError(
+                f"{type(lookup_service).__name__} does not support "
+                "type_filter"
+            )
         self.lookup = lookup_service
         self.candidate_k = candidate_k
+        self.type_filter = type_filter
 
     # -- public API -------------------------------------------------------------
 
@@ -71,7 +88,9 @@ class CeaAnnotator:
         """Candidate generation; empty cells produce empty candidate sets."""
         non_empty = [t for t in texts if t]
         looked_up = iter(
-            self.lookup.lookup_batch(non_empty, self.candidate_k)
+            self.lookup.lookup_batch(
+                non_empty, self.candidate_k, type_filter=self.type_filter
+            )
             if non_empty
             else []
         )

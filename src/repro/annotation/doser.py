@@ -31,14 +31,21 @@ class DoSeRDisambiguator:
         lookup_service: LookupService,
         candidate_k: int = 20,
         damping: float = 0.85,
+        type_filter: str | None = None,
     ):
         if candidate_k < 1:
             raise ValueError(f"candidate_k must be >= 1, got {candidate_k}")
         if not 0.0 < damping < 1.0:
             raise ValueError(f"damping must be in (0, 1), got {damping}")
+        if type_filter is not None and not lookup_service.supports_type_filter:
+            raise ValueError(
+                f"{type(lookup_service).__name__} does not support "
+                "type_filter"
+            )
         self.lookup = lookup_service
         self.candidate_k = candidate_k
         self.damping = damping
+        self.type_filter = type_filter
 
     def disambiguate(
         self, mentions: Sequence[str], kg: KnowledgeGraph
@@ -46,7 +53,9 @@ class DoSeRDisambiguator:
         """Jointly resolve ``mentions``; returns one entity id (or None) each."""
         if not mentions:
             return []
-        candidate_lists = self.lookup.lookup_batch(list(mentions), self.candidate_k)
+        candidate_lists = self.lookup.lookup_batch(
+            list(mentions), self.candidate_k, type_filter=self.type_filter
+        )
 
         graph = nx.Graph()
         personalization: dict[tuple[int, str], float] = {}

@@ -36,7 +36,9 @@ class JenTabAnnotator(CeaAnnotator):
             tokens = sorted(word_tokens(texts[i]))
             retry_texts.append(" ".join(tokens) if tokens else texts[i])
         if retry_texts:
-            extra_lists = self.lookup.lookup_batch(retry_texts, self.candidate_k)
+            extra_lists = self.lookup.lookup_batch(
+                retry_texts, self.candidate_k, type_filter=self.type_filter
+            )
             for i, extra in zip(retry_positions, extra_lists):
                 seen = {c.entity_id for c in primary[i]}
                 primary[i] = primary[i] + [

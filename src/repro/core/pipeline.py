@@ -28,6 +28,7 @@ from repro.embedding.fasttext import FastTextConfig, FastTextModel
 from repro.index.base import VectorIndex
 from repro.index.flat import FlatIndex
 from repro.index.ivfpq import IVFPQIndex
+from repro.index.partitioned import DEFAULT_PARTITION
 from repro.index.pq import PQIndex
 from repro.kg.graph import KnowledgeGraph
 from repro.nn.loss import contrastive_losses, triplet_margin_losses
@@ -198,6 +199,34 @@ class EmbLookup:
                     mentions.append(normalize(alias))
                     entity_ids.append(entity.entity_id)
         return mentions, entity_ids
+
+    def index_row_types(self, kg: KnowledgeGraph | None = None) -> list[str]:
+        """Partition key (primary entity type) of each index row.
+
+        Aligned with :meth:`index_rows`: row ``i`` belongs to the primary
+        type of the entity it resolves to (alias rows share their
+        entity's key; untyped entities map to
+        :data:`repro.index.partitioned.DEFAULT_PARTITION`).  This is what
+        the serving engine feeds a
+        :class:`~repro.index.partitioned.TypePartitionedIndex` so
+        type-constrained lookups scan only matching partitions.
+        """
+        kg = kg or self._kg
+        if kg is None:
+            raise RuntimeError("no knowledge graph available for indexing")
+        keys: list[str] = []
+        for entity in kg.entities():
+            key = entity.primary_type or DEFAULT_PARTITION
+            rows = 1
+            if self.config.index_entity_aliases:
+                rows += len(entity.aliases)
+            keys.extend([key] * rows)
+        return keys
+
+    @property
+    def kg(self) -> KnowledgeGraph | None:
+        """The knowledge graph the pipeline was fitted / indexed over."""
+        return self._kg
 
     @property
     def row_entity_ids(self) -> list[str]:

@@ -16,6 +16,9 @@ Implements the index families the paper relies on:
   paper compares against PQ in Figure 5.
 - :class:`ShardedIndex` — serving-scale fan-out wrapper striping any of
   the families above across N thread-parallel shards.
+- :class:`TypePartitionedIndex` — one sub-index per string partition key
+  (per entity type in serving), so type-constrained lookups scan only
+  the selected partitions' rows.
 
 The scanning families (flat, PQ) stream their stores through the blockwise
 top-k kernel in :mod:`repro.index.topk` (``merge_topk`` and friends), so
@@ -30,11 +33,13 @@ from repro.index.ivf import IVFFlatIndex
 from repro.index.ivfpq import IVFPQIndex
 from repro.index.kmeans import KMeans
 from repro.index.lsh import LSHIndex
+from repro.index.partitioned import DEFAULT_PARTITION, TypePartitionedIndex
 from repro.index.pca import PCATransform
 from repro.index.pq import PQIndex, ProductQuantizer
 from repro.index.sharded import ShardedIndex
 from repro.index.topk import (
     DEFAULT_BLOCK_SIZE,
+    auto_block_size,
     block_topk,
     blockwise_topk,
     merge_topk,
@@ -42,6 +47,7 @@ from repro.index.topk import (
 
 __all__ = [
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_PARTITION",
     "FlatIndex",
     "GrowBuffer",
     "HNSWIndex",
@@ -54,7 +60,9 @@ __all__ = [
     "ProductQuantizer",
     "SearchResult",
     "ShardedIndex",
+    "TypePartitionedIndex",
     "VectorIndex",
+    "auto_block_size",
     "block_topk",
     "blockwise_topk",
     "merge_topk",

@@ -16,7 +16,7 @@ import numpy as np
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.buffer import GrowBuffer
 from repro.index.kmeans import _squared_distances
-from repro.index.topk import blockwise_topk
+from repro.index.topk import auto_block_size, blockwise_topk
 from repro.utils.contracts import array_contract
 
 __all__ = ["FlatIndex"]
@@ -34,7 +34,10 @@ class FlatIndex(VectorIndex):
         a *distance*, i.e. negated similarity).
     block_size:
         Default scan granularity (rows scored per block); overridable per
-        :meth:`search` call.
+        :meth:`search` call.  ``None`` (the default) derives the block
+        from the batch size via :func:`repro.index.topk.auto_block_size`
+        so one-query probes and 256-query benches each get a
+        cache-friendly tile.
     """
 
     def __init__(self, dim: int, metric: str = "l2", block_size: int | None = None):
@@ -77,6 +80,8 @@ class FlatIndex(VectorIndex):
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
         block = block_size if block_size is not None else self.block_size
+        if block is None:
+            block = auto_block_size(len(queries))
         ids, distances = blockwise_topk(
             lambda start, stop: self._score_block(queries, start, stop),
             self.ntotal,

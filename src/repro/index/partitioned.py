@@ -1,0 +1,243 @@
+"""Partitioned index: one sub-index per string partition key.
+
+Type-constrained lookups (JenTab CTA candidate generation, DoSeR
+disambiguation) previously scanned the whole KG index and filtered the
+answers afterwards — O(ntotal) work for a query whose admissible answer
+set is one entity type.  :class:`TypePartitionedIndex` stores each
+partition (in serving, each primary entity type) in its own sub-index, so
+a filtered search scans only the selected partitions' rows, and an
+unfiltered search unions every partition through the same
+:func:`~repro.index.topk.merge_topk` fold the sharded fan-in uses
+(Gillick et al. 2019 motivate exactly this layout for type-constrained
+dense retrieval).
+
+Row ids are *global*: ``add`` assigns arrival-order ids across all
+partitions (like every other index) and each partition keeps an int64
+id column mapping its local rows back to the global space.  Because ids
+cannot be recovered arithmetically (partitions grow unevenly, unlike the
+round-robin stripes of :class:`~repro.index.sharded.ShardedIndex`), the
+mapping is materialised in a one-column :class:`GrowBuffer` per
+partition.  The ``(distance, id)`` ranking convention makes the merged
+union partition-invariant — see :mod:`repro.index.topk` for the exact
+bit-identity caveats per index family (the default flat partitions are
+identical up to ulp-level distance ties; PQ partitions sharing one
+trained quantizer are bit-exact).
+
+The sub-index family is pluggable through ``factory`` — pass a closure
+building a :class:`~repro.index.sharded.ShardedIndex` to combine per-type
+partitioning with multi-core shard execution (shm export and worker
+pools come along for free; ``close`` forwards to every partition).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.index.base import SearchResult, VectorIndex
+from repro.index.buffer import GrowBuffer
+from repro.index.flat import FlatIndex
+from repro.index.topk import merge_topk
+from repro.utils.contracts import array_contract
+
+__all__ = ["DEFAULT_PARTITION", "TypePartitionedIndex"]
+
+#: Partition key used by callers for rows with no partition attribute
+#: (e.g. untyped entities).  Ordinary string key, no special casing here.
+DEFAULT_PARTITION = "__untyped__"
+
+
+class TypePartitionedIndex(VectorIndex):
+    """Routes each row to a per-key sub-index; search unions selected keys.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality (shared by every partition).
+    factory:
+        ``factory(dim) -> VectorIndex`` building one partition's
+        sub-index; defaults to an auto-block-size :class:`FlatIndex`.
+        Called lazily the first time a key appears in :meth:`add`.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        factory: Callable[[int], VectorIndex] | None = None,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self._factory = factory if factory is not None else FlatIndex
+        # Insertion-ordered: search folds partitions in first-seen order,
+        # which (with the (distance, id) ranking) does not affect results
+        # but keeps scan order deterministic for timing.
+        self._partitions: dict[str, VectorIndex] = {}
+        # Per-partition global-id column, (n_local, 1) int64.
+        self._ids: dict[str, GrowBuffer] = {}
+        self._ntotal = 0
+
+    # -- construction ----------------------------------------------------------
+
+    @property
+    def ntotal(self) -> int:
+        return self._ntotal
+
+    @property
+    def is_trained(self) -> bool:
+        return all(p.is_trained for p in self._partitions.values())
+
+    def partition_keys(self) -> tuple[str, ...]:
+        """Every key seen by :meth:`add`, in first-seen order."""
+        return tuple(self._partitions)
+
+    def partition_sizes(self) -> dict[str, int]:
+        """Rows stored per partition key."""
+        return {key: p.ntotal for key, p in self._partitions.items()}
+
+    @array_contract("key: str -> (n,) i64")
+    def partition_global_ids(self, key: str) -> np.ndarray:
+        """Global row ids stored in partition ``key`` (read-only view)."""
+        if key not in self._ids:
+            raise KeyError(f"unknown partition key {key!r}")
+        return self._ids[key].view[:, 0]
+
+    def rows_in(self, partitions: Sequence[str] | None = None) -> int:
+        """Rows a search over ``partitions`` scans (all keys when None).
+
+        Unknown keys count zero rows — a filter naming a type nobody has
+        is an empty scan, not an error (mirrors :meth:`search`).
+        """
+        if partitions is None:
+            return self._ntotal
+        selected = self._select(partitions)
+        return sum(self._partitions[key].ntotal for key in selected)
+
+    @array_contract("vectors: (..., d) num::any -> None")
+    def train(self, vectors: np.ndarray) -> None:
+        """Forward training to every existing partition.
+
+        Partitions created by a later :meth:`add` are *not* retroactively
+        trained; trained families (PQ) should be built through a
+        ``factory`` that pre-trains each sub-index, or add all keys
+        before calling ``train``.
+        """
+        vectors = self._check_vectors(vectors, "training vectors")
+        for partition in self._partitions.values():
+            partition.train(vectors)
+
+    @array_contract("vectors: (..., d) num::any, partitions: any -> None")
+    def add(self, vectors: np.ndarray, partitions: Sequence[str]) -> None:
+        """Append rows, routing row ``i`` to partition ``partitions[i]``.
+
+        Global ids are assigned in arrival order across the whole index,
+        exactly like a non-partitioned ``add``.
+        """
+        vectors = self._check_vectors(vectors, "vectors")
+        keys = list(partitions)
+        if len(keys) != len(vectors):
+            raise ValueError(
+                f"got {len(vectors)} vectors but {len(keys)} partition keys"
+            )
+        base = self._ntotal
+        order: dict[str, list[int]] = {}
+        for row, key in enumerate(keys):
+            order.setdefault(str(key), []).append(row)
+        for key, rows in order.items():
+            partition = self._partitions.get(key)
+            if partition is None:
+                partition = self._factory(self.dim)
+                self._partitions[key] = partition
+                self._ids[key] = GrowBuffer(1, np.int64)
+            partition.add(vectors[rows])
+            global_ids = np.asarray(rows, dtype=np.int64) + base
+            self._ids[key].append(global_ids[:, None])
+        self._ntotal = base + len(vectors)
+
+    # -- search ----------------------------------------------------------------
+
+    def _select(self, partitions: Sequence[str] | None) -> list[str]:
+        if partitions is None:
+            return list(self._partitions)
+        seen: set[str] = set()
+        selected: list[str] = []
+        for key in partitions:
+            key = str(key)
+            if key in self._partitions and key not in seen:
+                seen.add(key)
+                selected.append(key)
+        return selected
+
+    @array_contract("queries: (..., d) num::any, k: int -> SearchResult")
+    def search(
+        self,
+        queries: np.ndarray,
+        k: int,
+        partitions: Sequence[str] | None = None,
+    ) -> SearchResult:
+        """Top-``k`` over the union of ``partitions`` (all keys when None).
+
+        Each selected partition is searched for ``k`` winners, local ids
+        are remapped through the partition's global-id column, and the
+        per-partition results fold through :func:`merge_topk` — the same
+        reduction the sharded fan-in uses, so multi-type unions rank
+        identically to an equivalent single index (up to the per-family
+        tie caveats documented in :mod:`repro.index.topk`).  An empty
+        selection (no partitions, or only unknown keys) returns all-pad
+        rows rather than raising.
+        """
+        queries = self._check_vectors(queries, "queries")
+        self._check_k(k)
+        selected = self._select(partitions)
+        run_ids: np.ndarray | None = None
+        run_d: np.ndarray | None = None
+        for key in selected:
+            partition = self._partitions[key]
+            local = partition.search(queries, k)
+            ids = self._remap(local.ids, self._ids[key].view[:, 0])
+            if run_ids is None or run_d is None:
+                run_ids, run_d = ids, local.distances
+            else:
+                run_ids, run_d = merge_topk(
+                    run_ids, run_d, ids, local.distances, k
+                )
+        if run_ids is None or run_d is None:
+            nq = len(queries)
+            run_ids = np.full((nq, k), -1, dtype=np.int64)
+            run_d = np.full((nq, k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
+        if run_ids.shape[1] < k:  # single partition narrower than k
+            pad_ids = np.full((len(queries), k), -1, dtype=np.int64)
+            pad_d = np.full((len(queries), k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
+            pad_ids[:, : run_ids.shape[1]] = run_ids
+            pad_d[:, : run_d.shape[1]] = run_d
+            run_ids, run_d = pad_ids, pad_d
+        return SearchResult(ids=run_ids, distances=run_d)
+
+    @staticmethod
+    @array_contract(
+        "local_ids: (nq, k) i64::any, global_ids: (n,) i64::any"
+        " -> (nq, k) i64"
+    )
+    def _remap(local_ids: np.ndarray, global_ids: np.ndarray) -> np.ndarray:
+        """Map a partition's local result ids into the global id space."""
+        # np.where evaluates both branches, so pad ids (-1) index the
+        # column too — legal (negative wrap) and discarded by the mask.
+        remapped = np.where(
+            local_ids >= 0, global_ids[local_ids], np.int64(-1)
+        )
+        return remapped.astype(np.int64, copy=False)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        payload = sum(p.memory_bytes() for p in self._partitions.values())
+        ids = sum(buf.nbytes() for buf in self._ids.values())
+        return payload + ids
+
+    def close(self) -> None:
+        """Release partition resources (worker pools of sharded partitions)."""
+        for partition in self._partitions.values():
+            close = getattr(partition, "close", None)
+            if callable(close):
+                close()

@@ -15,7 +15,7 @@ import numpy as np
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.buffer import GrowBuffer
 from repro.index.kmeans import KMeans
-from repro.index.topk import blockwise_topk
+from repro.index.topk import auto_block_size, blockwise_topk
 from repro.utils.contracts import array_contract
 from repro.utils.rng import as_rng
 
@@ -276,6 +276,10 @@ class PQIndex(VectorIndex):
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
         block = block_size if block_size is not None else self.block_size
+        if block is None:
+            # The ADC fold keeps an output tile plus a same-shape gathered
+            # LUT tile alive per block: 16 working-set bytes per score.
+            block = auto_block_size(len(queries), bytes_per_score=16)
         tables_t = (
             self.pq.scan_tables(queries) if self.ntotal else None
         )  # (m, ksub, nq), built once per batch

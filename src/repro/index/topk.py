@@ -51,11 +51,77 @@ import numpy as np
 
 from repro.utils.contracts import array_contract
 
-__all__ = ["DEFAULT_BLOCK_SIZE", "block_topk", "blockwise_topk", "merge_topk"]
+__all__ = [
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_BLOCK_BUDGET_BYTES",
+    "auto_block_size",
+    "block_topk",
+    "blockwise_topk",
+    "merge_topk",
+]
 
 #: Default scan granularity: 4096 rows/block keeps a 256-query float64
 #: block under 8 MB and measured fastest of {1k, 4k, 8k} on one core.
 DEFAULT_BLOCK_SIZE = 4096
+
+#: Per-block score-tile budget for :func:`auto_block_size`.  8 MiB is the
+#: sweet spot measured in BENCH_serving.json: at 256 queries x float64 it
+#: yields the winning 4096-row block, while the 8192-row block's 16 MiB
+#: tile overflows the last-level cache and scans *slower* than the full
+#: materialisation trend (0.263s vs 0.146s at 50k x 64).
+DEFAULT_BLOCK_BUDGET_BYTES = 8 << 20
+
+
+def auto_block_size(
+    num_queries: int,
+    bytes_per_score: int = 8,
+    budget_bytes: int | None = None,
+    floor: int = 256,
+    cap: int = 8192,
+) -> int:
+    """Cache-budget-derived block size for a blockwise scan.
+
+    Picks the largest power-of-two block whose ``(num_queries, block)``
+    score tile fits ``budget_bytes``, clamped to ``[floor, cap]``.  A
+    fixed block size cannot be right for every batch shape: 4096 rows is
+    optimal for 256-query batches but leaves single-query scans doing 13x
+    more merge folds than necessary, and 8192 rows regresses large
+    batches (see :data:`DEFAULT_BLOCK_BUDGET_BYTES`).  Because the
+    selection/merge machinery is partition-invariant, changing the block
+    size never changes results — only the tile's cache behaviour.
+
+    Parameters
+    ----------
+    num_queries:
+        Rows of the score tile (the batch size of the scan).
+    bytes_per_score:
+        Bytes of per-candidate working set per query; 8 for the flat
+        scan's float64 tile, larger for scans that materialise extra
+        per-candidate temporaries (the PQ ADC gather uses 16).
+    budget_bytes:
+        Working-set budget (default :data:`DEFAULT_BLOCK_BUDGET_BYTES`).
+    floor / cap:
+        Clamp bounds; the cap keeps tiny batches from degenerating into
+        a full materialisation, the floor keeps huge batches from
+        thrashing the merge fold.
+    """
+    if num_queries < 0:
+        raise ValueError(f"num_queries must be >= 0, got {num_queries}")
+    if bytes_per_score < 1:
+        raise ValueError(
+            f"bytes_per_score must be >= 1, got {bytes_per_score}"
+        )
+    if floor < 1 or cap < floor:
+        raise ValueError(f"need 1 <= floor <= cap, got [{floor}, {cap}]")
+    budget = (
+        DEFAULT_BLOCK_BUDGET_BYTES if budget_bytes is None else budget_bytes
+    )
+    if budget < 1:
+        raise ValueError(f"budget_bytes must be >= 1, got {budget}")
+    rows = budget // (max(1, num_queries) * bytes_per_score)
+    rows = max(1, rows)
+    block = 1 << (rows.bit_length() - 1)  # round down to a power of two
+    return max(floor, min(cap, block))
 
 
 def _rank_topk(

@@ -47,6 +47,17 @@ class Entity:
         """Label plus aliases — every known surface form."""
         return (self.label, *self.aliases)
 
+    @property
+    def primary_type(self) -> str | None:
+        """First declared type id, or ``None`` for untyped entities.
+
+        This is the partitioning key used by the type-partitioned serving
+        index: every entity lives in exactly one partition even when it
+        declares several types (membership checks still consult the full
+        ``type_ids`` tuple).
+        """
+        return self.type_ids[0] if self.type_ids else None
+
     def __post_init__(self) -> None:
         if not self.entity_id:
             raise ValueError("entity_id must be non-empty")

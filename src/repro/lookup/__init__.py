@@ -6,10 +6,16 @@ Table V baselines (FuzzyWuzzy, ElasticSearch-style BM25, LSH, exact match,
 q-gram, Levenshtein scan, and simulated Wikidata / SearX remote endpoints).
 :class:`QueryCache` adds an LRU over normalized queries for the serving
 path (embedding memoization, optional whole-result caching).
+:class:`LookupRouter` tiers the services: exact label-hash hits
+short-circuit in O(1), short/symbolic strings route to the cheap string
+services, and only the remainder pays for the embedding + ANN path; all
+tiers key on the one :func:`normalize` helper.
 """
 
 from repro.lookup.base import Candidate, LookupService
 from repro.lookup.cache import CacheStats, QueryCache
+from repro.lookup.normalize import normalize
+from repro.lookup.router import LabelHashTable, LookupRouter, TypeFilterMap
 from repro.lookup.embedder_service import EmbedderLookupService
 from repro.lookup.emblookup_service import EmbLookupService
 from repro.lookup.exact import ExactMatchLookup
@@ -29,10 +35,14 @@ __all__ = [
     "ExactMatchLookup",
     "FuzzyWuzzyLookup",
     "LSHStringLookup",
+    "LabelHashTable",
     "LevenshteinLookup",
+    "LookupRouter",
     "LookupService",
     "QGramLookup",
     "QueryCache",
     "RemoteServiceModel",
     "SimulatedRemoteLookup",
+    "TypeFilterMap",
+    "normalize",
 ]

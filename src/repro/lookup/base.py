@@ -41,20 +41,42 @@ class LookupService:
 
     # -- public API ------------------------------------------------------------
 
-    def lookup(self, query: str, k: int = 10) -> list[Candidate]:
+    def lookup(
+        self, query: str, k: int = 10, type_filter: str | None = None
+    ) -> list[Candidate]:
         """Top-``k`` candidates for one query."""
-        return self.lookup_batch([query], k)[0]
+        return self.lookup_batch([query], k, type_filter=type_filter)[0]
 
     def lookup_batch(
-        self, queries: Sequence[str], k: int = 10
+        self,
+        queries: Sequence[str],
+        k: int = 10,
+        type_filter: str | None = None,
     ) -> list[list[Candidate]]:
-        """Bulk lookup, one candidate list per query (instrumented)."""
+        """Bulk lookup, one candidate list per query (instrumented).
+
+        ``type_filter`` restricts candidates to entities of the given
+        type id (subtypes included); only services whose
+        :attr:`supports_type_filter` is True implement it — the router
+        and the serving engine — and others raise ``NotImplementedError``
+        rather than silently returning unfiltered answers.
+        """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if not queries:
             return []
         with self.query_time:
-            return self._lookup_batch(list(queries), k)
+            if type_filter is None:
+                return self._lookup_batch(list(queries), k)
+            return self._lookup_batch_typed(list(queries), k, type_filter)
+
+    @property
+    def supports_type_filter(self) -> bool:
+        """Whether this service implements ``type_filter`` lookups."""
+        return (
+            type(self)._lookup_batch_typed
+            is not LookupService._lookup_batch_typed
+        )
 
     @property
     def total_lookup_seconds(self) -> float:
@@ -76,6 +98,14 @@ class LookupService:
         self, queries: list[str], k: int
     ) -> list[list[Candidate]]:
         raise NotImplementedError
+
+    def _lookup_batch_typed(
+        self, queries: list[str], k: int, type_filter: str
+    ) -> list[list[Candidate]]:
+        """Type-constrained variant; override to support ``type_filter``."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support type_filter"
+        )
 
     @classmethod
     def build(cls, kg: KnowledgeGraph, **kwargs) -> "LookupService":

@@ -7,9 +7,13 @@ LRU over *normalized* query strings converts the embedding tower's matmul
 distribution.  Hit/miss/eviction counters are first-class so the serving
 benchmarks can plot hit-rate curves against cache capacity.
 
-Keys are the caller's responsibility: services pass queries through
-:func:`repro.text.tokenize.normalize` first, so "Germany " and "germany"
-share an entry.
+Keys are normalized by the cache itself through the shared
+:func:`repro.lookup.normalize` helper (the same function the exact-hit
+:class:`~repro.lookup.router.LabelHashTable` keys on), so "Germany " and
+"germany" share an entry and a cache key can never diverge from an
+exact-hit key.  Normalization is idempotent, so callers that pre-normalize
+(the serving engine does, to normalize once per batch) pay only a cheap
+re-fold.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.lookup.normalize import normalize
 from repro.utils.contracts import array_contract
 
 __all__ = ["CacheStats", "QueryCache"]
@@ -110,6 +115,10 @@ class QueryCache:
         Also cache final candidate lists keyed by ``(query, k)``.
     """
 
+    #: The one normalization function cache keys pass through — shared
+    #: with the exact/label-hash tier via :mod:`repro.lookup.normalize`.
+    _normalize = staticmethod(normalize)
+
     def __init__(self, capacity: int, cache_results: bool = False) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -134,7 +143,7 @@ class QueryCache:
         read-only — mutating callers must copy.
         """
         with self._lock:
-            return self._embeddings.get(query)
+            return self._embeddings.get(self._normalize(query))
 
     @array_contract("query: str, vector: (d,) num::any -> None")
     def put_embedding(self, query: str, vector: np.ndarray) -> None:
@@ -142,7 +151,7 @@ class QueryCache:
         entry = np.array(vector, copy=True)
         entry.flags.writeable = False
         with self._lock:
-            self._embeddings.put(query, entry)
+            self._embeddings.put(self._normalize(query), entry)
 
     @array_contract("normalized: any, embed_fn: callable -> (n, d) f32::any")
     def get_embeddings(
@@ -170,22 +179,36 @@ class QueryCache:
 
     # -- result store -----------------------------------------------------------
 
-    def get_result(self, query: str, k: int) -> list | None:
-        """Cached candidate list for ``(query, k)`` or ``None``."""
+    def get_result(
+        self, query: str, k: int, scope: str | None = None
+    ) -> list | None:
+        """Cached candidate list for ``(query, k, scope)`` or ``None``.
+
+        ``scope`` isolates result namespaces that answer differently for
+        the same query — the serving engine passes the active
+        ``type_filter`` so a type-constrained answer can never be served
+        to (or poisoned by) an unconstrained lookup.
+        """
         if self._results is None:
             return None
         with self._lock:
-            cached = self._results.get((query, k))
+            cached = self._results.get((self._normalize(query), k, scope))
             return list(cached) if cached is not None else None
 
-    def put_result(self, query: str, k: int, candidates: list) -> None:
-        """Store a candidate list for ``(query, k)`` (no-op when disabled)."""
+    def put_result(
+        self, query: str, k: int, candidates: list, scope: str | None = None
+    ) -> None:
+        """Store a candidate list for ``(query, k, scope)`` (no-op when disabled)."""
         if self._results is None:
             return
         with self._lock:
-            self._results.put((query, k), list(candidates))
+            self._results.put(
+                (self._normalize(query), k, scope), list(candidates)
+            )
 
-    def get_results(self, normalized: list[str], k: int) -> list[list | None]:
+    def get_results(
+        self, normalized: list[str], k: int, scope: str | None = None
+    ) -> list[list | None]:
         """Batch :meth:`get_result`: one slot per query, ``None`` on miss.
 
         When the result store is disabled this is all-``None`` without
@@ -193,17 +216,21 @@ class QueryCache:
         """
         if self._results is None:
             return [None] * len(normalized)
-        return [self.get_result(q, k) for q in normalized]
+        return [self.get_result(q, k, scope) for q in normalized]
 
     def put_results(
-        self, normalized: list[str], k: int, rows: list[list | None]
+        self,
+        normalized: list[str],
+        k: int,
+        rows: list[list | None],
+        scope: str | None = None,
     ) -> None:
         """Batch :meth:`put_result`; ``None`` rows (failed queries) are skipped."""
         if self._results is None:
             return
         for query, row in zip(normalized, rows):
             if row is not None:
-                self.put_result(query, k, row)
+                self.put_result(query, k, row, scope)
 
     # -- maintenance ------------------------------------------------------------
 

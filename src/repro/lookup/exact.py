@@ -12,7 +12,7 @@ from collections import defaultdict
 
 from repro.kg.graph import KnowledgeGraph
 from repro.lookup.base import Candidate, LookupService
-from repro.text.tokenize import normalize
+from repro.lookup.normalize import normalize
 
 __all__ = ["ExactMatchLookup"]
 

@@ -1,0 +1,20 @@
+"""The one query-normalization function shared by every lookup tier.
+
+Cache keys (:class:`repro.lookup.cache.QueryCache`), exact-hit keys
+(:class:`repro.lookup.exact.ExactMatchLookup`,
+:class:`repro.lookup.router.LabelHashTable`) and the serving engine's
+result memoization all key on the *normalized* surface form.  Before this
+module each call site imported :func:`repro.text.tokenize.normalize`
+separately, which worked only by convention: nothing stopped one tier
+from folding case differently and silently splitting "Germany " and
+"germany" into different cache/exact entries.  Re-exporting the text
+normalizer here makes the contract structural — the lookup layer has
+exactly one normalization symbol, and the property suite asserts the
+cache and the label-hash table agree on it.
+"""
+
+from __future__ import annotations
+
+from repro.text.tokenize import normalize
+
+__all__ = ["normalize"]

@@ -1,0 +1,425 @@
+"""Tiered lookup router: exact hash hits -> fuzzy strings -> ANN fallback.
+
+The paper serves *every* lookup through the embedding model plus ANN
+index, but production annotation traffic (bbw, JenTab, DoSeR) is a
+heavy-tailed mix where many queries are exact label hits or short
+symbolic strings for which the dual-tower forward pass is pure waste.
+:class:`LookupRouter` dispatches each query to the cheapest tier that can
+answer it, the shape of KAZU's SapBERT linking step (``ignore_high_conf``
+plus ``min_string_length_to_trigger`` per entity class) and of NSEEN's
+cheap-similarity front tier:
+
+1. **exact** — an O(1) probe of :class:`LabelHashTable`, a hash of
+   *normalized* labels/aliases sharing :func:`repro.lookup.normalize`
+   with the query cache, so a cache key and an exact-hit key can never
+   diverge.  Hits short-circuit without touching the embedding model.
+2. **fuzzy** — queries too short (``min_string_length_to_trigger``) or
+   insufficiently alphabetic (``min_alpha_ratio``) for the character
+   embedding tower route to a cheap string service (q-gram Jaccard or
+   bounded Levenshtein).
+3. **ann** — everything else falls through to the embedding + vector
+   index path (any :class:`~repro.lookup.base.LookupService`, typically
+   :class:`~repro.lookup.emblookup_service.EmbLookupService` or the
+   serving :class:`~repro.serving.engine.LookupEngine`).
+
+Type-constrained lookups (``type_filter=``) filter the exact tier
+through :class:`TypeFilterMap` and delegate typed ANN search to tiers
+that support it (the serving engine scans only the matching partitions of
+a :class:`~repro.index.partitioned.TypePartitionedIndex`).
+
+Every tier keeps a :class:`~repro.utils.timing.Stopwatch` and a routing
+counter; :meth:`LookupRouter.router_stats` snapshots the counters
+atomically under one lock (the PR 7 discipline), and the serving engine
+merges them into ``serving_stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.kg.graph import KnowledgeGraph
+from repro.index.partitioned import DEFAULT_PARTITION
+from repro.lookup.base import Candidate, LookupService
+from repro.lookup.normalize import normalize
+from repro.utils.timing import Stopwatch
+
+__all__ = ["LabelHashTable", "LookupRouter", "TypeFilterMap"]
+
+#: Tier names in dispatch order.
+_TIERS = ("exact", "fuzzy", "ann")
+
+#: Over-fetch factor when a type filter must be applied by post-filtering
+#: an unfiltered tier's answers (tiers without native type support).
+_TYPE_OVERFETCH = 4
+
+
+class LabelHashTable:
+    """Hash of normalized surface forms -> entity ids (the exact tier).
+
+    The keys pass through :func:`repro.lookup.normalize` — the same
+    helper the query cache uses — so "Germany " and "germany" are one
+    entry.  The table is built once and read-only afterwards, hence
+    safely shared by concurrent serving threads without a lock.
+    """
+
+    def __init__(self, include_aliases: bool = True) -> None:
+        self.include_aliases = include_aliases
+        self._entries: dict[str, tuple[str, ...]] = {}
+        self._bytes = 0
+
+    @classmethod
+    def build(
+        cls, kg: KnowledgeGraph, include_aliases: bool = True
+    ) -> "LabelHashTable":
+        """Index every entity label (and alias, by default) of ``kg``."""
+        table = cls(include_aliases=include_aliases)
+        for entity in kg.entities():
+            mentions = (
+                entity.mentions if include_aliases else (entity.label,)
+            )
+            for mention in mentions:
+                table.add(mention, entity.entity_id)
+        return table
+
+    def add(self, mention: str, entity_id: str) -> None:
+        """Register one surface form (normalized internally)."""
+        key = normalize(mention)
+        if not key:
+            return
+        existing = self._entries.get(key, ())
+        if entity_id in existing:
+            return
+        self._entries[key] = existing + (entity_id,)
+        self._bytes += len(key.encode()) + len(entity_id.encode()) + 16
+
+    def get(self, normalized: str) -> tuple[str, ...]:
+        """Entity ids whose label/alias normalizes to ``normalized``."""
+        return self._entries.get(normalized, ())
+
+    def lookup(self, query: str) -> tuple[str, ...]:
+        """Convenience probe that normalizes ``query`` first."""
+        return self.get(normalize(query))
+
+    def __len__(self) -> int:
+        """Distinct normalized surface forms indexed."""
+        return len(self._entries)
+
+    def index_bytes(self) -> int:
+        """Approximate storage of keys plus id tuples."""
+        return self._bytes
+
+
+class TypeFilterMap:
+    """Per-type membership sets and partition lists for ``type_filter``.
+
+    For every type id the map precomputes (a) the *allowed* entity-id
+    set — entities declaring the type or any of its subtypes, matching
+    :meth:`KnowledgeGraph.entities_of_type` with ``transitive=True`` —
+    and (b) the partition keys (primary types) whose rows can contain an
+    allowed entity, which is what a
+    :class:`~repro.index.partitioned.TypePartitionedIndex` scan needs.
+    Both structures are immutable after construction and shared without
+    locking.
+    """
+
+    def __init__(
+        self,
+        allowed: dict[str, frozenset[str]],
+        partitions: dict[str, tuple[str, ...]],
+    ) -> None:
+        self._allowed = dict(allowed)
+        self._partitions = dict(partitions)
+
+    @classmethod
+    def from_kg(cls, kg: KnowledgeGraph) -> "TypeFilterMap":
+        """Precompute membership and partitions for every type in ``kg``."""
+        primary: dict[str, str] = {
+            e.entity_id: e.primary_type or DEFAULT_PARTITION
+            for e in kg.entities()
+        }
+        allowed: dict[str, frozenset[str]] = {}
+        partitions: dict[str, tuple[str, ...]] = {}
+        for entity_type in kg.types():
+            tid = entity_type.type_id
+            members = kg.entities_of_type(tid, transitive=True)
+            allowed[tid] = frozenset(members)
+            keys: list[str] = []
+            for eid in members:
+                key = primary[eid]
+                if key not in keys:
+                    keys.append(key)
+            partitions[tid] = tuple(keys)
+        return cls(allowed, partitions)
+
+    def known(self, type_id: str) -> bool:
+        """Whether ``type_id`` exists in the source KG."""
+        return type_id in self._allowed
+
+    def allowed(self, type_id: str) -> frozenset[str]:
+        """Entity ids admissible under ``type_filter=type_id``."""
+        try:
+            return self._allowed[type_id]
+        except KeyError:
+            raise KeyError(f"unknown type id {type_id!r}") from None
+
+    def partitions_for(self, type_id: str) -> tuple[str, ...]:
+        """Partition keys whose rows can hold an allowed entity."""
+        if type_id not in self._allowed:
+            raise KeyError(f"unknown type id {type_id!r}")
+        return self._partitions.get(type_id, ())
+
+
+def alpha_ratio(text: str) -> float:
+    """Fraction of alphabetic characters among non-space characters.
+
+    Low-ratio strings ("B-52", "740.22", "#1") are the symbolic surface
+    forms the character embedding tower handles worst; the router sends
+    them to the fuzzy tier instead.  Empty/whitespace-only strings score
+    0.0 (maximally non-alphabetic).
+    """
+    meat = [c for c in text if not c.isspace()]
+    if not meat:
+        return 0.0
+    return sum(c.isalpha() for c in meat) / len(meat)
+
+
+class LookupRouter(LookupService):
+    """Tiered dispatcher over exact / fuzzy / ANN lookup services.
+
+    Parameters
+    ----------
+    label_table:
+        The exact tier's :class:`LabelHashTable`.
+    ann:
+        Fallback service for embedding-worthy queries.  May be ``None``
+        when the router is embedded *inside* the serving engine (the
+        engine itself is the ANN tier and only calls
+        :meth:`serve_local`); a standalone router with ``ann=None``
+        raises on the first query that needs the tier.
+    fuzzy:
+        Service for short / low-alphabetic queries, or ``None`` to send
+        them to the ANN tier too.
+    min_string_length_to_trigger:
+        Normalized queries shorter than this never reach the embedding
+        model (KAZU's knob of the same name).
+    min_alpha_ratio:
+        Queries whose :func:`alpha_ratio` is below this are routed to
+        the fuzzy tier regardless of length.
+    type_map:
+        :class:`TypeFilterMap` enabling ``type_filter=`` lookups.
+    """
+
+    name = "router"
+
+    def __init__(
+        self,
+        label_table: LabelHashTable,
+        ann: LookupService | None = None,
+        fuzzy: LookupService | None = None,
+        min_string_length_to_trigger: int = 4,
+        min_alpha_ratio: float = 0.5,
+        type_map: TypeFilterMap | None = None,
+    ) -> None:
+        super().__init__()
+        if min_string_length_to_trigger < 0:
+            raise ValueError(
+                "min_string_length_to_trigger must be >= 0, got "
+                f"{min_string_length_to_trigger}"
+            )
+        if not 0.0 <= min_alpha_ratio <= 1.0:
+            raise ValueError(
+                f"min_alpha_ratio must be in [0, 1], got {min_alpha_ratio}"
+            )
+        self.label_table = label_table
+        self.ann = ann
+        self.fuzzy = fuzzy
+        self.min_string_length_to_trigger = min_string_length_to_trigger
+        self.min_alpha_ratio = min_alpha_ratio
+        self.type_map = type_map
+        self.tier_times: dict[str, Stopwatch] = {
+            tier: Stopwatch() for tier in _TIERS
+        }
+        self._stats_lock = threading.Lock()
+        self._exact_hits = 0
+        self._fuzzy_routed = 0
+        self._ann_routed = 0
+
+    @classmethod
+    def build(
+        cls,
+        kg: KnowledgeGraph,
+        ann: LookupService | None = None,
+        fuzzy: LookupService | str | None = "qgram",
+        include_aliases: bool = True,
+        **kwargs,
+    ) -> "LookupRouter":
+        """Build the exact tier and type map from ``kg``.
+
+        ``fuzzy`` may be a ready service, the string ``"qgram"`` /
+        ``"levenshtein"`` to build one over ``kg``, or ``None`` to
+        disable the tier.
+        """
+        if isinstance(fuzzy, str):
+            if fuzzy == "qgram":
+                from repro.lookup.qgram import QGramLookup
+
+                fuzzy = QGramLookup.build(kg, include_aliases=include_aliases)
+            elif fuzzy == "levenshtein":
+                from repro.lookup.levenshtein import LevenshteinLookup
+
+                fuzzy = LevenshteinLookup.build(
+                    kg, include_aliases=include_aliases
+                )
+            else:
+                raise ValueError(
+                    "fuzzy must be a LookupService, 'qgram', 'levenshtein'"
+                    f" or None, got {fuzzy!r}"
+                )
+        return cls(
+            LabelHashTable.build(kg, include_aliases=include_aliases),
+            ann=ann,
+            fuzzy=fuzzy,
+            type_map=TypeFilterMap.from_kg(kg),
+            **kwargs,
+        )
+
+    # -- tier classification -----------------------------------------------------
+
+    def wants_fuzzy(self, normalized: str) -> bool:
+        """Whether a (non-exact-hit) query belongs to the fuzzy tier."""
+        if self.fuzzy is None:
+            return False
+        return (
+            len(normalized) < self.min_string_length_to_trigger
+            or alpha_ratio(normalized) < self.min_alpha_ratio
+        )
+
+    # -- local tiers (shared by standalone and engine-embedded use) --------------
+
+    def serve_local(
+        self,
+        normalized: list[str],
+        k: int,
+        type_filter: str | None = None,
+    ) -> list[list[Candidate] | None]:
+        """Answer what the exact/fuzzy tiers can; ``None`` marks ANN work.
+
+        ``normalized`` must already be passed through
+        :func:`repro.lookup.normalize` (both the router's public path and
+        the serving engine do).  Slots left as ``None`` are the caller's
+        to serve through its ANN path; they are counted as ``ann_routed``
+        here, so the counters reflect routing decisions regardless of
+        which component executes the fallback.
+        """
+        allowed: frozenset[str] | None = None
+        if type_filter is not None:
+            if self.type_map is None:
+                raise RuntimeError(
+                    "router has no TypeFilterMap; build() it from a KG to "
+                    "use type_filter"
+                )
+            allowed = self.type_map.allowed(type_filter)
+        out: list[list[Candidate] | None] = [None] * len(normalized)
+        exact_hits = 0
+        with self.tier_times["exact"]:
+            for qi, query in enumerate(normalized):
+                hits = self.label_table.get(query)
+                if allowed is not None:
+                    hits = tuple(e for e in hits if e in allowed)
+                if hits:
+                    out[qi] = [Candidate(e, 1.0) for e in hits[:k]]
+                    exact_hits += 1
+        fuzzy_positions = [
+            qi
+            for qi, row in enumerate(out)
+            if row is None and self.wants_fuzzy(normalized[qi])
+        ]
+        if fuzzy_positions:
+            with self.tier_times["fuzzy"]:
+                fetch = k if allowed is None else k * _TYPE_OVERFETCH
+                rows = self.fuzzy.lookup_batch(
+                    [normalized[qi] for qi in fuzzy_positions], fetch
+                )
+                for qi, row in zip(fuzzy_positions, rows):
+                    if allowed is not None:
+                        row = [c for c in row if c.entity_id in allowed][:k]
+                    out[qi] = row
+        ann_routed = sum(1 for row in out if row is None)
+        with self._stats_lock:
+            self._exact_hits += exact_hits
+            self._fuzzy_routed += len(fuzzy_positions)
+            self._ann_routed += ann_routed
+        return out
+
+    # -- LookupService hooks -----------------------------------------------------
+
+    def _lookup_batch(
+        self, queries: list[str], k: int
+    ) -> list[list[Candidate]]:
+        return self._dispatch(queries, k, None)
+
+    def _lookup_batch_typed(
+        self, queries: list[str], k: int, type_filter: str
+    ) -> list[list[Candidate]]:
+        return self._dispatch(queries, k, type_filter)
+
+    def _dispatch(
+        self, queries: list[str], k: int, type_filter: str | None
+    ) -> list[list[Candidate]]:
+        normalized = [normalize(q) for q in queries]
+        out = self.serve_local(normalized, k, type_filter)
+        ann_positions = [qi for qi, row in enumerate(out) if row is None]
+        if ann_positions:
+            if self.ann is None:
+                raise RuntimeError(
+                    "router has no ANN tier: pass ann= or embed the router "
+                    "in a LookupEngine"
+                )
+            sub = [queries[qi] for qi in ann_positions]
+            with self.tier_times["ann"]:
+                if type_filter is None:
+                    rows = self.ann.lookup_batch(sub, k)
+                elif self.ann.supports_type_filter:
+                    rows = self.ann.lookup_batch(
+                        sub, k, type_filter=type_filter
+                    )
+                else:
+                    allowed = self.type_map.allowed(type_filter)
+                    raw = self.ann.lookup_batch(sub, k * _TYPE_OVERFETCH)
+                    rows = [
+                        [c for c in row if c.entity_id in allowed][:k]
+                        for row in raw
+                    ]
+            for qi, row in zip(ann_positions, rows):
+                out[qi] = row
+        return [row if row is not None else [] for row in out]
+
+    # -- introspection -----------------------------------------------------------
+
+    def tier_seconds(self) -> dict[str, float]:
+        """Cumulative seconds per tier (the ann entry covers only the
+        standalone fallback; an embedding engine times its own stages)."""
+        return {tier: watch.total for tier, watch in self.tier_times.items()}
+
+    def router_stats(self) -> dict[str, int]:
+        """Routing counters, copied in one lock hold (atomic snapshot)."""
+        with self._stats_lock:
+            return {
+                "exact_hits": self._exact_hits,
+                "fuzzy_routed": self._fuzzy_routed,
+                "ann_routed": self._ann_routed,
+            }
+
+    def reset_timers(self) -> None:
+        """Zero the whole-call timer and every tier stopwatch."""
+        super().reset_timers()
+        for watch in self.tier_times.values():
+            watch.reset()
+
+    def index_bytes(self) -> int:
+        """Label table plus constituent tier indexes."""
+        total = self.label_table.index_bytes()
+        for tier in (self.fuzzy, self.ann):
+            if tier is not None:
+                total += tier.index_bytes()
+        return total

@@ -39,19 +39,24 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.pipeline import EmbLookup
-from repro.index.base import VectorIndex
+from repro.index.base import SearchResult, VectorIndex
 from repro.index.flat import FlatIndex
+from repro.index.partitioned import TypePartitionedIndex
 from repro.index.sharded import ShardedIndex
 from repro.lookup.base import Candidate, LookupService
 from repro.lookup.cache import QueryCache
-from repro.text.tokenize import normalize
+from repro.lookup.normalize import normalize
+from repro.lookup.router import LookupRouter, TypeFilterMap
 from repro.utils.contracts import array_contract
 from repro.utils.timing import Stopwatch
 
 __all__ = ["LookupDeadlineExceeded", "LookupEngine", "PendingLookup"]
 
 #: Stage names, in pipeline order, that the engine times per flush.
-_STAGES = ("cache", "embed", "search", "rank")
+#: ``route`` is the router's exact/fuzzy short-circuit pass (0 when no
+#: router is attached); the router additionally times each tier in its
+#: own ``tier_times``.
+_STAGES = ("cache", "route", "embed", "search", "rank")
 
 
 class LookupDeadlineExceeded(TimeoutError):
@@ -136,6 +141,18 @@ class LookupEngine(LookupService):
         query list (see :class:`repro.testing.faults.QueryPoison`); the
         production value is ``None``.  Duck-typed so this layer never
         imports ``repro.testing``.
+    router:
+        Optional :class:`~repro.lookup.router.LookupRouter` whose exact
+        and fuzzy tiers short-circuit queries *before* the embed stage
+        (its ``ann`` tier should be ``None`` — this engine is the ANN
+        path).  Tier counters surface in :meth:`serving_stats`.
+    type_map:
+        :class:`~repro.lookup.router.TypeFilterMap` enabling
+        ``type_filter=`` lookups; defaults to the router's map.  With a
+        :class:`~repro.index.partitioned.TypePartitionedIndex` a typed
+        search scans only the matching partitions; with any other index
+        it over-fetches the full scan and filters at rank time (same
+        results, no scan savings).
     """
 
     name = "serving_engine"
@@ -150,6 +167,8 @@ class LookupEngine(LookupService):
         max_batch_age: float = 0.005,
         batch_deadline: float | None = None,
         fault_hook=None,
+        router: LookupRouter | None = None,
+        type_map: TypeFilterMap | None = None,
     ):
         super().__init__()
         if pipeline.model is None:
@@ -179,6 +198,12 @@ class LookupEngine(LookupService):
         self.max_batch_age = max_batch_age
         self.batch_deadline = batch_deadline
         self.fault_hook = fault_hook
+        self.router = router
+        self._type_map = (
+            type_map
+            if type_map is not None
+            else (router.type_map if router is not None else None)
+        )
         self.stage_times: dict[str, Stopwatch] = {
             stage: Stopwatch() for stage in _STAGES
         }
@@ -193,6 +218,11 @@ class LookupEngine(LookupService):
         self._failed_queries = 0
         self._deadline_hits = 0
         self._isolation_retries = 0
+        self._type_rows_scanned = 0
+        # type_filter -> count of rows in its scanned row set whose entity
+        # is NOT admissible (the exact over-fetch needed for bit-identical
+        # filtered results).  Memoized; guarded by _stats_lock.
+        self._impure_rows: dict[str, int] = {}
 
     # -- construction ----------------------------------------------------------
 
@@ -206,6 +236,8 @@ class LookupEngine(LookupService):
         executor: str = "auto",
         num_workers: int | None = None,
         shard_timeout: float | None = None,
+        partition_by_type: bool = False,
+        router: "LookupRouter | bool | None" = None,
         **engine_kwargs,
     ) -> "LookupEngine":
         """Build an engine (and its flat/sharded index) from a fitted pipeline.
@@ -215,12 +247,22 @@ class LookupEngine(LookupService):
         :class:`ShardedIndex` of flat shards otherwise.  ``cache_size``
         defaults to the pipeline config's ``query_cache_size``; pass an
         explicit value to override.  ``block_size`` tunes the blockwise
-        scan.  ``executor`` / ``num_workers`` / ``shard_timeout`` select
-        the sharded execution model — ``executor="process"`` with
-        ``num_workers`` worker processes over shared-memory shards is the
-        multi-core serving configuration, ``"auto"`` picks it only when
-        the host has cores to use (see :mod:`repro.index.sharded`).
-        ``engine_kwargs`` forward to the constructor.
+        scan (``None`` derives it from the batch size).  ``executor`` /
+        ``num_workers`` / ``shard_timeout`` select the sharded execution
+        model — ``executor="process"`` with ``num_workers`` worker
+        processes over shared-memory shards is the multi-core serving
+        configuration, ``"auto"`` picks it only when the host has cores
+        to use (see :mod:`repro.index.sharded`).
+
+        ``partition_by_type=True`` builds a
+        :class:`~repro.index.partitioned.TypePartitionedIndex` keyed by
+        each entity's primary type (``num_shards > 1`` shards every
+        partition), so ``type_filter=`` lookups scan only matching
+        partitions.  ``router=True`` attaches a
+        :class:`~repro.lookup.router.LookupRouter` built from the
+        pipeline's KG (exact label-hash tier plus a q-gram fuzzy tier);
+        pass a ready router for custom tiers.  ``engine_kwargs`` forward
+        to the constructor.
         """
         if pipeline.model is None:
             raise ValueError("from_pipeline requires a fitted pipeline")
@@ -229,20 +271,43 @@ class LookupEngine(LookupService):
         mentions, row_to_entity = pipeline.index_rows()
         vectors = pipeline.embed_queries(mentions)
         dim = pipeline.config.embedding_dim
-        index: VectorIndex
-        if num_shards == 1:
-            index = FlatIndex(dim, block_size=block_size)
-        else:
-            index = ShardedIndex(
-                dim,
+
+        def flat(d: int) -> FlatIndex:
+            return FlatIndex(d, block_size=block_size)
+
+        def sharded(d: int) -> ShardedIndex:
+            return ShardedIndex(
+                d,
                 num_shards,
-                factory=lambda d: FlatIndex(d, block_size=block_size),
+                factory=flat,
                 executor=executor,
                 num_workers=num_workers,
                 shard_timeout=shard_timeout,
             )
-        index.train(vectors)
-        index.add(vectors)
+
+        index: VectorIndex
+        if partition_by_type:
+            index = TypePartitionedIndex(
+                dim, factory=flat if num_shards == 1 else sharded
+            )
+            index.train(vectors)
+            index.add(vectors, pipeline.index_row_types())
+        else:
+            index = flat(dim) if num_shards == 1 else sharded(dim)
+            index.train(vectors)
+            index.add(vectors)
+        if router is True:
+            if pipeline.kg is None:
+                raise ValueError("router=True requires the pipeline's KG")
+            router = LookupRouter.build(pipeline.kg, ann=None, fuzzy="qgram")
+        elif router is False:
+            router = None
+        type_map = engine_kwargs.pop("type_map", None)
+        if type_map is None:
+            if router is not None:
+                type_map = router.type_map
+            elif partition_by_type and pipeline.kg is not None:
+                type_map = TypeFilterMap.from_kg(pipeline.kg)
         if cache_size is None:
             cache_size = pipeline.config.query_cache_size
         cache = (
@@ -250,7 +315,15 @@ class LookupEngine(LookupService):
             if cache_size > 0
             else None
         )
-        return cls(pipeline, index, row_to_entity, cache=cache, **engine_kwargs)
+        return cls(
+            pipeline,
+            index,
+            row_to_entity,
+            cache=cache,
+            router=router,
+            type_map=type_map,
+            **engine_kwargs,
+        )
 
     # -- micro-batching --------------------------------------------------------
 
@@ -329,25 +402,48 @@ class LookupEngine(LookupService):
     # -- the serving pipeline --------------------------------------------------
 
     def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
+        return self._lookup(queries, k, None)
+
+    def _lookup_batch_typed(
+        self, queries: list[str], k: int, type_filter: str
+    ) -> list[list[Candidate]]:
+        if self._type_map is None:
+            raise RuntimeError(
+                "engine has no TypeFilterMap; build it with router=True or "
+                "partition_by_type=True (or pass type_map=) to use "
+                "type_filter"
+            )
+        return self._lookup(queries, k, type_filter)
+
+    def _lookup(
+        self, queries: list[str], k: int, type_filter: str | None
+    ) -> list[list[Candidate]]:
         deadline_owner = self._start_deadline()
         try:
             normalized = [normalize(q) for q in queries]
             out: list[list[Candidate] | None] = [None] * len(queries)
             with self.stage_times["cache"]:
                 if self.cache is not None:
-                    cached = self.cache.get_results(normalized, k)
+                    # type_filter scopes the result keys: a filtered
+                    # answer must never serve an unfiltered lookup.
+                    cached = self.cache.get_results(
+                        normalized, k, scope=type_filter
+                    )
                     for qi, row in enumerate(cached):
                         out[qi] = row
             miss_positions = [qi for qi, row in enumerate(out) if row is None]
             if miss_positions:
                 fresh = self._serve(
-                    [normalized[qi] for qi in miss_positions], k
+                    [normalized[qi] for qi in miss_positions], k, type_filter
                 )
                 for qi, row in zip(miss_positions, fresh):
                     out[qi] = row
                 if self.cache is not None:
                     self.cache.put_results(
-                        [normalized[qi] for qi in miss_positions], k, fresh
+                        [normalized[qi] for qi in miss_positions],
+                        k,
+                        fresh,
+                        scope=type_filter,
                     )
             return [row if row is not None else [] for row in out]
         finally:
@@ -373,23 +469,119 @@ class LookupEngine(LookupService):
                 f"before the {stage} stage"
             )
 
-    def _serve(self, normalized: list[str], k: int) -> list[list[Candidate]]:
-        """Embed -> search -> rank for result-cache misses."""
+    def _serve(
+        self, normalized: list[str], k: int, type_filter: str | None = None
+    ) -> list[list[Candidate]]:
+        """Route -> embed -> search -> rank for result-cache misses.
+
+        With a router attached, the exact/fuzzy tiers answer what they
+        can *before* the embed stage; only the remainder pays for the
+        model forward pass and the index scan.
+        """
         if self.fault_hook is not None:
             self.fault_hook(normalized)
+        out: list[list[Candidate] | None] = [None] * len(normalized)
+        if self.router is not None:
+            with self.stage_times["route"]:
+                out = self.router.serve_local(normalized, k, type_filter)
+        ann_positions = [qi for qi, row in enumerate(out) if row is None]
+        if ann_positions:
+            rows = self._serve_ann(
+                [normalized[qi] for qi in ann_positions], k, type_filter
+            )
+            for qi, row in zip(ann_positions, rows):
+                out[qi] = row
+        return [row if row is not None else [] for row in out]
+
+    def _serve_ann(
+        self, normalized: list[str], k: int, type_filter: str | None
+    ) -> list[list[Candidate]]:
+        """The embedding path: model forward pass + index scan + dedup."""
         self._check_deadline("embed")
         with self.stage_times["embed"]:
             vectors = self._embed(normalized)
         self._check_deadline("search")
+        allowed: frozenset[str] | None = None
         with self.stage_times["search"]:
-            fetch = k * 3 if self._has_alias_rows else k
-            fetch = min(fetch, self._index.ntotal) or k
-            result = self._index.search(vectors, fetch)
+            if type_filter is None:
+                fetch = k * 3 if self._has_alias_rows else k
+                fetch = min(fetch, self._index.ntotal) or k
+                result = self._index.search(vectors, fetch)
+            else:
+                allowed = self._type_map.allowed(type_filter)
+                result = self._search_typed(vectors, k, type_filter, allowed)
         if getattr(result, "partial", False):
             with self._stats_lock:
                 self._partial_results += 1
         with self.stage_times["rank"]:
-            return self._rank(result.ids, result.distances, k)
+            return self._rank(result.ids, result.distances, k, allowed)
+
+    def _search_typed(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        type_filter: str,
+        allowed: frozenset[str],
+    ) -> SearchResult:
+        """Type-constrained scan, exact by construction.
+
+        Over-fetching by the scanned set's *impure row count* (rows whose
+        entity is not admissible) guarantees the top-``fetch`` winners
+        contain every admissible row the post-filtered full scan would
+        return, so rank-stage filtering yields bit-identical results.  On
+        a :class:`TypePartitionedIndex` only the partitions that can hold
+        admissible entities are scanned; any other index scans everything
+        and only the rank filter applies.
+        """
+        base = k * 3 if self._has_alias_rows else k
+        index = self._index
+        if isinstance(index, TypePartitionedIndex):
+            partitions = self._type_map.partitions_for(type_filter)
+            scanned = index.rows_in(partitions)
+            with self._stats_lock:
+                self._type_rows_scanned += scanned
+            if scanned == 0:
+                nq = len(vectors)
+                return SearchResult(
+                    ids=np.full((nq, k), -1, dtype=np.int64),
+                    distances=np.full((nq, k), np.inf, dtype=np.float64),  # repro: noqa[REP102]
+                )
+            fetch = min(base + self._impure_row_count(type_filter), scanned)
+            return index.search(vectors, fetch, partitions=partitions)
+        scanned = index.ntotal
+        with self._stats_lock:
+            self._type_rows_scanned += scanned
+        fetch = min(base + self._impure_row_count(type_filter), scanned) or k
+        return index.search(vectors, fetch)
+
+    def _impure_row_count(self, type_filter: str) -> int:
+        """Rows in ``type_filter``'s scanned set resolving to other types.
+
+        Memoized per filter (the index is static while serving).  The
+        count is computed outside the stats lock — it is a pure read of
+        immutable structures, so a racing duplicate computation is
+        harmless — and published under it.
+        """
+        with self._stats_lock:
+            cached = self._impure_rows.get(type_filter)
+        if cached is not None:
+            return cached
+        allowed = self._type_map.allowed(type_filter)
+        index = self._index
+        if isinstance(index, TypePartitionedIndex):
+            rows: list[int] = []
+            for key in self._type_map.partitions_for(type_filter):
+                rows.extend(
+                    int(r) for r in index.partition_global_ids(key)
+                )
+        else:
+            rows = range(len(self._row_to_entity))
+        count = sum(
+            1 for row in rows if self._row_to_entity[row] not in allowed
+        )
+        with self._stats_lock:
+            self._impure_rows[type_filter] = count
+        return count
 
     @array_contract("normalized: any -> (n, d) f32::any")
     def _embed(self, normalized: list[str]) -> np.ndarray:
@@ -404,9 +596,17 @@ class LookupEngine(LookupService):
         "ids: (nq, kr) i64::any, distances: (nq, kr) num::any, k: int -> any"
     )
     def _rank(
-        self, ids: np.ndarray, distances: np.ndarray, k: int
+        self,
+        ids: np.ndarray,
+        distances: np.ndarray,
+        k: int,
+        allowed: frozenset[str] | None = None,
     ) -> list[list[Candidate]]:
-        """Dedup alias rows to entities (closest wins) and score candidates."""
+        """Dedup alias rows to entities (closest wins) and score candidates.
+
+        ``allowed`` drops entities outside a type filter's admissible set
+        (partitions may mix types when entities declare several).
+        """
         out: list[list[Candidate]] = []
         for row_ids, row_d in zip(ids, distances):
             seen: set[str] = set()
@@ -416,6 +616,8 @@ class LookupEngine(LookupService):
                     continue
                 entity_id = self._row_to_entity[int(idx)]
                 if entity_id in seen:
+                    continue
+                if allowed is not None and entity_id not in allowed:
                     continue
                 seen.add(entity_id)
                 candidates.append(Candidate(entity_id, -float(dist)))
@@ -448,16 +650,30 @@ class LookupEngine(LookupService):
         counts shard worker processes the index replaced after a crash
         or a timed-out request (0 for non-process executors).
 
-        The four engine counters are copied in one ``_stats_lock`` hold,
-        so the snapshot is atomic with respect to concurrent serving
-        threads.  The index's ``health_stats()`` is read *before* the
-        engine lock (it takes the index's own stats lock internally), so
-        the two locks never nest.
+        Router tiers add ``exact_hits`` / ``fuzzy_routed`` /
+        ``ann_routed`` (all 0 without a router) and type-constrained
+        scans add ``type_filtered_rows_scanned`` — the total rows the
+        search stage scanned under a ``type_filter`` (partition sums for
+        a :class:`TypePartitionedIndex`, ``ntotal`` per scan otherwise).
+
+        The engine counters are copied in one ``_stats_lock`` hold, so
+        the snapshot is atomic with respect to concurrent serving
+        threads.  The index's ``health_stats()`` and the router's
+        ``router_stats()`` are read *before* the engine lock (each takes
+        its own stats lock internally), so no two locks ever nest.
         """
         respawns = 0
         health = getattr(self._index, "health_stats", None)
         if callable(health):
             respawns = int(health().get("worker_respawns", 0))
+        if self.router is not None:
+            router_stats = self.router.router_stats()
+        else:
+            router_stats = {
+                "exact_hits": 0,
+                "fuzzy_routed": 0,
+                "ann_routed": 0,
+            }
         with self._stats_lock:
             return {
                 "partial_results": self._partial_results,
@@ -465,13 +681,17 @@ class LookupEngine(LookupService):
                 "failed_queries": self._failed_queries,
                 "deadline_hits": self._deadline_hits,
                 "worker_respawns": respawns,
+                "type_filtered_rows_scanned": self._type_rows_scanned,
+                **router_stats,
             }
 
     def reset_timers(self) -> None:
-        """Zero the whole-call timer and every per-stage stopwatch."""
+        """Zero the whole-call timer, stage stopwatches, and router tiers."""
         super().reset_timers()
         for watch in self.stage_times.values():
             watch.reset()
+        if self.router is not None:
+            self.router.reset_timers()
 
     def index_bytes(self) -> int:
         """Storage of the engine's own index."""

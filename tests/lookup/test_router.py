@@ -1,0 +1,277 @@
+"""LookupRouter tiers, LabelHashTable, TypeFilterMap, normalization unity."""
+
+import pytest
+
+from repro.lookup import (
+    ExactMatchLookup,
+    LabelHashTable,
+    LookupRouter,
+    LookupService,
+    QueryCache,
+    TypeFilterMap,
+    normalize,
+)
+from repro.index.partitioned import DEFAULT_PARTITION
+from repro.lookup.base import Candidate
+from repro.lookup.router import alpha_ratio
+from repro.text.tokenize import normalize as text_normalize
+
+
+class StubService(LookupService):
+    """Records every batch it serves; returns canned candidates."""
+
+    name = "stub"
+
+    def __init__(self, rows=None):
+        super().__init__()
+        self.calls: list[list[str]] = []
+        self.rows = rows or [Candidate("stub:answer", 0.5)]
+
+    def _lookup_batch(self, queries, k):
+        self.calls.append(list(queries))
+        return [list(self.rows)[:k] for _ in queries]
+
+
+@pytest.fixture(scope="module")
+def router_parts(tiny_kg):
+    table = LabelHashTable.build(tiny_kg)
+    type_map = TypeFilterMap.from_kg(tiny_kg)
+    return tiny_kg, table, type_map
+
+
+class TestNormalizationUnity:
+    def test_lookup_normalize_is_the_text_normalizer(self):
+        assert normalize is text_normalize
+
+    def test_cache_and_label_table_share_the_helper(self, tiny_kg):
+        assert QueryCache._normalize("  Ångström  ") == normalize("  Ångström  ")
+        table = LabelHashTable.build(tiny_kg)
+        entity = next(tiny_kg.entities())
+        assert table.lookup(f"  {entity.label.upper()}  ") == table.lookup(
+            entity.label
+        )
+
+    def test_cache_normalizes_its_own_keys(self):
+        cache = QueryCache(8, cache_results=True)
+        cache.put_result("  Germany ", 3, [Candidate("e1", 1.0)])
+        assert cache.get_result("germany", 3) == [Candidate("e1", 1.0)]
+
+    def test_cache_result_scope_isolates_type_filters(self):
+        cache = QueryCache(8, cache_results=True)
+        cache.put_result("germany", 3, [Candidate("e1", 1.0)], scope="country")
+        assert cache.get_result("germany", 3) is None
+        assert cache.get_result("germany", 3, scope="country") == [
+            Candidate("e1", 1.0)
+        ]
+
+    def test_exact_match_lookup_agrees_with_label_table(self, tiny_kg):
+        exact = ExactMatchLookup.build(tiny_kg, include_aliases=True)
+        table = LabelHashTable.build(tiny_kg)
+        for entity in list(tiny_kg.entities())[:20]:
+            got = {c.entity_id for c in exact.lookup(entity.label, 50)}
+            assert set(table.lookup(entity.label)) == got
+
+
+class TestLabelHashTable:
+    def test_build_indexes_labels_and_aliases(self, tiny_kg):
+        table = LabelHashTable.build(tiny_kg)
+        entity = next(e for e in tiny_kg.entities() if e.aliases)
+        assert entity.entity_id in table.lookup(entity.label)
+        assert entity.entity_id in table.lookup(entity.aliases[0])
+        assert len(table) > 0
+        assert table.index_bytes() > 0
+
+    def test_labels_only_mode_skips_aliases(self, tiny_kg):
+        table = LabelHashTable.build(tiny_kg, include_aliases=False)
+        entity = next(
+            e
+            for e in tiny_kg.entities()
+            if e.aliases and normalize(e.aliases[0]) != normalize(e.label)
+        )
+        alias_hits = table.lookup(entity.aliases[0])
+        assert entity.entity_id not in alias_hits
+
+    def test_add_dedups_entity_ids_and_skips_empty_keys(self):
+        table = LabelHashTable()
+        table.add("Same", "e1")
+        table.add("same ", "e1")
+        table.add("   ", "e9")
+        assert table.lookup("SAME") == ("e1",)
+        assert len(table) == 1
+
+    def test_miss_returns_empty_tuple(self):
+        assert LabelHashTable().lookup("anything") == ()
+
+
+class TestAlphaRatio:
+    def test_ratio_values(self):
+        assert alpha_ratio("germany") == 1.0
+        assert alpha_ratio("b-52") == pytest.approx(0.25)
+        assert alpha_ratio("12345") == 0.0
+        assert alpha_ratio("   ") == 0.0
+        assert alpha_ratio("ab 12") == pytest.approx(0.5)
+
+
+class TestRouting:
+    def test_exact_hit_short_circuits_other_tiers(self, router_parts):
+        kg, table, _ = router_parts
+        ann, fuzzy = StubService(), StubService()
+        router = LookupRouter(table, ann=ann, fuzzy=fuzzy)
+        entity = next(kg.entities())
+        row = router.lookup(entity.label, 5)
+        assert row[0] == Candidate(entity.entity_id, 1.0)
+        assert ann.calls == [] and fuzzy.calls == []
+        assert router.router_stats() == {
+            "exact_hits": 1,
+            "fuzzy_routed": 0,
+            "ann_routed": 0,
+        }
+
+    def test_short_queries_route_to_fuzzy(self, router_parts):
+        _, table, _ = router_parts
+        ann, fuzzy = StubService(), StubService()
+        router = LookupRouter(
+            table, ann=ann, fuzzy=fuzzy, min_string_length_to_trigger=6
+        )
+        row = router.lookup("zzzqq", 5)
+        assert row == [Candidate("stub:answer", 0.5)]
+        assert fuzzy.calls == [["zzzqq"]] and ann.calls == []
+        assert router.router_stats()["fuzzy_routed"] == 1
+
+    def test_low_alpha_queries_route_to_fuzzy(self, router_parts):
+        _, table, _ = router_parts
+        ann, fuzzy = StubService(), StubService()
+        router = LookupRouter(table, ann=ann, fuzzy=fuzzy)
+        router.lookup("0x1234-zq", 5)
+        assert fuzzy.calls and not ann.calls
+
+    def test_long_alphabetic_queries_route_to_ann(self, router_parts):
+        _, table, _ = router_parts
+        ann, fuzzy = StubService(), StubService()
+        router = LookupRouter(table, ann=ann, fuzzy=fuzzy)
+        query = "an unindexed alphabetic query"
+        row = router.lookup(query, 5)
+        assert row == [Candidate("stub:answer", 0.5)]
+        assert ann.calls == [[query]] and not fuzzy.calls
+        assert router.router_stats()["ann_routed"] == 1
+
+    def test_without_fuzzy_tier_short_queries_fall_to_ann(self, router_parts):
+        _, table, _ = router_parts
+        ann = StubService()
+        router = LookupRouter(table, ann=ann, fuzzy=None)
+        router.lookup("zq", 5)
+        assert ann.calls == [["zq"]]
+
+    def test_missing_ann_tier_raises(self, router_parts):
+        _, table, _ = router_parts
+        router = LookupRouter(table, ann=None, fuzzy=None)
+        with pytest.raises(RuntimeError, match="no ANN tier"):
+            router.lookup("an unindexed alphabetic query", 5)
+
+    def test_mixed_batch_preserves_positions(self, router_parts):
+        kg, table, _ = router_parts
+        ann, fuzzy = StubService(), StubService()
+        router = LookupRouter(table, ann=ann, fuzzy=fuzzy)
+        entity = next(kg.entities())
+        rows = router.lookup_batch(
+            [entity.label, "zq", "an unindexed alphabetic query"], 4
+        )
+        assert rows[0][0].entity_id == entity.entity_id
+        assert rows[1] == [Candidate("stub:answer", 0.5)]
+        assert rows[2] == [Candidate("stub:answer", 0.5)]
+
+    def test_tier_timers_reset(self, router_parts):
+        kg, table, _ = router_parts
+        router = LookupRouter(table, ann=StubService(), fuzzy=StubService())
+        router.lookup(next(kg.entities()).label, 3)
+        assert router.tier_seconds()["exact"] > 0
+        router.reset_timers()
+        assert all(v == 0.0 for v in router.tier_seconds().values())
+
+    def test_build_constructs_fuzzy_by_name(self, tiny_kg):
+        for name in ("qgram", "levenshtein"):
+            router = LookupRouter.build(tiny_kg, ann=StubService(), fuzzy=name)
+            assert router.fuzzy is not None and router.fuzzy.name != "router"
+        with pytest.raises(ValueError, match="fuzzy"):
+            LookupRouter.build(tiny_kg, fuzzy="nope")
+
+    def test_validates_knobs(self, router_parts):
+        _, table, _ = router_parts
+        with pytest.raises(ValueError, match="min_string_length"):
+            LookupRouter(table, min_string_length_to_trigger=-1)
+        with pytest.raises(ValueError, match="min_alpha_ratio"):
+            LookupRouter(table, min_alpha_ratio=1.5)
+
+    def test_index_bytes_sums_tiers(self, tiny_kg):
+        router = LookupRouter.build(tiny_kg, ann=StubService(), fuzzy="qgram")
+        assert (
+            router.index_bytes()
+            >= router.label_table.index_bytes() + router.fuzzy.index_bytes()
+        )
+
+
+class TestTypeFilter:
+    def test_supports_type_filter(self, router_parts):
+        _, table, _ = router_parts
+        assert LookupRouter(table).supports_type_filter
+        assert not StubService().supports_type_filter
+        with pytest.raises(NotImplementedError, match="type_filter"):
+            StubService().lookup("x", 3, type_filter="country")
+
+    def test_type_map_matches_kg_transitive_membership(self, router_parts):
+        kg, _, type_map = router_parts
+        for entity_type in kg.types():
+            tid = entity_type.type_id
+            assert type_map.allowed(tid) == set(
+                kg.entities_of_type(tid, transitive=True)
+            )
+        with pytest.raises(KeyError, match="unknown type"):
+            type_map.allowed("no-such-type")
+        with pytest.raises(KeyError, match="unknown type"):
+            type_map.partitions_for("no-such-type")
+
+    def test_partitions_cover_every_allowed_entity(self, router_parts):
+        kg, _, type_map = router_parts
+        for entity_type in kg.types():
+            tid = entity_type.type_id
+            partitions = set(type_map.partitions_for(tid))
+            for eid in type_map.allowed(tid):
+                entity = kg.entity(eid)
+                assert (entity.primary_type or DEFAULT_PARTITION) in partitions
+
+    def test_exact_hit_filtered_by_type(self, router_parts):
+        kg, table, type_map = router_parts
+        ann = StubService()
+        router = LookupRouter(table, ann=ann, type_map=type_map)
+        entity = next(e for e in kg.entities() if e.type_ids)
+        tid = entity.type_ids[0]
+        row = router.lookup(entity.label, 5, type_filter=tid)
+        assert row[0] == Candidate(entity.entity_id, 1.0)
+        hit_ids = {c.entity_id for c in row}
+        assert hit_ids <= type_map.allowed(tid)
+
+    def test_wrong_type_exact_hit_falls_through_to_ann(self, router_parts):
+        kg, table, type_map = router_parts
+        entity = next(e for e in kg.entities() if e.type_ids)
+        other = next(
+            t.type_id
+            for t in kg.types()
+            if entity.entity_id not in type_map.allowed(t.type_id)
+        )
+        allowed = type_map.allowed(other)
+        some_allowed = next(iter(allowed))
+        ann = StubService(
+            rows=[Candidate(entity.entity_id, 0.9), Candidate(some_allowed, 0.1)]
+        )
+        router = LookupRouter(table, ann=ann, type_map=type_map)
+        row = router.lookup(entity.label, 5, type_filter=other)
+        # The exact hit is inadmissible, so the ANN tier answers and its
+        # inadmissible candidates are post-filtered out.
+        assert ann.calls
+        assert row == [Candidate(some_allowed, 0.1)]
+
+    def test_type_filter_without_map_raises(self, router_parts):
+        _, table, _ = router_parts
+        router = LookupRouter(table, ann=StubService())
+        with pytest.raises(RuntimeError, match="TypeFilterMap"):
+            router.lookup("query", 3, type_filter="country")

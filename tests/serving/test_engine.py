@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.index.partitioned import TypePartitionedIndex
 from repro.index.sharded import ShardedIndex
 from repro.lookup.cache import QueryCache
+from repro.lookup.router import LookupRouter, TypeFilterMap
 from repro.serving.engine import LookupEngine
 
 
@@ -106,7 +108,7 @@ class TestSynchronousLookup:
         engine = LookupEngine.from_pipeline(trained_service)
         engine.lookup_batch(["germany"], 3)
         stages = engine.stage_seconds()
-        assert set(stages) == {"cache", "embed", "search", "rank"}
+        assert set(stages) == {"cache", "route", "embed", "search", "rank"}
         assert stages["embed"] > 0
         assert stages["search"] > 0
         assert engine.query_time.total >= stages["search"]
@@ -186,3 +188,133 @@ class TestEngineCache:
         hits_before = cache.stats.hits
         engine.lookup_batch(["  germany  "], 4)
         assert cache.stats.hits > hits_before
+
+
+def assert_candidate_rows_agree(got, want):
+    """Same ranked entities; scores equal up to flat-scan BLAS ulp noise."""
+    assert len(got) == len(want)
+    for got_row, want_row in zip(got, want):
+        assert [c.entity_id for c in got_row] == [c.entity_id for c in want_row]
+        np.testing.assert_allclose(
+            [c.score for c in got_row],
+            [c.score for c in want_row],
+            rtol=1e-6,
+            atol=1e-9,
+        )
+
+
+class TestRouterIntegration:
+    """Router-in-engine tiers plus type_filter over partitioned indexes."""
+
+    @pytest.fixture(scope="class")
+    def routed(self, trained_service):
+        engine = LookupEngine.from_pipeline(
+            trained_service, partition_by_type=True, router=True
+        )
+        yield engine
+        engine.close()
+
+    def test_builds_partitioned_index_and_router(self, routed, trained_service):
+        assert isinstance(routed.index, TypePartitionedIndex)
+        assert routed.index.ntotal == len(trained_service.row_entity_ids)
+        assert isinstance(routed.router, LookupRouter)
+        assert routed.router.ann is None  # the engine IS the ann tier
+        assert routed.supports_type_filter
+
+    def test_exact_hit_skips_the_embedding_stage(self, routed, trained_service):
+        label = next(trained_service.kg.entities()).label
+        routed.reset_timers()
+        before = routed.serving_stats()["exact_hits"]
+        row = routed.lookup_batch([label], 5)[0]
+        assert row and row[0].score == 1.0
+        assert routed.serving_stats()["exact_hits"] == before + 1
+        assert routed.stage_seconds()["embed"] == 0.0
+        assert routed.stage_seconds()["route"] > 0.0
+
+    def test_ann_queries_still_match_unrouted_engine(self, routed, trained_service):
+        """Queries no cheap tier claims answer exactly like the plain
+        flat engine (the router==pure-ANN acceptance property)."""
+        queries = ["germaby republik", "unversity of oxfort"]
+        plain = LookupEngine.from_pipeline(trained_service)
+        assert_candidate_rows_agree(
+            routed.lookup_batch(queries, 5), plain.lookup_batch(queries, 5)
+        )
+
+    def test_typed_lookup_scans_only_matching_partitions(
+        self, routed, trained_service
+    ):
+        kg = trained_service.kg
+        # The narrowest populated type: its partitions must cover a
+        # strict subset of the index.
+        per_query, tid = min(
+            (
+                routed.index.rows_in(
+                    routed._type_map.partitions_for(t.type_id)
+                ),
+                t.type_id,
+            )
+            for t in kg.types()
+            if routed._type_map.allowed(t.type_id)
+        )
+        assert 0 < per_query < routed.index.ntotal
+        before = routed.serving_stats()["type_filtered_rows_scanned"]
+        rows = routed.lookup_batch(["zzz unknown query xyz"], 5, type_filter=tid)
+        scanned = routed.serving_stats()["type_filtered_rows_scanned"] - before
+        assert scanned == per_query
+        allowed = routed._type_map.allowed(tid)
+        assert rows[0] and all(c.entity_id in allowed for c in rows[0])
+
+    def test_partitioned_typed_results_match_full_scan_post_filtering(
+        self, routed, trained_service
+    ):
+        """The tentpole exactness claim end-to-end: partition-restricted
+        typed lookups are identical to type-filtering a full-index scan
+        (the fallback path a flat engine takes)."""
+        kg = trained_service.kg
+        fallback = LookupEngine.from_pipeline(trained_service, router=True)
+        assert not isinstance(fallback.index, TypePartitionedIndex)
+        queries = ["germaby", "zzz unknown", "uni of oxfort", "tokio"]
+        for entity_type in kg.types():
+            tid = entity_type.type_id
+            assert_candidate_rows_agree(
+                routed.lookup_batch(queries, 5, type_filter=tid),
+                fallback.lookup_batch(queries, 5, type_filter=tid),
+            )
+
+    def test_typed_results_cached_per_scope(self, routed, trained_service):
+        tid = next(trained_service.kg.types()).type_id
+        cache = QueryCache(16, cache_results=True)
+        routed.cache = cache
+        try:
+            query = "scope isolation probe"
+            row = routed.lookup_batch([query], 4, type_filter=tid)[0]
+            assert cache.get_result(query, 4) is None
+            assert cache.get_result(query, 4, scope=tid) == row
+        finally:
+            routed.cache = None
+
+    def test_type_filter_without_map_raises(self, trained_service):
+        plain = LookupEngine.from_pipeline(trained_service)
+        with pytest.raises(RuntimeError, match="TypeFilterMap"):
+            plain.lookup_batch(["x"], 3, type_filter="anything")
+
+    def test_unknown_type_filter_raises_key_error(self, routed):
+        with pytest.raises(KeyError, match="unknown type"):
+            routed.lookup_batch(["x"], 3, type_filter="no-such-type")
+
+    def test_serving_stats_has_router_and_scan_counters(self, routed):
+        stats = routed.serving_stats()
+        for key in (
+            "exact_hits",
+            "fuzzy_routed",
+            "ann_routed",
+            "type_filtered_rows_scanned",
+        ):
+            assert key in stats
+
+    def test_stats_counters_are_zero_without_router(self, engine):
+        stats = engine.serving_stats()
+        assert stats["exact_hits"] == 0
+        assert stats["fuzzy_routed"] == 0
+        assert stats["ann_routed"] == 0
+        assert stats["type_filtered_rows_scanned"] == 0
