@@ -7,6 +7,15 @@ until PR 3 batched its growth.  :class:`GrowBuffer` keeps a capacity array
 that doubles geometrically, so a sequence of adds totalling ``n`` rows
 copies O(n) elements overall, like ``list.append`` or FAISS's own
 ``std::vector``-backed storage.
+
+Prefix stability: an :attr:`GrowBuffer.view` fetched when the buffer held
+``n`` rows keeps describing exactly those ``n`` rows forever — appends
+only write *beyond* the published length, and a reallocation copies the
+prefix verbatim into the new backing array while the old array (and any
+view onto it) stays alive and unmodified.  The online-mutation snapshot
+protocol (:mod:`repro.index.mutation`) leans on this: a search that
+pinned ``(rows, tombstones)`` may keep scanning its view while writers
+append concurrently.
 """
 
 from __future__ import annotations

@@ -1,0 +1,138 @@
+"""Snapshot and tombstone primitives for online index mutation.
+
+The index family supports ``add`` / ``remove`` / ``update`` under live
+search traffic.  The mechanism that makes a concurrent search safe is
+*snapshot publication*:
+
+- every mutable index keeps its current visibility state in a single
+  :class:`IndexSnapshot` attribute (``rows`` visible, a tombstone bitmap
+  over them, a monotonically increasing ``epoch``);
+- mutators serialize on the index's write lock, build a **new** snapshot
+  (tombstone arrays are copy-on-write — never mutated in place) and
+  publish it with one attribute assignment, which is atomic under the
+  GIL;
+- a search reads the attribute **once** and scans against that pinned
+  snapshot.  Because the row stores (:class:`~repro.index.buffer.
+  GrowBuffer`) are prefix-stable — appends only write beyond the
+  published length, and reallocation copies the prefix verbatim — the
+  pinned ``(rows, tombstones)`` pair always describes a complete,
+  internally consistent entity set.
+
+The result is the *old-or-new* invariant the property suite in
+``tests/property/test_mutation.py`` enforces: a lookup concurrent with a
+mutation equals the brute-force oracle over either the pre-mutation or
+the post-mutation entity set, never a torn mixture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.contracts import array_contract
+
+__all__ = [
+    "IndexSnapshot",
+    "bury",
+    "check_row_ids",
+    "extend_tombstones",
+    "validate_removable",
+]
+
+
+@dataclass(frozen=True)
+class IndexSnapshot:
+    """One immutable visibility state of a mutable index.
+
+    ``rows`` is the number of stored rows visible to a search pinned on
+    this snapshot; ``tombstones`` is a read-only boolean bitmap over
+    those rows (``None`` means every row is live); ``epoch`` increases
+    by one per published mutation, so equality of epochs identifies a
+    state and callers (compaction, the serving engine's retry guard)
+    can detect that the index moved underneath them.
+    """
+
+    rows: int
+    tombstones: np.ndarray | None
+    epoch: int
+
+    @property
+    def tombstone_count(self) -> int:
+        """Number of removed (but not yet compacted) rows."""
+        if self.tombstones is None:
+            return 0
+        return int(self.tombstones.sum())
+
+    @property
+    def nlive(self) -> int:
+        """Rows visible to a search pinned on this snapshot."""
+        return self.rows - self.tombstone_count
+
+
+@array_contract("ids: any, rows: int -> (_,) i64")
+def check_row_ids(ids, rows: int) -> np.ndarray:
+    """Validate a caller-supplied row-id batch against ``rows`` stored rows.
+
+    Returns the ids as a 1-D int64 array.  Raises ``ValueError`` for
+    non-integer input, out-of-range ids, or duplicates (a duplicate in a
+    ``remove`` batch is a double-free).
+    """
+    out = np.asarray(ids)  # repro: noqa[REP101] -- dtype validated below
+    if out.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if out.dtype.kind not in "iu":
+        raise ValueError(f"row ids must be integers, got dtype {out.dtype}")
+    out = out.astype(np.int64, copy=False).ravel()
+    if out.min() < 0 or out.max() >= rows:
+        raise ValueError(
+            f"row ids must be in [0, {rows}), got range "
+            f"[{out.min()}, {out.max()}]"
+        )
+    if len(np.unique(out)) != len(out):
+        raise ValueError("duplicate row ids in one mutation batch")
+    return out
+
+
+@array_contract("tombstones: any, extra: int -> any")
+def extend_tombstones(
+    tombstones: np.ndarray | None, extra: int
+) -> np.ndarray | None:
+    """Copy-on-write extension of a bitmap by ``extra`` live rows."""
+    if tombstones is None:
+        return None
+    return np.concatenate([tombstones, np.zeros(extra, dtype=bool)])
+
+
+@array_contract("tombstones: any, ids: (_,) i64::any -> None")
+def validate_removable(tombstones: np.ndarray | None, ids: np.ndarray) -> None:
+    """Raise ``ValueError`` when any id is already tombstoned.
+
+    Used for all-or-nothing pre-validation before a multi-shard remove
+    touches any shard.
+    """
+    if tombstones is None or ids.size == 0:
+        return
+    dead = ids[tombstones[ids]]
+    if dead.size:
+        raise ValueError(f"row ids already removed: {dead.tolist()}")
+
+
+@array_contract("tombstones: any, rows: int, ids: (_,) i64::any -> (rows,) bool")
+def bury(
+    tombstones: np.ndarray | None, rows: int, ids: np.ndarray
+) -> np.ndarray:
+    """New bitmap over ``rows`` with ``ids`` tombstoned (copy-on-write).
+
+    ``ids`` must already be validated by :func:`check_row_ids`; a
+    double-remove raises ``ValueError`` before anything is written.
+    """
+    validate_removable(tombstones, ids)
+    if tombstones is None:
+        out = np.zeros(rows, dtype=bool)
+    else:
+        out = np.concatenate(
+            [tombstones, np.zeros(rows - len(tombstones), dtype=bool)]
+        )
+    out[ids] = True
+    return out

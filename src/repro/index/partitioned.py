@@ -27,10 +27,18 @@ The sub-index family is pluggable through ``factory`` — pass a closure
 building a :class:`~repro.index.sharded.ShardedIndex` to combine per-type
 partitioning with multi-core shard execution (shm export and worker
 pools come along for free; ``close`` forwards to every partition).
+
+Online mutation: :meth:`TypePartitionedIndex.remove` tombstones *global*
+row ids by locating each id in its partition's id column and forwarding
+the local ids to the sub-index's snapshot-protocol ``remove`` (see
+:mod:`repro.index.mutation`).  Updates go through the serving engine as
+remove + add — an updated entity may change primary type, i.e. change
+partition, which an in-place update cannot express.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 
 import numpy as np
@@ -38,6 +46,7 @@ import numpy as np
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.buffer import GrowBuffer
 from repro.index.flat import FlatIndex
+from repro.index.mutation import check_row_ids, validate_removable
 from repro.index.topk import merge_topk
 from repro.utils.contracts import array_contract
 
@@ -77,12 +86,30 @@ class TypePartitionedIndex(VectorIndex):
         # Per-partition global-id column, (n_local, 1) int64.
         self._ids: dict[str, GrowBuffer] = {}
         self._ntotal = 0
+        # Serialises add/remove; searches stay lock-free on the
+        # sub-indexes' own published snapshots.
+        self._write_lock = threading.Lock()
 
     # -- construction ----------------------------------------------------------
 
     @property
     def ntotal(self) -> int:
         return self._ntotal
+
+    @property
+    def nlive(self) -> int:
+        """Rows visible to a search (stored minus tombstoned)."""
+        return sum(
+            getattr(p, "nlive", p.ntotal) for p in self._partitions.values()
+        )
+
+    @property
+    def tombstone_count(self) -> int:
+        """Removed rows awaiting compaction, across all partitions."""
+        return sum(
+            getattr(p, "tombstone_count", 0)
+            for p in self._partitions.values()
+        )
 
     @property
     def is_trained(self) -> bool:
@@ -140,20 +167,57 @@ class TypePartitionedIndex(VectorIndex):
             raise ValueError(
                 f"got {len(vectors)} vectors but {len(keys)} partition keys"
             )
-        base = self._ntotal
-        order: dict[str, list[int]] = {}
-        for row, key in enumerate(keys):
-            order.setdefault(str(key), []).append(row)
-        for key, rows in order.items():
-            partition = self._partitions.get(key)
-            if partition is None:
-                partition = self._factory(self.dim)
-                self._partitions[key] = partition
-                self._ids[key] = GrowBuffer(1, np.int64)
-            partition.add(vectors[rows])
-            global_ids = np.asarray(rows, dtype=np.int64) + base
-            self._ids[key].append(global_ids[:, None])
-        self._ntotal = base + len(vectors)
+        with self._write_lock:
+            base = self._ntotal
+            order: dict[str, list[int]] = {}
+            for row, key in enumerate(keys):
+                order.setdefault(str(key), []).append(row)
+            for key, rows in order.items():
+                partition = self._partitions.get(key)
+                if partition is None:
+                    partition = self._factory(self.dim)
+                    self._partitions[key] = partition
+                    self._ids[key] = GrowBuffer(1, np.int64)
+                partition.add(vectors[rows])
+                global_ids = np.asarray(rows, dtype=np.int64) + base
+                self._ids[key].append(global_ids[:, None])
+            self._ntotal = base + len(vectors)
+
+    @array_contract("ids: any -> None")
+    def remove(self, ids) -> None:
+        """Tombstone global row ids in their partitions (all-or-nothing).
+
+        Each id is located in its partition's global-id column; every
+        partition's batch is pre-validated against its tombstone bitmap
+        before any partition is touched, so a double-remove in one
+        partition cannot leave another half-mutated.
+        """
+        with self._write_lock:
+            row_ids = check_row_ids(ids, self._ntotal)
+            if len(row_ids) == 0:
+                return
+            plan: list[tuple[VectorIndex, np.ndarray]] = []
+            found = 0
+            for key, partition in self._partitions.items():
+                col = self._ids[key].view[:, 0]
+                local = np.nonzero(np.isin(col, row_ids))[0]
+                if len(local) == 0:
+                    continue
+                if not hasattr(partition, "remove"):
+                    raise NotImplementedError(
+                        f"partition family {type(partition).__name__} "
+                        "does not support remove()"
+                    )
+                validate_removable(partition.snapshot().tombstones, local)
+                plan.append((partition, local))
+                found += len(local)
+            if found != len(row_ids):  # pragma: no cover - id column invariant
+                raise ValueError(
+                    f"only {found} of {len(row_ids)} row ids found in "
+                    "partition id columns"
+                )
+            for partition, local in plan:
+                partition.remove(local)
 
     # -- search ----------------------------------------------------------------
 

@@ -54,16 +54,35 @@ timeouts / retries / seconds) are kept in
 persistently sick shard.  Pass ``fail_fast=True`` to restore strict
 all-or-nothing behaviour.
 
+Online mutation: :meth:`ShardedIndex.remove` / :meth:`ShardedIndex.update`
+follow the snapshot protocol of :mod:`repro.index.mutation`, lifted to the
+fan-out level.  The cross-shard visibility state is one published
+``_IndexView`` — an immutable ``(token, shards, snaps)`` triple — so a
+search pins *all* shards' snapshots with a single attribute read and can
+never observe shard 0 post-mutation but shard 1 pre-mutation.  On the
+process executor each request ships its pinned ``(rows, tombstones)``
+pair to the worker (removes need no re-export; appends re-export via the
+existing pool invalidation).  :meth:`ShardedIndex.compact` rebuilds the
+shard set off-lock — re-training PQ codebooks on the decoded live rows —
+and swaps it in all-or-nothing: the swap is abandoned if any mutation
+landed during the rebuild, and a search that raced the swap falls back to
+an inline scan over its pinned (old) shard objects, which the swap never
+mutates.
+
 Fault injection: tests (see :mod:`repro.testing.faults`) pass a
 ``fault_hook`` — any object with optional methods
 ``before(shard: int) -> None`` (called on the shard's coordinator
 thread before its search; may raise or sleep),
 ``transform(shard: int, ids, distances) -> (ids, distances)`` (applied
-to the shard's result before fan-in), and
+to the shard's result before fan-in),
 ``should_kill(shard: int) -> bool`` (process executor only: when true
 the shard's worker process is killed before the request, exercising the
-crash-detection → respawn → retry path).  Production code leaves it
-``None``; the index never imports the testing layer.
+crash-detection → respawn → retry path), and
+``on_compaction(phase: str) -> None`` (called with ``"build"`` when a
+compaction starts rebuilding and ``"swap"`` immediately before the
+atomic swap; raising at ``"swap"`` aborts the compaction with the old
+shard set untouched).  Production code leaves it ``None``; the index
+never imports the testing layer.
 """
 
 from __future__ import annotations
@@ -76,12 +95,14 @@ from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from multiprocessing.connection import wait as _mp_wait
 from time import monotonic
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.index.base import SearchResult, VectorIndex
+from repro.index.mutation import IndexSnapshot, check_row_ids, validate_removable
 from repro.index.shm import AttachedSegments, ShmRegistry
-from repro.index.topk import merge_topk
+from repro.index.topk import mask_tombstoned, merge_topk
 from repro.utils.contracts import array_contract
 
 __all__ = [
@@ -104,6 +125,24 @@ class ShardTimeoutError(TimeoutError):
 
 class WorkerCrashedError(RuntimeError):
     """A shard's worker process died mid-request (before responding)."""
+
+
+class _IndexView(NamedTuple):
+    """One immutable cross-shard visibility state, published atomically.
+
+    ``token`` identifies the shard *set* (a fresh object per compaction
+    swap — the process pool records the token it exported, so a search
+    pinned on an older token detects the mismatch and scans inline on
+    its pinned shard objects instead).  ``snaps`` holds one
+    :class:`~repro.index.mutation.IndexSnapshot` per shard (``None`` for
+    shard families without snapshot support), captured under the write
+    lock in the same publish, so a single read pins a consistent
+    cross-shard state.
+    """
+
+    token: object
+    shards: tuple[VectorIndex, ...]
+    snaps: tuple[IndexSnapshot | None, ...]
 
 
 class _ShardHealth:
@@ -183,6 +222,9 @@ def _build_shard(payload: dict, segments: AttachedSegments) -> VectorIndex:
             block_size=payload["block_size"],
         )
         index._store = GrowBuffer.wrap(segments.attach(payload["vectors"]))
+        # The ctor published an empty snapshot; re-publish over the
+        # attached store so ntotal/search see the exported rows.
+        index._snap = IndexSnapshot(len(index._store), None, 0)
         return index
     if kind == "pq":
         index = PQIndex(
@@ -193,6 +235,7 @@ def _build_shard(payload: dict, segments: AttachedSegments) -> VectorIndex:
         )
         index.pq.codebooks = segments.attach(payload["codebooks"])
         index._store = GrowBuffer.wrap(segments.attach(payload["codes"]))
+        index._snap = IndexSnapshot(len(index._store), None, 0)
         return index
     if kind == "pickle":
         return payload["index"]
@@ -204,9 +247,15 @@ def _shard_worker_main(conn, payloads: dict[int, dict]) -> None:
 
     Protocol (one in-flight request per worker, enforced parent-side):
 
-    - recv ``("search", req_id, shard, queries, k)`` →
+    - recv ``("search", req_id, shard, queries, k, rows, tombstones)`` →
       send ``("ok", req_id, ids, distances, seconds)`` or
-      ``("err", req_id, repr(exc))``
+      ``("err", req_id, repr(exc))``.  ``(rows, tombstones)`` is the
+      parent's pinned visibility snapshot for the shard (``rows=None``
+      means "search everything" — pickle-family shards without snapshot
+      support).  A snapshot wider than the worker's exported store means
+      the export predates an append the parent already published; the
+      worker reports it as an error rather than silently serving the
+      stale prefix, and the parent's retry lands on a re-exported pool.
     - recv ``("stop",)`` → detach segments and exit.
     """
     segments = AttachedSegments()
@@ -225,10 +274,23 @@ def _shard_worker_main(conn, payloads: dict[int, dict]) -> None:
                 break
             if msg[0] == "stop":
                 break
-            _, req_id, s, queries, k = msg
+            _, req_id, s, queries, k, rows, tombstones = msg
             try:
+                shard = shards[s]
                 start = monotonic()
-                result = shards[s].search(queries, k)
+                if rows is None:
+                    result = shard.search(queries, k)
+                else:
+                    if shard.ntotal < rows:
+                        raise RuntimeError(
+                            f"stale shm export: shard {s} has "
+                            f"{shard.ntotal} rows, snapshot wants {rows}"
+                        )
+                    result = shard.search(
+                        queries,
+                        k,
+                        snapshot=IndexSnapshot(rows, tombstones, 0),
+                    )
                 elapsed = monotonic() - start
                 conn.send(
                     ("ok", req_id, result.ids, result.distances, elapsed)
@@ -286,6 +348,7 @@ class _ProcessShardPool:
         num_workers: int,
         mp_context: str | None = None,
         on_respawn: Callable[[int], None] | None = None,
+        view_token: object | None = None,
     ):
         if mp_context is None:
             # fork reuses the parent's loaded interpreter (fast spawn);
@@ -295,6 +358,9 @@ class _ProcessShardPool:
         self._ctx = multiprocessing.get_context(mp_context)
         self.mp_context = mp_context
         self._shards = shards
+        # The shard-set token this pool's shm payload was exported for;
+        # a search pinned on a different token must not use this pool.
+        self.view_token = view_token
         self.num_workers = max(1, min(num_workers, len(shards)))
         self._on_respawn = on_respawn
         self._registry: ShmRegistry | None = None
@@ -404,8 +470,13 @@ class _ProcessShardPool:
         queries: np.ndarray,
         k: int,
         deadline: float | None,
+        snap: IndexSnapshot | None = None,
     ) -> tuple[np.ndarray, np.ndarray, float]:
         """One shard search on its worker; ``(ids, distances, seconds)``.
+
+        ``snap`` is the caller's pinned visibility snapshot for the
+        shard; its ``(rows, tombstones)`` pair rides the request so
+        removes are visible without re-exporting shared memory.
 
         Raises :class:`WorkerCrashedError` when the worker died before
         responding (after respawning it so the next attempt is clean),
@@ -414,6 +485,8 @@ class _ProcessShardPool:
         cancelled, but the *pool* must not stay wedged), and
         ``RuntimeError`` when the worker reports a search error.
         """
+        rows = snap.rows if snap is not None else None
+        tombstones = snap.tombstones if snap is not None else None
         worker = self._worker_of[shard]
         with worker.lock:
             if worker.injected_kill:
@@ -425,7 +498,9 @@ class _ProcessShardPool:
             worker.req_counter += 1
             req_id = worker.req_counter
             try:
-                worker.conn.send(("search", req_id, shard, queries, k))
+                worker.conn.send(
+                    ("search", req_id, shard, queries, k, rows, tombstones)
+                )
             except (BrokenPipeError, OSError):
                 self._respawn(worker, shard)
                 raise WorkerCrashedError(
@@ -587,6 +662,7 @@ class ShardedIndex(VectorIndex):
             factory = FlatIndex
         self.dim = dim
         self.num_shards = num_shards
+        self._factory = factory
         self._shards: list[VectorIndex] = [
             factory(dim) for _ in range(num_shards)
         ]
@@ -596,6 +672,10 @@ class ShardedIndex(VectorIndex):
                     f"factory built a dim-{shard.dim} shard, expected {dim}"
                 )
         self._ntotal = 0
+        self._write_lock = threading.Lock()
+        self._epoch = 0
+        self._view = _IndexView(object(), (), ())
+        self._publish_view(self._view.token)
         self.executor = executor
         # max_workers is the PR 4 name for the same knob; num_workers wins.
         self._num_workers = num_workers or max_workers or num_shards
@@ -625,13 +705,61 @@ class ShardedIndex(VectorIndex):
     def ntotal(self) -> int:
         return self._ntotal
 
+    @property
+    def nlive(self) -> int:
+        """Rows visible to a search (stored minus tombstoned)."""
+        view = self._view
+        return sum(
+            snap.nlive if snap is not None else shard.ntotal
+            for shard, snap in zip(view.shards, view.snaps)
+        )
+
+    @property
+    def tombstone_count(self) -> int:
+        """Removed rows awaiting :meth:`compact`, across all shards."""
+        return sum(
+            snap.tombstone_count
+            for snap in self._view.snaps
+            if snap is not None
+        )
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Published mutation count; changes iff the visible set changed."""
+        return self._epoch
+
+    def _publish_view(self, token: object | None = None) -> None:
+        """Publish a new cross-shard view; caller holds ``_write_lock``
+        (the ctor publishes before the index is visible to anyone)."""
+        shards = tuple(self._shards)
+        snaps = tuple(
+            shard.snapshot() if hasattr(shard, "snapshot") else None
+            for shard in shards
+        )
+        self._view = _IndexView(
+            token if token is not None else self._view.token, shards, snaps
+        )
+
+    def _locals_by_shard(self, ids: np.ndarray) -> dict[int, np.ndarray]:
+        """Split validated global row ids into per-shard local row ids."""
+        out: dict[int, np.ndarray] = {}
+        lanes = ids % self.num_shards
+        for s in range(self.num_shards):
+            local = ids[lanes == s] // self.num_shards
+            if len(local):
+                out[s] = local
+        return out
+
     @array_contract("vectors: (..., d) num::any -> None")
     def train(self, vectors: np.ndarray) -> None:
         """Train every shard on the full matrix (identical quantizers)."""
         vectors = self._check_vectors(vectors, "training vectors")
-        self._invalidate_workers()
-        for shard in self._shards:
-            shard.train(vectors)
+        with self._write_lock:
+            self._invalidate_workers()
+            for shard in self._shards:
+                shard.train(vectors)
+            self._epoch += 1
+            self._publish_view()
 
     @array_contract("vectors: (..., d) num::any -> None")
     def add(self, vectors: np.ndarray) -> None:
@@ -639,17 +767,175 @@ class ShardedIndex(VectorIndex):
         vectors = self._check_vectors(vectors, "vectors")
         if len(vectors) == 0:
             return
-        self._invalidate_workers()
-        arrival = self._ntotal + np.arange(len(vectors), dtype=np.int64)
+        with self._write_lock:
+            self._invalidate_workers()
+            arrival = self._ntotal + np.arange(len(vectors), dtype=np.int64)
+            lanes = arrival % self.num_shards
+            for s, shard in enumerate(self._shards):
+                rows = vectors[lanes == s]
+                if len(rows):
+                    shard.add(rows)
+            self._ntotal += len(vectors)
+            self._epoch += 1
+            self._publish_view()
+
+    @array_contract("ids: any -> None")
+    def remove(self, ids) -> None:
+        """Tombstone global row ids across shards (all-or-nothing).
+
+        Every shard's batch is pre-validated against its pinned
+        tombstone bitmap before *any* shard is touched, so a bad id in
+        one shard cannot leave another shard half-mutated.  No shm
+        re-export happens: the tombstones ride each search request.
+        """
+        with self._write_lock:
+            row_ids = check_row_ids(ids, self._ntotal)
+            by_shard = self._locals_by_shard(row_ids)
+            for s, local in by_shard.items():
+                shard = self._shards[s]
+                if not hasattr(shard, "remove"):
+                    raise NotImplementedError(
+                        f"shard family {type(shard).__name__} does not "
+                        "support remove()"
+                    )
+                validate_removable(shard.snapshot().tombstones, local)
+            for s, local in by_shard.items():
+                self._shards[s].remove(local)
+            self._epoch += 1
+            self._publish_view()
+
+    @array_contract("ids: any, vectors: (..., d) num::any -> (_,) i64")
+    def update(self, ids, vectors: np.ndarray) -> np.ndarray:
+        """Atomically replace global rows: tombstone ``ids``, append rows.
+
+        Both halves happen under one write-lock hold with a single view
+        publish at the end, so a concurrent search sees the whole update
+        or none of it.  Returns the new rows' global ids.
+        """
+        vectors = self._check_vectors(vectors, "vectors")
+        with self._write_lock:
+            row_ids = check_row_ids(ids, self._ntotal)
+            by_shard = self._locals_by_shard(row_ids)
+            for s, local in by_shard.items():
+                validate_removable(self._shards[s].snapshot().tombstones, local)
+            self._invalidate_workers()
+            for s, local in by_shard.items():
+                self._shards[s].remove(local)
+            base = self._ntotal
+            new_ids = base + np.arange(len(vectors), dtype=np.int64)
+            lanes = new_ids % self.num_shards
+            for s, shard in enumerate(self._shards):
+                rows = vectors[lanes == s]
+                if len(rows):
+                    shard.add(rows)
+            self._ntotal += len(vectors)
+            self._epoch += 1
+            self._publish_view()
+            return new_ids
+
+    def _gather_live(
+        self, view: _IndexView
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Live rows of a pinned view, in global-id order.
+
+        Returns ``(global_ids, vectors)``; PQ shards decode their live
+        codes (compaction re-encodes against freshly trained codebooks).
+        Raises ``NotImplementedError`` for shard families without a
+        vector representation to rebuild from.
+        """
+        from repro.index.flat import FlatIndex
+        from repro.index.pq import PQIndex
+
+        all_ids: list[np.ndarray] = []
+        all_vecs: list[np.ndarray] = []
+        for s, (shard, snap) in enumerate(zip(view.shards, view.snaps)):
+            if snap is None or type(shard) not in (FlatIndex, PQIndex):
+                raise NotImplementedError(
+                    f"compact() unsupported for shard family "
+                    f"{type(shard).__name__}"
+                )
+            local = np.arange(snap.rows, dtype=np.int64)
+            if snap.tombstones is not None:
+                local = local[~snap.tombstones]
+            if type(shard) is FlatIndex:
+                vecs = shard.vectors[: snap.rows][local]
+            else:
+                vecs = shard.pq.decode(shard.codes[: snap.rows][local])
+            all_ids.append(local * self.num_shards + s)
+            all_vecs.append(np.asarray(vecs, dtype=np.float32))
+        ids = (
+            np.concatenate(all_ids)
+            if all_ids
+            else np.empty(0, dtype=np.int64)
+        )
+        vecs = (
+            np.concatenate(all_vecs)
+            if all_vecs
+            else np.empty((0, self.dim), dtype=np.float32)
+        )
+        order = np.argsort(ids, kind="stable")
+        return ids[order], vecs[order]
+
+    @array_contract("-> any")
+    def compact(self) -> np.ndarray | None:
+        """Rebuild the shard set without tombstoned rows; swap atomically.
+
+        The expensive rebuild — gathering live vectors, re-training PQ
+        codebooks on them, re-striping — runs *off-lock* against a pinned
+        view, so serving traffic (and other mutators) proceed meanwhile.
+        The swap itself is all-or-nothing: it is abandoned (returning
+        ``None``) when any mutation was published during the rebuild, and
+        in-flight searches pinned on the old view keep scanning the old
+        shard objects, which the swap never mutates.  On success returns
+        the old-to-new global-id remap (``-1`` for removed rows); live
+        rows are re-striped round-robin in old-global-id order.
+
+        The ``fault_hook.on_compaction`` phases fire at ``"build"`` (after
+        pinning, before the rebuild) and ``"swap"`` (immediately before
+        the atomic swap); an exception at either point aborts with the
+        old shard set fully intact.
+        """
+        hook = self.fault_hook
+        on_compaction = (
+            getattr(hook, "on_compaction", None) if hook is not None else None
+        )
+        with self._write_lock:
+            view = self._view
+            epoch0 = self._epoch
+        if not any(
+            snap is not None and snap.tombstone_count for snap in view.snaps
+        ):
+            return None
+        if on_compaction is not None:
+            on_compaction("build")
+        live_ids, live_vecs = self._gather_live(view)
+        new_shards = [self._factory(self.dim) for _ in range(self.num_shards)]
+        if any(not shard.is_trained for shard in new_shards) and len(live_vecs):
+            for shard in new_shards:
+                shard.train(live_vecs)
+        arrival = np.arange(len(live_vecs), dtype=np.int64)
         lanes = arrival % self.num_shards
-        for s, shard in enumerate(self._shards):
-            rows = vectors[lanes == s]
+        for s, shard in enumerate(new_shards):
+            rows = live_vecs[lanes == s]
             if len(rows):
                 shard.add(rows)
-        # train/add are single-writer by contract (mutation under live
-        # traffic is a ROADMAP item, not a supported mode today); the
-        # searchers only read _ntotal after _invalidate_workers rebuilds.
-        self._ntotal += len(vectors)  # repro: noqa[REP701] single-writer add/train contract
+        if on_compaction is not None:
+            on_compaction("swap")
+        with self._write_lock:
+            if self._epoch != epoch0:
+                # A mutation landed during the rebuild: the gathered set
+                # is stale.  All-or-nothing — leave the old shards
+                # serving and let the caller retry.
+                return None
+            old_total = self._ntotal
+            self._invalidate_workers()
+            self._shards = new_shards
+            self._ntotal = len(live_vecs)
+            self._epoch += 1
+            self._publish_view(object())
+            remap = np.full(old_total, -1, dtype=np.int64)
+            remap[live_ids] = arrival
+            return remap
 
     # -- executors -------------------------------------------------------------
 
@@ -688,15 +974,25 @@ class ShardedIndex(VectorIndex):
         return self._executor
 
     def _worker_pool(self) -> _ProcessShardPool:
-        if self._process_pool is None:
-            self._process_pool = _ProcessShardPool(
-                self._shards,
-                num_workers=self._num_workers,
-                mp_context=self._mp_context,
-                on_respawn=self._count_respawn,
-            )
-        self._process_pool.start()
-        return self._process_pool
+        """The live process pool, (re)created under the write lock.
+
+        Serialising creation with mutators guarantees the shm export is
+        a consistent snapshot of the *latest published* view — a pool
+        can never be born covering half an in-progress ``add``.  Any
+        older pinned view then reads a prefix of the export (safe); any
+        newer mutation closes this pool before publishing.
+        """
+        with self._write_lock:
+            if self._process_pool is None:
+                self._process_pool = _ProcessShardPool(
+                    self._shards,
+                    num_workers=self._num_workers,
+                    mp_context=self._mp_context,
+                    on_respawn=self._count_respawn,
+                    view_token=self._view.token,
+                )
+            self._process_pool.start()
+            return self._process_pool
 
     def _count_respawn(self, shard: int) -> None:
         with self._stats_lock:
@@ -717,8 +1013,18 @@ class ShardedIndex(VectorIndex):
         k: int,
         deadline: float | None,
         mode: str,
+        view: _IndexView,
     ) -> SearchResult:
-        """One shard's search on its coordinator, with bounded retries."""
+        """One shard's search on its coordinator, with bounded retries.
+
+        ``view`` is the cross-shard state the whole fan-out pinned; the
+        shard object and its snapshot come from it, never from ``self``,
+        so a compaction swapping ``self._shards`` mid-search cannot tear
+        this search.  On the process executor a pool whose shm export
+        belongs to a *different* shard set (token mismatch after a
+        compaction swap) is bypassed with an inline scan over the pinned
+        old shard objects — the swap leaves them intact.
+        """
         hook = self.fault_hook
         before = getattr(hook, "before", None) if hook is not None else None
         transform = (
@@ -727,6 +1033,8 @@ class ShardedIndex(VectorIndex):
         should_kill = (
             getattr(hook, "should_kill", None) if hook is not None else None
         )
+        shard = view.shards[s]
+        snap = view.snaps[s]
         attempts = self.max_retries + 1
         start = monotonic()
         try:
@@ -736,14 +1044,19 @@ class ShardedIndex(VectorIndex):
                         before(s)
                     if mode == "process":
                         pool = self._worker_pool()
-                        if should_kill is not None and should_kill(s):
-                            pool.kill_shard_worker(s)
-                        ids, distances, _ = pool.request(
-                            s, queries, k, deadline
-                        )
-                        result = SearchResult(ids=ids, distances=distances)
+                        if pool.view_token is not view.token:
+                            result = self._pinned_scan(shard, snap, queries, k)
+                        else:
+                            if should_kill is not None and should_kill(s):
+                                pool.kill_shard_worker(s)
+                            ids, distances, _ = pool.request(
+                                s, queries, k, deadline, snap
+                            )
+                            result = SearchResult(
+                                ids=ids, distances=distances
+                            )
                     else:
-                        result = self._shards[s].search(queries, k)
+                        result = self._pinned_scan(shard, snap, queries, k)
                     if transform is not None:
                         ids, distances = transform(
                             s, result.ids, result.distances
@@ -763,8 +1076,20 @@ class ShardedIndex(VectorIndex):
             with self._stats_lock:
                 self._health[s].seconds += elapsed
 
+    @staticmethod
+    def _pinned_scan(
+        shard: VectorIndex,
+        snap: IndexSnapshot | None,
+        queries: np.ndarray,
+        k: int,
+    ) -> SearchResult:
+        """Inline scan of one pinned shard under its pinned snapshot."""
+        if snap is None:
+            return shard.search(queries, k)
+        return shard.search(queries, k, snapshot=snap)
+
     def _inline_outcomes(
-        self, queries: np.ndarray, k: int
+        self, queries: np.ndarray, k: int, view: _IndexView
     ) -> list[tuple[SearchResult | None, bool, BaseException | None]]:
         """Serial fan-out: per-shard ``(result, timed_out, error)`` rows.
 
@@ -778,7 +1103,9 @@ class ShardedIndex(VectorIndex):
         for s in range(self.num_shards):
             started = monotonic()
             try:
-                result = self._search_shard(s, queries, k, None, "inline")
+                result = self._search_shard(
+                    s, queries, k, None, "inline", view
+                )
             except Exception as exc:
                 outcomes.append((None, False, exc))
                 continue
@@ -797,6 +1124,9 @@ class ShardedIndex(VectorIndex):
         queries = self._check_vectors(queries, "queries")
         self._check_k(k)
         mode = self.resolved_executor()
+        # Pin the cross-shard visibility state once: every shard scan and
+        # the fan-in below read this view, never self._shards/_view again.
+        view = self._view
         deadline = (
             monotonic() + self.shard_timeout
             if self.shard_timeout is not None
@@ -807,11 +1137,11 @@ class ShardedIndex(VectorIndex):
             # before fanning out: pool start is not coordinator-safe.
             self._worker_pool()
         if mode == "inline":
-            outcomes = self._inline_outcomes(queries, k)
+            outcomes = self._inline_outcomes(queries, k, view)
         else:
             futures = [
                 self._pool().submit(
-                    self._search_shard, s, queries, k, deadline, mode
+                    self._search_shard, s, queries, k, deadline, mode, view
                 )
                 for s in range(self.num_shards)
             ]
@@ -837,13 +1167,14 @@ class ShardedIndex(VectorIndex):
                     outcomes.append((None, True, None))
                 except Exception as exc:
                     outcomes.append((None, False, exc))
-        return self._fan_in(outcomes, queries, k)
+        return self._fan_in(outcomes, queries, k, view)
 
     def _fan_in(
         self,
         outcomes: list[tuple[SearchResult | None, bool, BaseException | None]],
         queries: np.ndarray,
         k: int,
+        view: _IndexView,
     ) -> SearchResult:
         """Merge per-shard outcomes, bookkeeping health and degradation."""
         run_ids = np.full((len(queries), k), -1, dtype=np.int64)
@@ -870,12 +1201,22 @@ class ShardedIndex(VectorIndex):
                 failed.append(s)
                 continue
             local = result.ids
+            distances = result.distances
+            snap = view.snaps[s]
+            if snap is not None and snap.tombstones is not None:
+                # Defense-in-depth: the shard scan already excluded its
+                # tombstones, but a result computed without the pinned
+                # snapshot (pickle-family worker, fault-injected
+                # transform) must still never leak a removed row.
+                local, distances = mask_tombstoned(
+                    local, distances, snap.tombstones
+                )
             # local row r of shard s holds global id r * num_shards + s.
             remapped = np.where(
                 local >= 0, local * self.num_shards + s, np.int64(-1)
             )
             run_ids, run_d = merge_topk(
-                run_ids, run_d, remapped, result.distances, k
+                run_ids, run_d, remapped, distances, k
             )
         with self._stats_lock:
             self._total_searches += 1

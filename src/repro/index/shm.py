@@ -24,6 +24,14 @@ Segment names carry the owning pid plus random suffix
 (``repro-shm-<pid>-<n>-<hex>``), which keeps concurrent registries from
 colliding and lets the leak tests in ``tests/index/test_shm.py`` assert
 that no ``repro-shm-*`` orphan survives a ``close()``.
+
+Online mutation: segments are immutable once exported.  An ``add`` (or a
+compaction swap) on the sharded index closes the whole pool — unlinking
+every owned segment — and the next search re-exports the grown stores
+into a fresh registry; a ``remove`` re-exports nothing, because the
+tombstone bitmap rides each search request instead of living in shm.
+The leak invariant is unchanged: after ``close()`` (crash-injected or
+not), :func:`owned_segment_names` must be empty.
 """
 
 from __future__ import annotations

@@ -57,6 +57,7 @@ __all__ = [
     "auto_block_size",
     "block_topk",
     "blockwise_topk",
+    "mask_tombstoned",
     "merge_topk",
 ]
 
@@ -145,11 +146,14 @@ def _rank_topk(
 
 
 @array_contract(
-    "distances: (nq, b) num::any, k: int, id_offset: int"
+    "distances: (nq, b) num::any, k: int, id_offset: int, exclude: any"
     " -> (nq, k) i64, (nq, k) num"
 )
 def block_topk(
-    distances: np.ndarray, k: int, id_offset: int = 0
+    distances: np.ndarray,
+    k: int,
+    id_offset: int = 0,
+    exclude: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Top-k of one scored block, as ``(ids, distances)`` of width ``k``.
 
@@ -161,12 +165,33 @@ def block_topk(
         Number of winners to keep per query.
     id_offset:
         Global id of the block's first row; returned ids are global.
+    exclude:
+        Optional ``(block,)`` boolean tombstone bitmap: excluded rows are
+        converted to ``-1`` / ``inf`` padding *before* ranking, so they
+        rank strictly after every live candidate — including live rows
+        with ``inf`` or ``NaN`` scores.  (Masking only the distances to
+        ``inf`` would be wrong: a real id with an ``inf`` distance still
+        ranks before padding, so a removed row would be returned whenever
+        ``k`` exceeds the live count.)
 
     Blocks narrower than ``k`` are padded with ``-1`` / ``inf`` so every
     result is exactly ``(n_queries, k)`` and directly mergeable.
     """
     nq, width = distances.shape
     take = min(k, width)
+    if exclude is not None and exclude.any():
+        # Tombstoned block: exact full-block rank with the excluded rows
+        # pre-converted to padding.  The argpartition fast path cannot be
+        # used here — its boundary-tie handling would have to arbitrate
+        # excluded-inf against live-inf/NaN rows, exactly the ordering
+        # the pad-last primary key exists to make unambiguous.
+        ids_full = np.tile(np.arange(width, dtype=np.int64), (nq, 1))
+        ids_full[:, exclude] = -1
+        masked = distances.copy()
+        masked[:, exclude] = np.inf
+        ids, ranked_d = _rank_topk(ids_full, masked, take)
+        ids = np.where(ids >= 0, ids + id_offset, ids)
+        return _pad_topk(ids, ranked_d, k)
     if take < width:
         # Cheap O(width) pre-selection before the exact (distance, id) rank.
         part = np.argpartition(distances, take - 1, axis=1)[:, :take]
@@ -189,14 +214,22 @@ def block_topk(
         part_d = distances
     ids, ranked_d = _rank_topk(part.astype(np.int64, copy=False), part_d, take)
     ids += id_offset
+    return _pad_topk(ids, ranked_d, k)
+
+
+def _pad_topk(
+    ids: np.ndarray, distances: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Right-pad a ranked ``(nq, take <= k)`` result to width ``k``."""
+    nq, take = ids.shape
     if take == k:
-        return ids, ranked_d
+        return ids, distances
     pad_ids = np.full((nq, k), -1, dtype=np.int64)
     # Padding distances follow the SearchResult accumulator contract
     # (float64 inf sentinels), not vector storage.
     pad_d = np.full((nq, k), np.inf, dtype=np.float64)  # repro: noqa[REP102]
     pad_ids[:, :take] = ids
-    pad_d[:, :take] = ranked_d
+    pad_d[:, :take] = distances
     return pad_ids, pad_d
 
 
@@ -232,6 +265,38 @@ def merge_topk(
 
 
 @array_contract(
+    "ids: (nq, k) i64::any, distances: (nq, k) num::any, tombstones: any"
+    " -> (nq, k) i64, (nq, k) num"
+)
+def mask_tombstoned(
+    ids: np.ndarray,
+    distances: np.ndarray,
+    tombstones: np.ndarray | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop tombstoned candidates from a ranked top-k result.
+
+    ``tombstones`` is a boolean bitmap over the id space of ``ids``
+    (``None`` = nothing tombstoned).  Hit candidates are converted to the
+    ``-1`` / ``inf`` padding convention and the rows re-ranked, so the
+    result stays a valid :class:`~repro.index.base.SearchResult` payload.
+    This is the fan-in's defense-in-depth filter: shard scans already
+    exclude tombstones against their pinned snapshot, so this pass only
+    fires on results produced against an older visibility state.
+    """
+    if tombstones is None:
+        return ids, distances
+    in_range = (ids >= 0) & (ids < len(tombstones))
+    hit = np.zeros(ids.shape, dtype=bool)
+    hit[in_range] = tombstones[ids[in_range]]
+    if not hit.any():
+        return ids, distances
+    out_ids = np.where(hit, np.int64(-1), ids)
+    out_d = distances.copy()
+    out_d[hit] = np.inf
+    return _rank_topk(out_ids, out_d, ids.shape[1])
+
+
+@array_contract(
     "score_block: callable, ntotal: int, k: int, num_queries: int"
     " -> (num_queries, k) i64, (num_queries, k) num"
 )
@@ -242,6 +307,7 @@ def blockwise_topk(
     num_queries: int,
     block_size: int | None = None,
     id_offset: int = 0,
+    exclude: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Streaming scan: score blocks, keep a running top-k.
 
@@ -263,6 +329,10 @@ def blockwise_topk(
     id_offset:
         Added to every returned id (used by sharded scans to map a shard's
         local row space into the global id space).
+    exclude:
+        Optional ``(ntotal,)`` tombstone bitmap; each block receives its
+        slice (see :func:`block_topk`), so removed rows never enter the
+        running top-k.
 
     Returns the ``(ids, distances)`` pair in :class:`SearchResult` layout.
     """
@@ -274,7 +344,10 @@ def blockwise_topk(
     for start in range(0, ntotal, block):
         stop = min(start + block, ntotal)
         blk_ids, blk_d = block_topk(
-            score_block(start, stop), k, id_offset + start
+            score_block(start, stop),
+            k,
+            id_offset + start,
+            exclude=exclude[start:stop] if exclude is not None else None,
         )
         if run_ids is None or run_d is None:
             run_ids, run_d = blk_ids, blk_d

@@ -101,8 +101,13 @@ class QueryCache:
     - the **embedding store** maps a query to its embedding vector,
       short-circuiting the model's forward pass;
     - the optional **result store** maps ``(query, k)`` to the final
-      candidate list, short-circuiting the index scan as well (only safe
-      while the underlying index is static, hence opt-in).
+      candidate list, short-circuiting the index scan as well.  Result
+      keys carry a *generation* counter: :meth:`bump_generation` (called
+      by the serving engine after every index mutation) makes every
+      previously stored result unreachable in O(1), so a cached hit can
+      never resurrect a removed entity; stale-generation entries age out
+      of the LRU naturally.  The embedding store survives mutations — an
+      embedding depends only on the model, not on the entity set.
 
     All methods are thread-safe; the serving engine calls into one cache
     from its micro-batch flush path while shard searches run on the pool.
@@ -127,11 +132,28 @@ class QueryCache:
         self._lock = threading.Lock()
         self._embeddings = _LRUStore(capacity, self.stats)
         self._results = _LRUStore(capacity, self.stats) if cache_results else None
+        self._generation = 0
 
     @property
     def caches_results(self) -> bool:
         """Whether the result store is enabled."""
         return self._results is not None
+
+    @property
+    def generation(self) -> int:
+        """The result store's current generation (bumped per mutation)."""
+        with self._lock:
+            return self._generation
+
+    def bump_generation(self) -> None:
+        """Invalidate every cached *result* (not embeddings) in O(1).
+
+        Result keys embed the generation, so bumping it strands all
+        entries written under older generations; the LRU evicts them as
+        fresh traffic arrives.  Call after any index mutation.
+        """
+        with self._lock:
+            self._generation += 1
 
     # -- embedding store --------------------------------------------------------
 
@@ -192,7 +214,9 @@ class QueryCache:
         if self._results is None:
             return None
         with self._lock:
-            cached = self._results.get((self._normalize(query), k, scope))
+            cached = self._results.get(
+                (self._normalize(query), k, scope, self._generation)
+            )
             return list(cached) if cached is not None else None
 
     def put_result(
@@ -203,7 +227,8 @@ class QueryCache:
             return
         with self._lock:
             self._results.put(
-                (self._normalize(query), k, scope), list(candidates)
+                (self._normalize(query), k, scope, self._generation),
+                list(candidates),
             )
 
     def get_results(

@@ -58,8 +58,12 @@ class LabelHashTable:
 
     The keys pass through :func:`repro.lookup.normalize` — the same
     helper the query cache uses — so "Germany " and "germany" are one
-    entry.  The table is built once and read-only afterwards, hence
-    safely shared by concurrent serving threads without a lock.
+    entry.  Concurrency follows the single-writer copy-on-write
+    discipline of the online-mutation path: the id tuples are immutable
+    (every :meth:`add` / :meth:`drop_entity` installs a *new* tuple with
+    one GIL-atomic dict assignment) and mutations are serialized by the
+    serving engine's mutation lock, so concurrent readers see either the
+    old tuple or the new one without taking a lock.
     """
 
     def __init__(self, include_aliases: bool = True) -> None:
@@ -92,6 +96,30 @@ class LabelHashTable:
         self._entries[key] = existing + (entity_id,)
         self._bytes += len(key.encode()) + len(entity_id.encode()) + 16
 
+    def drop_entity(self, entity_id: str) -> int:
+        """Remove ``entity_id`` from every surface form it is indexed under.
+
+        Returns the number of entries it was removed from.  O(table)
+        scan — acceptable because mutations are rare next to lookups and
+        the scan happens on the ingestion path, never on a serving
+        thread.  Copy-on-write: affected keys get a fresh tuple (or are
+        deleted when the entity was their only answer), so concurrent
+        readers are never exposed to a half-edited entry.
+        """
+        dropped = 0
+        for key, ids in list(self._entries.items()):
+            if entity_id not in ids:
+                continue
+            remaining = tuple(e for e in ids if e != entity_id)
+            if remaining:
+                self._entries[key] = remaining
+            else:
+                del self._entries[key]
+            # Mirror of the per-add accounting in :meth:`add`.
+            self._bytes -= len(key.encode()) + len(entity_id.encode()) + 16
+            dropped += 1
+        return dropped
+
     def get(self, normalized: str) -> tuple[str, ...]:
         """Entity ids whose label/alias normalizes to ``normalized``."""
         return self._entries.get(normalized, ())
@@ -118,8 +146,13 @@ class TypeFilterMap:
     and (b) the partition keys (primary types) whose rows can contain an
     allowed entity, which is what a
     :class:`~repro.index.partitioned.TypePartitionedIndex` scan needs.
-    Both structures are immutable after construction and shared without
-    locking.
+
+    Both structures follow the single-writer copy-on-write discipline of
+    the online-mutation path: values are immutable (frozensets and
+    tuples) and :meth:`add_entity` / :meth:`remove_entity` — serialized
+    by the serving engine's mutation lock — install *new* values with
+    GIL-atomic dict assignments, so lock-free concurrent readers see
+    either the old membership or the new one.
     """
 
     def __init__(
@@ -150,6 +183,41 @@ class TypeFilterMap:
                     keys.append(key)
             partitions[tid] = tuple(keys)
         return cls(allowed, partitions)
+
+    def add_entity(
+        self,
+        entity_id: str,
+        type_ids: tuple[str, ...] | list[str],
+        primary_type: str | None,
+    ) -> None:
+        """Admit ``entity_id`` under every type in ``type_ids``.
+
+        ``type_ids`` is taken as the entity's full (already transitive)
+        type set — change-feed mutations carry explicit types rather
+        than re-deriving the hierarchy.  Unknown type ids create a new
+        filter entry, so a type introduced by the feed is immediately
+        filterable.
+        """
+        key = primary_type or DEFAULT_PARTITION
+        for tid in type_ids:
+            self._allowed[tid] = self._allowed.get(tid, frozenset()) | {
+                entity_id
+            }
+            keys = self._partitions.get(tid, ())
+            if key not in keys:
+                self._partitions[tid] = keys + (key,)
+
+    def remove_entity(self, entity_id: str) -> None:
+        """Retract ``entity_id`` from every type membership set.
+
+        Partition lists are left untouched: scanning one partition too
+        many is correctness-neutral (the membership filter still rejects
+        the entity) and keeping them monotone avoids recomputing primary
+        types for the surviving members.
+        """
+        for tid, members in list(self._allowed.items()):
+            if entity_id in members:
+                self._allowed[tid] = members - {entity_id}
 
     def known(self, type_id: str) -> bool:
         """Whether ``type_id`` exists in the source KG."""

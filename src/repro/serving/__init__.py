@@ -6,8 +6,27 @@ the cache -> embed -> search -> rank stages, and reports per-stage
 timings.  Built for the paper's serving scenario (Section V) where many
 concurrent clients issue single lookups that are cheapest to answer in
 batches against a (possibly sharded) vector index.
+
+The ingestion side (:mod:`repro.serving.ingest`) streams change-feed
+mutations into a live engine: :class:`ChangeFeedConsumer` applies
+:class:`IndexMutation` records with bounded retry, dead-letters poison
+records, and tracks the applied watermark while ``submit()`` traffic
+keeps flowing.
 """
 
 from repro.serving.engine import LookupEngine, PendingLookup
+from repro.serving.ingest import (
+    ChangeFeedConsumer,
+    DeadLetter,
+    IndexMutation,
+    WatermarkTracker,
+)
 
-__all__ = ["LookupEngine", "PendingLookup"]
+__all__ = [
+    "ChangeFeedConsumer",
+    "DeadLetter",
+    "IndexMutation",
+    "LookupEngine",
+    "PendingLookup",
+    "WatermarkTracker",
+]

@@ -28,6 +28,20 @@ exercises every branch):
 - **Degradation** -- a sharded index may return ``partial=True`` results
   when shards fail; the engine serves them (and counts them in
   :meth:`LookupEngine.serving_stats`) instead of erroring.
+
+Online mutation -- :meth:`LookupEngine.apply_mutation` applies one
+change-feed record (add/remove/update of a whole entity, see
+:mod:`repro.serving.ingest`) while ``submit()`` traffic keeps flowing.
+Mutations serialize on the engine's mutation lock and propagate to every
+structure that answers queries: the vector index (snapshot-protocol
+``add``/``remove``/``update``), the row->entity map, the router's
+:class:`~repro.lookup.router.LabelHashTable` and
+:class:`~repro.lookup.router.TypeFilterMap`, and the result cache (whose
+generation is bumped so a cached hit can never resurrect a removed
+entity).  :meth:`LookupEngine.compact` reclaims tombstoned rows; the
+row-id remap it returns re-keys the row->entity map under a seqlock that
+in-flight searches check, so a search racing the swap retries instead of
+resolving new row ids through the old map.
 """
 
 from __future__ import annotations
@@ -41,7 +55,7 @@ import numpy as np
 from repro.core.pipeline import EmbLookup
 from repro.index.base import SearchResult, VectorIndex
 from repro.index.flat import FlatIndex
-from repro.index.partitioned import TypePartitionedIndex
+from repro.index.partitioned import DEFAULT_PARTITION, TypePartitionedIndex
 from repro.index.sharded import ShardedIndex
 from repro.lookup.base import Candidate, LookupService
 from repro.lookup.cache import QueryCache
@@ -187,6 +201,10 @@ class LookupEngine(LookupService):
         self.pipeline = pipeline
         self._index = index
         self._row_to_entity = list(row_to_entity)
+        # Live rows per entity id, maintained by apply_mutation/compact.
+        self._entity_rows: dict[str, list[int]] = {}
+        for row, eid in enumerate(self._row_to_entity):
+            self._entity_rows.setdefault(eid, []).append(row)
         # Alias rows make several index rows resolve to one entity, so the
         # search must over-fetch before dedup (same policy as the core
         # pipeline's lookup_batch).
@@ -214,6 +232,16 @@ class LookupEngine(LookupService):
         # each get their own budget instead of racing on a shared one.
         self._deadline = threading.local()
         self._stats_lock = threading.Lock()
+        # Serializes apply_mutation/compact against each other.  Lock
+        # order: _mutation_lock -> {index write lock, cache lock,
+        # _stats_lock}, never reversed.
+        self._mutation_lock = threading.Lock()
+        # Seqlock guarding the row->entity map across compaction row-id
+        # remaps: odd while a compaction is in flight, bumped to even on
+        # publish/abort.  _serve_ann retries when it observes a change.
+        self._compact_seq = 0
+        self._mutations_applied = 0
+        self._compactions = 0
         self._partial_results = 0
         self._failed_queries = 0
         self._deadline_hits = 0
@@ -399,6 +427,198 @@ class LookupEngine(LookupService):
                     self._failed_queries += 1
                 handle._fail(exc)
 
+    # -- online mutation -------------------------------------------------------
+
+    def apply_mutation(self, mutation) -> None:
+        """Apply one change-feed record to every structure that serves queries.
+
+        ``mutation`` is duck-typed (``kind`` / ``entity_id`` /
+        ``mentions`` / ``types`` — the shape of
+        :class:`repro.serving.ingest.IndexMutation`), so this layer never
+        imports the ingest module.  Mutations serialize on the engine's
+        mutation lock while ``submit()`` traffic keeps flowing; a
+        concurrent lookup observes either the pre- or the post-mutation
+        entity set, never a mixture (adds extend the row map *before*
+        the index publish makes the rows reachable; removes/updates are
+        one snapshot publish at the index; the result cache's generation
+        bump makes stale cached answers unreachable).
+
+        Raises :class:`ValueError` for semantically invalid records —
+        adding an entity that already exists, removing or updating one
+        that does not, an empty mention list — which is exactly what the
+        ingestion consumer's dead-letter lane catches.
+        """
+        kind = mutation.kind
+        entity_id = mutation.entity_id
+        mentions = list(mutation.mentions)
+        types = tuple(mutation.types)
+        with self._mutation_lock:
+            if kind == "add":
+                if entity_id in self._entity_rows:
+                    raise ValueError(f"entity {entity_id!r} already indexed")
+                self._mutate_add(entity_id, mentions, types)
+            elif kind == "remove":
+                self._mutate_remove(entity_id)
+            elif kind == "update":
+                self._mutate_update(entity_id, mentions, types)
+            else:
+                raise ValueError(f"unknown mutation kind {kind!r}")
+            if self.cache is not None:
+                self.cache.bump_generation()
+            with self._stats_lock:
+                self._impure_rows.clear()
+                self._mutations_applied += 1
+
+    def _mutate_add(
+        self, entity_id: str, mentions: list[str], types: tuple[str, ...]
+    ) -> None:
+        """Embed and index a new entity's mentions; register router entries.
+
+        Caller holds ``_mutation_lock`` and has verified the entity is
+        new.  The row map is extended *before* ``index.add`` — rows
+        beyond ``ntotal`` are unreachable until the index publishes, so
+        readers never resolve a row id the map cannot answer.
+        """
+        if not mentions:
+            raise ValueError(f"entity {entity_id!r} has no mentions")
+        vectors = self.pipeline.embed_queries(mentions)
+        base = self._index.ntotal
+        rows = list(range(base, base + len(mentions)))
+        self._row_to_entity.extend([entity_id] * len(mentions))
+        if len(mentions) > 1:
+            self._has_alias_rows = True
+        if isinstance(self._index, TypePartitionedIndex):
+            primary = (types[0] if types else None) or DEFAULT_PARTITION
+            self._index.add(vectors, [primary] * len(mentions))
+        else:
+            self._index.add(vectors)
+        self._entity_rows[entity_id] = rows
+        if self.router is not None:
+            for mention in mentions:
+                self.router.label_table.add(mention, entity_id)
+        if self._type_map is not None and types:
+            primary = types[0] if types else None
+            self._type_map.add_entity(entity_id, types, primary)
+
+    def _mutate_remove(self, entity_id: str) -> None:
+        """Tombstone an entity's rows and retract its router entries.
+
+        Caller holds ``_mutation_lock``.  Router/type-map entries drop
+        first (an exact hit on a half-removed entity would resurrect
+        it); the index tombstone publish is last and atomic.
+        """
+        rows = self._entity_rows.pop(entity_id, None)
+        if rows is None:
+            raise ValueError(f"entity {entity_id!r} is not indexed")
+        if self.router is not None:
+            self.router.label_table.drop_entity(entity_id)
+        if self._type_map is not None:
+            self._type_map.remove_entity(entity_id)
+        self._index.remove(np.asarray(rows, dtype=np.int64))
+
+    def _mutate_update(
+        self, entity_id: str, mentions: list[str], types: tuple[str, ...]
+    ) -> None:
+        """Replace an entity's rows (and surface forms) in place.
+
+        Uses the index family's atomic ``update`` (one snapshot publish
+        covers tombstone + append, so readers see old rows or new rows,
+        never neither) when available; a
+        :class:`TypePartitionedIndex` — whose partition key may change
+        with the entity's primary type — falls back to remove + add.
+        """
+        if not mentions:
+            raise ValueError(f"entity {entity_id!r} has no mentions")
+        old_rows = self._entity_rows.get(entity_id)
+        if old_rows is None:
+            raise ValueError(f"entity {entity_id!r} is not indexed")
+        update = getattr(self._index, "update", None)
+        if callable(update) and not isinstance(
+            self._index, TypePartitionedIndex
+        ):
+            vectors = self.pipeline.embed_queries(mentions)
+            self._row_to_entity.extend([entity_id] * len(mentions))
+            if len(mentions) > 1:
+                self._has_alias_rows = True
+            new_ids = update(
+                np.asarray(old_rows, dtype=np.int64), vectors
+            )
+            self._entity_rows[entity_id] = [int(r) for r in new_ids]
+            if self.router is not None:
+                self.router.label_table.drop_entity(entity_id)
+                for mention in mentions:
+                    self.router.label_table.add(mention, entity_id)
+            if self._type_map is not None:
+                self._type_map.remove_entity(entity_id)
+                if types:
+                    self._type_map.add_entity(entity_id, types, types[0])
+        else:
+            self._mutate_remove(entity_id)
+            self._mutate_add(entity_id, mentions, types)
+
+    def compact(self) -> bool:
+        """Reclaim tombstoned rows; re-key the row map under a seqlock.
+
+        Compaction renumbers row ids, so the row->entity map must swap
+        together with the index's shard snapshot.  The index swap itself
+        is atomic to its readers; the *pairing* of (index rows, row map)
+        is protected by ``_compact_seq``: odd while the swap is in
+        flight, bumped back to even on publish or abort.
+        :meth:`_serve_ann` pins the sequence and the map object before
+        searching and retries when either moved, so a search racing the
+        swap can never resolve new row ids through the old map.
+
+        Returns ``True`` when a swap happened, ``False`` when there was
+        nothing to reclaim (or the index family has no ``compact``).
+        """
+        compact = getattr(self._index, "compact", None)
+        if not callable(compact):
+            return False
+        with self._mutation_lock:
+            with self._stats_lock:
+                self._compact_seq += 1  # odd: swap in flight
+            try:
+                remap = compact()
+                if remap is None:
+                    return False
+                old_map = self._row_to_entity
+                new_len = int((remap >= 0).sum())
+                new_map: list[str | None] = [None] * new_len
+                for old_row, new_row in enumerate(remap):
+                    if new_row >= 0:
+                        new_map[int(new_row)] = old_map[old_row]
+                entity_rows: dict[str, list[int]] = {}
+                for row, eid in enumerate(new_map):
+                    entity_rows.setdefault(eid, []).append(row)
+                # Publish the NEW list object; in-flight searches still
+                # hold (and can safely finish resolving through) the old
+                # one, then fail the seqlock check and retry.
+                self._row_to_entity = new_map
+                self._entity_rows = entity_rows
+                self._has_alias_rows = len(entity_rows) < len(new_map)
+                if self.cache is not None:
+                    self.cache.bump_generation()
+                with self._stats_lock:
+                    self._impure_rows.clear()
+                    self._compactions += 1
+                return True
+            finally:
+                with self._stats_lock:
+                    self._compact_seq += 1  # even: published or aborted
+
+    def _pin_rows(self) -> tuple[int, list[str]]:
+        """Capture a (sequence, row map) pair that is not mid-compaction."""
+        while True:
+            with self._stats_lock:
+                seq = self._compact_seq
+            rows_map = self._row_to_entity
+            if seq % 2 == 0:
+                return seq, rows_map
+            # A compaction swap is in flight; it holds _mutation_lock, so
+            # waiting on it is both brief and convoy-free.
+            with self._mutation_lock:
+                pass
+
     # -- the serving pipeline --------------------------------------------------
 
     def _lookup_batch(self, queries: list[str], k: int) -> list[list[Candidate]]:
@@ -496,25 +716,68 @@ class LookupEngine(LookupService):
     def _serve_ann(
         self, normalized: list[str], k: int, type_filter: str | None
     ) -> list[list[Candidate]]:
-        """The embedding path: model forward pass + index scan + dedup."""
+        """The embedding path: model forward pass + index scan + dedup.
+
+        The scan-and-rank pair runs under the compaction seqlock: the
+        row->entity map is pinned together with an even ``_compact_seq``
+        before the scan, and the result is accepted only if the sequence
+        has not moved — otherwise the row ids in hand may belong to the
+        post-compaction numbering while the pinned map still holds the
+        old one (or vice versa), so the search retries on the fresh
+        pair.  Non-compaction mutations never renumber rows (adds
+        append, removes tombstone in place), so they need no retry.
+        """
         self._check_deadline("embed")
         with self.stage_times["embed"]:
             vectors = self._embed(normalized)
         self._check_deadline("search")
-        allowed: frozenset[str] | None = None
-        with self.stage_times["search"]:
-            if type_filter is None:
-                fetch = k * 3 if self._has_alias_rows else k
-                fetch = min(fetch, self._index.ntotal) or k
-                result = self._index.search(vectors, fetch)
-            else:
-                allowed = self._type_map.allowed(type_filter)
-                result = self._search_typed(vectors, k, type_filter, allowed)
+        retries = 0
+        while True:
+            seq, rows_map = self._pin_rows()
+            result, allowed = self._search_once(
+                vectors, k, type_filter, rows_map
+            )
+            with self._stats_lock:
+                settled = self._compact_seq == seq
+            if settled:
+                break
+            retries += 1
+            if retries >= 3:
+                # Pathological compaction churn: serialize with the
+                # mutators instead of spinning (no compaction can swap
+                # while this thread holds the mutation lock).
+                with self._mutation_lock:
+                    rows_map = self._row_to_entity
+                    result, allowed = self._search_once(
+                        vectors, k, type_filter, rows_map
+                    )
+                break
         if getattr(result, "partial", False):
             with self._stats_lock:
                 self._partial_results += 1
         with self.stage_times["rank"]:
-            return self._rank(result.ids, result.distances, k, allowed)
+            return self._rank(
+                result.ids, result.distances, k, allowed, rows_map
+            )
+
+    def _search_once(
+        self,
+        vectors: np.ndarray,
+        k: int,
+        type_filter: str | None,
+        rows_map: list[str],
+    ) -> tuple[SearchResult, frozenset[str] | None]:
+        """One pinned index scan — the seqlock-retried body of ``_serve_ann``."""
+        with self.stage_times["search"]:
+            if type_filter is None:
+                fetch = k * 3 if self._has_alias_rows else k
+                fetch = min(fetch, self._index.ntotal) or k
+                return self._index.search(vectors, fetch), None
+            allowed = self._type_map.allowed(type_filter)
+            return (
+                self._search_typed(vectors, k, type_filter, allowed, rows_map),
+                allowed,
+            )
 
     def _search_typed(
         self,
@@ -522,6 +785,7 @@ class LookupEngine(LookupService):
         k: int,
         type_filter: str,
         allowed: frozenset[str],
+        rows_map: list[str],
     ) -> SearchResult:
         """Type-constrained scan, exact by construction.
 
@@ -546,21 +810,29 @@ class LookupEngine(LookupService):
                     ids=np.full((nq, k), -1, dtype=np.int64),
                     distances=np.full((nq, k), np.inf, dtype=np.float64),  # repro: noqa[REP102]
                 )
-            fetch = min(base + self._impure_row_count(type_filter), scanned)
+            fetch = min(
+                base + self._impure_row_count(type_filter, rows_map), scanned
+            )
             return index.search(vectors, fetch, partitions=partitions)
         scanned = index.ntotal
         with self._stats_lock:
             self._type_rows_scanned += scanned
-        fetch = min(base + self._impure_row_count(type_filter), scanned) or k
+        fetch = (
+            min(base + self._impure_row_count(type_filter, rows_map), scanned)
+            or k
+        )
         return index.search(vectors, fetch)
 
-    def _impure_row_count(self, type_filter: str) -> int:
+    def _impure_row_count(self, type_filter: str, rows_map: list[str]) -> int:
         """Rows in ``type_filter``'s scanned set resolving to other types.
 
-        Memoized per filter (the index is static while serving).  The
-        count is computed outside the stats lock — it is a pure read of
-        immutable structures, so a racing duplicate computation is
-        harmless — and published under it.
+        Memoized per filter; the memo is cleared on every mutation and
+        compaction, so it always reflects the current entity set.  The
+        count is computed outside the stats lock — a racing duplicate
+        computation is harmless — and published under it.  ``rows_map``
+        is the caller's pinned row->entity map; a count computed against
+        a map the seqlock is about to retire only ever feeds a search
+        attempt the seqlock discards.
         """
         with self._stats_lock:
             cached = self._impure_rows.get(type_filter)
@@ -575,9 +847,11 @@ class LookupEngine(LookupService):
                     int(r) for r in index.partition_global_ids(key)
                 )
         else:
-            rows = range(len(self._row_to_entity))
+            rows = range(len(rows_map))
         count = sum(
-            1 for row in rows if self._row_to_entity[row] not in allowed
+            1
+            for row in rows
+            if row < len(rows_map) and rows_map[row] not in allowed
         )
         with self._stats_lock:
             self._impure_rows[type_filter] = count
@@ -601,12 +875,18 @@ class LookupEngine(LookupService):
         distances: np.ndarray,
         k: int,
         allowed: frozenset[str] | None = None,
+        rows_map: list[str] | None = None,
     ) -> list[list[Candidate]]:
         """Dedup alias rows to entities (closest wins) and score candidates.
 
         ``allowed`` drops entities outside a type filter's admissible set
         (partitions may mix types when entities declare several).
+        ``rows_map`` is the row->entity map pinned together with the
+        search's row ids (see ``_serve_ann``'s seqlock); ``None`` falls
+        back to the live map for direct callers.
         """
+        if rows_map is None:
+            rows_map = self._row_to_entity
         out: list[list[Candidate]] = []
         for row_ids, row_d in zip(ids, distances):
             seen: set[str] = set()
@@ -614,7 +894,7 @@ class LookupEngine(LookupService):
             for idx, dist in zip(row_ids, row_d):
                 if idx < 0:
                     continue
-                entity_id = self._row_to_entity[int(idx)]
+                entity_id = rows_map[int(idx)]
                 if entity_id in seen:
                     continue
                 if allowed is not None and entity_id not in allowed:
@@ -655,6 +935,9 @@ class LookupEngine(LookupService):
         scans add ``type_filtered_rows_scanned`` — the total rows the
         search stage scanned under a ``type_filter`` (partition sums for
         a :class:`TypePartitionedIndex`, ``ntotal`` per scan otherwise).
+        The online-mutation path adds ``mutations_applied`` (change-feed
+        records applied via :meth:`apply_mutation`) and ``compactions``
+        (successful :meth:`compact` swaps).
 
         The engine counters are copied in one ``_stats_lock`` hold, so
         the snapshot is atomic with respect to concurrent serving
@@ -682,6 +965,8 @@ class LookupEngine(LookupService):
                 "deadline_hits": self._deadline_hits,
                 "worker_respawns": respawns,
                 "type_filtered_rows_scanned": self._type_rows_scanned,
+                "mutations_applied": self._mutations_applied,
+                "compactions": self._compactions,
                 **router_stats,
             }
 

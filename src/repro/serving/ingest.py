@@ -1,0 +1,374 @@
+"""Change-feed ingestion: streaming entity mutations into a LookupEngine.
+
+A deployed lookup service does not get to rebuild its index when the
+knowledge graph changes — entity edits arrive as a *change feed* of
+add/remove/update records that must interleave with live ``submit()``
+traffic.  This module is the feed side of the online-mutation path:
+
+- :class:`IndexMutation` is one feed record — a monotone sequence
+  number, a kind, and the entity's full surface-form and type payload
+  (the feed carries state, not diffs, so records are idempotent to
+  re-derive and self-contained to apply).
+- :class:`ChangeFeedConsumer` applies records to a
+  :class:`~repro.serving.engine.LookupEngine` with **bounded retry and
+  exponential backoff**: transient errors (a worker pool mid-respawn, a
+  deadline blip) are retried up to ``max_retries`` times; a record that
+  keeps failing — or fails *semantically* (``ValueError``: unknown
+  entity, duplicate add) — is quarantined as a :class:`DeadLetter`
+  instead of wedging the feed.
+- :class:`WatermarkTracker` tracks the **watermark**: the highest
+  sequence number below which every record has been applied.  Records
+  may be applied out of order (the tracker holds the applied set and
+  advances the watermark over contiguous runs), but a dead-lettered
+  record never advances it — the gap is visible until an operator
+  replays or discards the quarantined record.
+
+The consumer runs either synchronously (:meth:`ChangeFeedConsumer.apply`
+/ :meth:`ChangeFeedConsumer.consume`) or on a background thread
+(:meth:`ChangeFeedConsumer.start` + :meth:`ChangeFeedConsumer.publish`)
+so mutations genuinely interleave with serving traffic.  When the
+engine's index accumulates enough tombstones the consumer triggers
+:meth:`LookupEngine.compact` (``compact_threshold``), keeping scan cost
+proportional to the *live* set under sustained churn.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ChangeFeedConsumer",
+    "DeadLetter",
+    "IndexMutation",
+    "WatermarkTracker",
+]
+
+#: Mutation kinds a feed record may carry.
+MUTATION_KINDS = ("add", "remove", "update")
+
+
+@dataclass(frozen=True)
+class IndexMutation:
+    """One change-feed record: replace an entity's indexed state.
+
+    Parameters
+    ----------
+    seq:
+        Monotone, feed-assigned sequence number (>= 0, unique per feed).
+    kind:
+        ``"add"`` (entity must be new), ``"remove"`` (entity must
+        exist; ``mentions``/``types`` are ignored), or ``"update"``
+        (entity must exist; its rows are atomically replaced).
+    entity_id:
+        The entity the record is about.
+    mentions:
+        The entity's *complete* surface-form set after the mutation
+        (label first by convention); required non-empty for add/update.
+    types:
+        The entity's full transitive type-id set, primary type first —
+        the feed carries resolved types so the consumer never needs the
+        type hierarchy.
+    """
+
+    seq: int
+    kind: str
+    entity_id: str
+    mentions: tuple[str, ...] = ()
+    types: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.seq < 0:
+            raise ValueError(f"seq must be >= 0, got {self.seq}")
+        if self.kind not in MUTATION_KINDS:
+            raise ValueError(
+                f"kind must be one of {MUTATION_KINDS}, got {self.kind!r}"
+            )
+        if not self.entity_id:
+            raise ValueError("entity_id must be non-empty")
+        object.__setattr__(self, "mentions", tuple(self.mentions))
+        object.__setattr__(self, "types", tuple(self.types))
+        if self.kind in ("add", "update") and not self.mentions:
+            raise ValueError(f"{self.kind} record needs at least one mention")
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A quarantined record: the mutation, its final error, attempt count."""
+
+    mutation: IndexMutation
+    error: str
+    attempts: int
+
+
+@dataclass
+class WatermarkTracker:
+    """Tracks the contiguously-applied frontier of a sequence-numbered feed.
+
+    ``watermark`` is the highest ``seq`` such that every record in
+    ``[start_seq, seq]`` has been applied (``start_seq - 1`` when none
+    have).  :meth:`mark_applied` records one applied sequence number and
+    advances the watermark across any contiguous run it completes, so
+    out-of-order application is fine but a *gap* — e.g. a dead-lettered
+    record — pins the watermark below everything behind it.
+    """
+
+    start_seq: int = 0
+    _applied: set[int] = field(default_factory=set)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._watermark = self.start_seq - 1
+
+    @property
+    def watermark(self) -> int:
+        """Highest seq with no unapplied record at or below it."""
+        with self._lock:
+            return self._watermark
+
+    def mark_applied(self, seq: int) -> None:
+        """Record ``seq`` as applied; advance the watermark if contiguous."""
+        with self._lock:
+            if seq <= self._watermark:
+                return
+            self._applied.add(seq)
+            while self._watermark + 1 in self._applied:
+                self._applied.discard(self._watermark + 1)
+                self._watermark += 1
+
+    def pending_gaps(self) -> tuple[int, ...]:
+        """Applied sequence numbers stranded above the watermark (sorted)."""
+        with self._lock:
+            return tuple(sorted(self._applied))
+
+
+class ChangeFeedConsumer:
+    """Applies :class:`IndexMutation` records to a :class:`LookupEngine`.
+
+    Retry policy — :meth:`apply` distinguishes two failure classes:
+
+    - ``ValueError`` is a **semantic** rejection (duplicate add, unknown
+      entity, empty mentions): retrying cannot help, so the record goes
+      straight to the dead-letter lane.
+    - Any other exception is treated as **transient** and retried up to
+      ``max_retries`` times with exponential backoff (``backoff *
+      backoff_factor ** attempt`` seconds, via the injectable ``sleep``
+      so tests assert the schedule without waiting).  Exhausted retries
+      dead-letter the record.
+
+    A dead-lettered record never advances the watermark, so downstream
+    checkpointing cannot skip past an unapplied mutation silently.
+
+    Parameters
+    ----------
+    engine:
+        The serving engine mutations apply to (anything exposing
+        ``apply_mutation``; the engine's own lock serializes appliers).
+    max_retries:
+        Retries after the first attempt for transient errors (>= 0).
+    backoff / backoff_factor:
+        First retry delay in seconds and its exponential multiplier.
+    sleep:
+        Delay function (defaults to :func:`time.sleep`); tests inject a
+        recorder.
+    compact_threshold:
+        Tombstone fraction of ``engine.index`` that triggers
+        :meth:`LookupEngine.compact` after an apply (``None`` disables).
+    start_seq:
+        First sequence number the feed is expected to deliver.
+    """
+
+    def __init__(
+        self,
+        engine,
+        max_retries: int = 3,
+        backoff: float = 0.01,
+        backoff_factor: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+        compact_threshold: float | None = None,
+        start_seq: int = 0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 0 or backoff_factor < 1.0:
+            raise ValueError("backoff must be >= 0 and backoff_factor >= 1")
+        if compact_threshold is not None and not 0 < compact_threshold <= 1:
+            raise ValueError(
+                f"compact_threshold must be in (0, 1], got {compact_threshold}"
+            )
+        self.engine = engine
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.sleep = sleep
+        self.compact_threshold = compact_threshold
+        self.tracker = WatermarkTracker(start_seq=start_seq)
+        self._lock = threading.Lock()
+        self._dead: list[DeadLetter] = []
+        self._applied = 0
+        self._retried = 0
+        self._queue: queue.Queue[IndexMutation] = queue.Queue()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- synchronous application ------------------------------------------------
+
+    def apply(self, mutation: IndexMutation) -> bool:
+        """Apply one record with bounded retry; True when it applied.
+
+        On success the watermark advances over the record's seq; on
+        dead-letter it does not (the gap stays visible).
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                self.engine.apply_mutation(mutation)
+            except ValueError as exc:
+                # Semantic rejection: retries cannot change the outcome.
+                self._dead_letter(mutation, exc, attempts)
+                return False
+            except Exception as exc:
+                if attempts > self.max_retries:
+                    self._dead_letter(mutation, exc, attempts)
+                    return False
+                with self._lock:
+                    self._retried += 1
+                self.sleep(
+                    self.backoff * self.backoff_factor ** (attempts - 1)
+                )
+                continue
+            with self._lock:
+                self._applied += 1
+                self.tracker.mark_applied(mutation.seq)
+            self._maybe_compact()
+            return True
+
+    def consume(self, feed: Iterable[IndexMutation]) -> int:
+        """Apply every record of ``feed`` in order; returns the applied count."""
+        applied = 0
+        for mutation in feed:
+            if self.apply(mutation):
+                applied += 1
+        return applied
+
+    def _dead_letter(
+        self, mutation: IndexMutation, error: BaseException, attempts: int
+    ) -> None:
+        with self._lock:
+            self._dead.append(
+                DeadLetter(
+                    mutation=mutation, error=str(error), attempts=attempts
+                )
+            )
+
+    def _maybe_compact(self) -> None:
+        """Trigger engine compaction when the tombstone fraction crosses."""
+        if self.compact_threshold is None:
+            return
+        index = self.engine.index
+        total = index.ntotal
+        dead = getattr(index, "tombstone_count", 0)
+        if total and dead / total >= self.compact_threshold:
+            self.engine.compact()
+
+    # -- background consumption -------------------------------------------------
+
+    def start(self) -> None:
+        """Start the background applier thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="change-feed-consumer", daemon=True
+        )
+        self._thread.start()
+
+    def publish(self, mutation: IndexMutation) -> None:
+        """Enqueue one record for the background thread to apply."""
+        self._queue.put(mutation)
+
+    def drain(self, timeout: float | None = 30.0) -> None:
+        """Block until every published record is applied or dead-lettered.
+
+        Bounded: raises :class:`TimeoutError` when records are still
+        outstanding after ``timeout`` seconds (``None`` waits forever) —
+        a wedged applier must fail the caller, not hang it.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._queue.all_tasks_done:
+            while self._queue.unfinished_tasks:
+                wait = 0.1
+                if deadline is not None:
+                    wait = min(wait, deadline - time.monotonic())
+                    if wait <= 0:
+                        raise TimeoutError(
+                            f"{self._queue.unfinished_tasks} record(s) "
+                            f"still unapplied after {timeout}s"
+                        )
+                self._queue.all_tasks_done.wait(wait)
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Drain outstanding records, then stop the thread (idempotent).
+
+        Raises :class:`TimeoutError` when the drain or the thread exit
+        does not complete within ``timeout`` seconds.
+        """
+        if self._thread is None:
+            return
+        self.drain(timeout)
+        self._stop.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(
+                f"change-feed thread did not stop within {timeout}s"
+            )
+        self._thread = None
+
+    def _run(self) -> None:
+        """Background loop: poll the queue with a timeout so stop() is seen."""
+        while not self._stop.is_set():
+            try:
+                mutation = self._queue.get(timeout=0.05)
+            except queue.Empty:
+                continue
+            try:
+                self.apply(mutation)
+            finally:
+                self._queue.task_done()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def watermark(self) -> int:
+        """The tracker's current watermark (see :class:`WatermarkTracker`)."""
+        with self._lock:
+            return self.tracker.watermark
+
+    @property
+    def dead_letters(self) -> tuple[DeadLetter, ...]:
+        """Quarantined records, in dead-letter order (snapshot copy)."""
+        with self._lock:
+            return tuple(self._dead)
+
+    def ingest_stats(self) -> dict[str, int]:
+        """Applied/retried/dead-letter counters plus the watermark."""
+        with self._lock:
+            return {
+                "applied": self._applied,
+                "retries": self._retried,
+                "dead_letters": len(self._dead),
+                "watermark": self.tracker.watermark,
+            }
+
+    def __enter__(self) -> "ChangeFeedConsumer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -14,7 +14,7 @@ Fault-plan grammar (``FaultPlan.parse``)::
     clause := shard ":" call ":" kind [":" arg]
     shard  := "s" INT | "*"          # one shard, or every shard
     call   := "c" INT | "*"          # the Nth call (0-based), or every call
-    kind   := "raise" | "delay" | "corrupt" | "drop" | "kill"
+    kind   := "raise" | "delay" | "corrupt" | "drop" | "kill" | "compact"
     arg    := FLOAT                  # delay seconds (default 0.01)
 
 Kinds:
@@ -36,6 +36,14 @@ Kinds:
   index's crash detection sees a dead pipe and must respawn the worker
   (the :meth:`FaultPlan.should_kill` hook).  Under the thread or inline
   executors there is no process to kill and the clause is inert.
+- ``compact`` — crash the matching *compaction attempt* at its swap
+  point (the :meth:`FaultPlan.on_compaction` hook): the rebuild runs to
+  completion, then :class:`FaultInjected` fires just before the atomic
+  shard swap would publish.  The index must abort all-or-nothing — the
+  old shard set keeps serving bit-identical results and no
+  shared-memory segment leaks.  The shard field is ignored (compaction
+  is a whole-index operation; write the clause as ``*:cN:compact``);
+  the call field selects the Nth compaction attempt.
 
 :class:`QueryPoison` is the analogous hook for
 :class:`repro.serving.LookupEngine`: it makes specific (normalized)
@@ -55,7 +63,7 @@ import numpy as np
 
 __all__ = ["FaultInjected", "FaultPlan", "FaultSpec", "QueryPoison"]
 
-_KINDS = ("raise", "delay", "corrupt", "drop", "kill")
+_KINDS = ("raise", "delay", "corrupt", "drop", "kill", "compact")
 
 
 class FaultInjected(RuntimeError):
@@ -109,6 +117,7 @@ class FaultPlan:
         self.specs = tuple(specs)
         self._lock = threading.Lock()
         self._calls: dict[int, int] = {}
+        self._compactions = 0
         self.fired = 0
 
     @classmethod
@@ -152,6 +161,7 @@ class FaultPlan:
         """Zero every call counter and the fired count."""
         with self._lock:
             self._calls.clear()
+            self._compactions = 0
             self.fired = 0
 
     # -- ShardedIndex hook protocol ---------------------------------------------
@@ -162,11 +172,11 @@ class FaultPlan:
             call = self._calls.get(shard, 0)
             self._calls[shard] = call + 1
             # corrupt specs act (and count) in transform(), kill specs in
-            # should_kill(), not here.
+            # should_kill(), compact specs in on_compaction(), not here.
             matched = [
                 s
                 for s in self.specs
-                if s.kind not in ("corrupt", "kill")
+                if s.kind not in ("corrupt", "kill", "compact")
                 and s.matches(shard, call)
             ]
             if matched:
@@ -197,6 +207,35 @@ class FaultPlan:
             if matched:
                 self.fired += 1
         return matched
+
+    def on_compaction(self, phase: str) -> None:
+        """Compaction hook: crash the matching attempt at its swap point.
+
+        The index calls this twice per compaction attempt — once with
+        ``phase="build"`` before the live-set rebuild starts (which
+        counts the attempt) and once with ``phase="swap"`` after the new
+        shards are fully built but *before* the atomic swap publishes
+        them.  A ``compact`` spec whose call index matches the attempt
+        raises :class:`FaultInjected` at the swap point; the index must
+        abort all-or-nothing, leaving the old shard set serving
+        bit-identical results.
+        """
+        with self._lock:
+            if phase == "build":
+                self._compactions += 1
+                return
+            call = max(self._compactions - 1, 0)
+            matched = [
+                s
+                for s in self.specs
+                if s.kind == "compact" and s.matches(s.shard or 0, call)
+            ]
+            if matched:
+                self.fired += 1
+        if matched:
+            raise FaultInjected(
+                f"injected compaction crash at {phase} (attempt {call})"
+            )
 
     def transform(
         self, shard: int, ids: np.ndarray, distances: np.ndarray

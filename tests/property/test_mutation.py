@@ -1,0 +1,507 @@
+"""Mutation properties: seeded op interleavings, old-or-new, crash safety.
+
+Three tiers of guarantees for the online-mutation path:
+
+- **replay equivalence** (sequential) — an index mutated incrementally
+  through any seeded add/remove/update/compact sequence serves results
+  bit-identical to a *twin* built in one shot from the equivalent bulk
+  state (same append order, same tombstones).  Runs over the flat family
+  and sharded indexes under the inline, thread, and process executors.
+- **old-or-new** (concurrent) — a lookup racing a mutation returns a
+  result bit-identical to the pre-mutation oracle or the post-mutation
+  oracle, never a mixture (torn read).  The mutator and the searchers
+  start behind one barrier to maximise overlap.
+- **crash safety** — a compaction killed at its swap point (the
+  ``compact`` fault kind) leaves the old shard set serving bit-identical
+  results, aborts all-or-nothing, and leaks no shared-memory segment; a
+  mutation that lands mid-compaction aborts the swap the same way.
+
+Failures replay with ``REPRO_SEED=<seed> REPRO_CASE=<index>`` (printed in
+the failure message) and shrink to a minimal op sequence.
+"""
+
+import threading
+from dataclasses import dataclass, replace
+
+import numpy as np
+import pytest
+
+from repro.index.flat import FlatIndex
+from repro.index.sharded import ShardedIndex
+from repro.index.shm import owned_segment_names
+from repro.testing import (
+    FaultInjected,
+    FaultPlan,
+    assert_topk_equal,
+    case_rng,
+    run_cases,
+)
+
+DIM = 8
+K = 5
+NUM_SHARDS = 2
+
+
+# -- case model -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MutationCase:
+    """A seeded mutation workload: initial rows plus an op sequence.
+
+    Each op is ``(kind, op_seed, count)`` — the op's *content* (which
+    rows to remove, what vectors to add) is derived from ``op_seed`` at
+    execution time against the live set, so dropping ops during shrink
+    never invalidates the survivors.
+    """
+
+    seed: int
+    n_initial: int
+    ops: tuple[tuple, ...]
+    k: int = K
+
+    def __repr__(self) -> str:
+        kinds = ",".join(op[0] for op in self.ops)
+        return (
+            f"MutationCase(seed={self.seed}, n_initial={self.n_initial}, "
+            f"k={self.k}, ops=[{kinds}])"
+        )
+
+
+class MutationStrategy:
+    """Generates :class:`MutationCase`; shrinks by dropping ops, then rows."""
+
+    OPS = ("add", "remove", "update", "compact")
+
+    def generate(self, rng: np.random.Generator) -> MutationCase:
+        n_initial = int(rng.integers(8, 48))
+        n_ops = int(rng.integers(2, 9))
+        ops = []
+        for _ in range(n_ops):
+            kind = self.OPS[int(rng.integers(0, len(self.OPS)))]
+            ops.append((kind, int(rng.integers(0, 2**31)), int(rng.integers(1, 7))))
+        return MutationCase(
+            seed=int(rng.integers(0, 2**31)),
+            n_initial=n_initial,
+            ops=tuple(ops),
+            k=int(rng.integers(1, K + 3)),
+        )
+
+    def shrink(self, case: MutationCase):
+        for i in range(len(case.ops)):
+            yield replace(case, ops=case.ops[:i] + case.ops[i + 1 :])
+        if case.n_initial > 8:
+            yield replace(case, n_initial=max(8, case.n_initial // 2))
+
+
+class BulkModel:
+    """Replayable bulk state: every row ever appended plus the dead set."""
+
+    def __init__(self, initial: np.ndarray):
+        self.rows = [initial]
+        self.total = len(initial)
+        self.dead: set[int] = set()
+
+    def live_ids(self) -> list[int]:
+        return [i for i in range(self.total) if i not in self.dead]
+
+    def append(self, vectors: np.ndarray) -> None:
+        self.rows.append(vectors)
+        self.total += len(vectors)
+
+    def matrix(self) -> np.ndarray:
+        return np.concatenate(self.rows, axis=0)
+
+    def compacted(self) -> None:
+        """Mirror a compaction: live rows (old order) become the new state."""
+        live = self.matrix()[self.live_ids()]
+        self.rows = [live]
+        self.total = len(live)
+        self.dead = set()
+
+    def twin(self, build) -> object:
+        """A one-shot index over the current bulk state (same layout)."""
+        index = build()
+        matrix = self.matrix()
+        index.train(matrix)
+        index.add(matrix)
+        if self.dead:
+            index.remove(np.asarray(sorted(self.dead), dtype=np.int64))
+        return index
+
+
+def apply_op(index, model: BulkModel, op) -> None:
+    """Apply one seeded op to both the live index and the bulk model."""
+    kind, op_seed, count = op
+    rng = case_rng(op_seed, 0)
+    if kind == "add":
+        vectors = rng.standard_normal((count, DIM)).astype(np.float32)
+        index.add(vectors)
+        model.append(vectors)
+        return
+    if kind == "compact":
+        remap = index.compact()
+        if model.dead:
+            assert remap is not None
+            live = model.live_ids()
+            assert (
+                remap[np.asarray(sorted(model.dead), dtype=np.int64)] == -1
+            ).all()
+            assert sorted(int(remap[i]) for i in live) == list(range(len(live)))
+            model.compacted()
+        else:
+            assert remap is None  # nothing to reclaim: no swap, no remap
+        return
+    live = model.live_ids()
+    if not live:
+        return
+    take = min(count, len(live))
+    picked = sorted(
+        int(i) for i in rng.choice(np.asarray(live), size=take, replace=False)
+    )
+    if kind == "remove":
+        index.remove(np.asarray(picked, dtype=np.int64))
+        model.dead.update(picked)
+        return
+    vectors = rng.standard_normal((take, DIM)).astype(np.float32)
+    new_ids = index.update(np.asarray(picked, dtype=np.int64), vectors)
+    assert len(new_ids) == take
+    model.dead.update(picked)
+    model.append(vectors)
+    assert sorted(int(i) for i in new_ids) == list(
+        range(model.total - take, model.total)
+    )
+
+
+def queries_for(case: MutationCase) -> np.ndarray:
+    return case_rng(case.seed, 1).standard_normal((4, DIM)).astype(np.float32)
+
+
+# -- replay equivalence -----------------------------------------------------------
+
+
+class TestReplayEquivalence:
+    """Incremental mutation == one-shot bulk build, after every op."""
+
+    def check(self, case: MutationCase, build_live, build_twin) -> None:
+        queries = queries_for(case)
+        initial = (
+            case_rng(case.seed, 2)
+            .standard_normal((case.n_initial, DIM))
+            .astype(np.float32)
+        )
+        model = BulkModel(initial)
+        index = build_live()
+        try:
+            index.train(initial)
+            index.add(initial)
+            for step, op in enumerate(case.ops):
+                apply_op(index, model, op)
+                twin = model.twin(build_twin)
+                try:
+                    assert_topk_equal(
+                        index.search(queries, case.k),
+                        twin.search(queries, case.k),
+                        context=f"after op {step} ({op[0]})",
+                    )
+                finally:
+                    close = getattr(twin, "close", None)
+                    if close:
+                        close()
+        finally:
+            close = getattr(index, "close", None)
+            if close:
+                close()
+
+    def test_flat_replay_equivalence(self):
+        def prop(case):
+            self.check(
+                case, lambda: FlatIndex(DIM), lambda: FlatIndex(DIM)
+            )
+
+        run_cases(prop, MutationStrategy(), cases=40, name="flat_replay")
+
+    @pytest.mark.parametrize("executor", ["inline", "thread"])
+    def test_sharded_replay_equivalence(self, executor):
+        def prop(case):
+            self.check(
+                case,
+                lambda: ShardedIndex(
+                    DIM,
+                    NUM_SHARDS,
+                    factory=lambda d: FlatIndex(d),
+                    executor=executor,
+                ),
+                lambda: ShardedIndex(
+                    DIM,
+                    NUM_SHARDS,
+                    factory=lambda d: FlatIndex(d),
+                    executor="inline",
+                ),
+            )
+
+        run_cases(
+            prop,
+            MutationStrategy(),
+            cases=15,
+            name=f"sharded_{executor}_replay",
+        )
+
+    def test_process_replay_equivalence(self):
+        """Process workers observe every mutation (invalidate + re-export);
+        the inline twin is the ground truth."""
+
+        def prop(case):
+            self.check(
+                case,
+                lambda: ShardedIndex(
+                    DIM,
+                    NUM_SHARDS,
+                    factory=lambda d: FlatIndex(d),
+                    executor="process",
+                    num_workers=2,
+                ),
+                lambda: ShardedIndex(
+                    DIM,
+                    NUM_SHARDS,
+                    factory=lambda d: FlatIndex(d),
+                    executor="inline",
+                ),
+            )
+
+        run_cases(prop, MutationStrategy(), cases=3, name="process_replay")
+        assert owned_segment_names() == []
+
+
+# -- old-or-new under concurrency -------------------------------------------------
+
+
+class OldOrNewStrategy(MutationStrategy):
+    """Cases with exactly one mutation op (the racing write)."""
+
+    def generate(self, rng: np.random.Generator) -> MutationCase:
+        case = super().generate(rng)
+        kind = ("add", "remove", "update")[int(rng.integers(0, 3))]
+        return replace(
+            case, ops=((kind, int(rng.integers(0, 2**31)), 3),)
+        )
+
+    def shrink(self, case: MutationCase):
+        if case.n_initial > 8:
+            yield replace(case, n_initial=max(8, case.n_initial // 2))
+
+
+class TestOldOrNew:
+    """A lookup racing one mutation sees the old set or the new set —
+    bit-identical to one of the two sequential oracles, never a blend."""
+
+    SEARCHERS = 4
+    ROUNDS = 6
+
+    def check(self, case: MutationCase, build_live, build_twin) -> None:
+        queries = queries_for(case)
+        initial = (
+            case_rng(case.seed, 2)
+            .standard_normal((case.n_initial, DIM))
+            .astype(np.float32)
+        )
+        model = BulkModel(initial)
+        index = build_live()
+        try:
+            index.train(initial)
+            index.add(initial)
+            old_twin = model.twin(build_twin)
+            old = old_twin.search(queries, case.k)
+            barrier = threading.Barrier(self.SEARCHERS + 1)
+            observed = [[] for _ in range(self.SEARCHERS)]
+            errors = []
+
+            def search(slot):
+                try:
+                    barrier.wait()
+                    for _ in range(self.ROUNDS):
+                        observed[slot].append(index.search(queries, case.k))
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+
+            def mutate():
+                barrier.wait()
+                apply_op(index, model, case.ops[0])
+
+            threads = [
+                threading.Thread(target=search, args=(slot,))
+                for slot in range(self.SEARCHERS)
+            ] + [threading.Thread(target=mutate)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            if errors:
+                raise errors[0]
+            new_twin = model.twin(build_twin)
+            new = new_twin.search(queries, case.k)
+            for slot_results in observed:
+                for result in slot_results:
+                    matches_old = _equals(result, old)
+                    matches_new = _equals(result, new)
+                    assert matches_old or matches_new, (
+                        f"torn read: {result.ids.tolist()} is neither the "
+                        f"pre-mutation result {old.ids.tolist()} nor the "
+                        f"post-mutation result {new.ids.tolist()}"
+                    )
+            close = getattr(old_twin, "close", None)
+            if close:
+                close()
+            close = getattr(new_twin, "close", None)
+            if close:
+                close()
+        finally:
+            close = getattr(index, "close", None)
+            if close:
+                close()
+
+    def test_flat_old_or_new(self):
+        def prop(case):
+            self.check(case, lambda: FlatIndex(DIM), lambda: FlatIndex(DIM))
+
+        run_cases(prop, OldOrNewStrategy(), cases=20, name="flat_old_or_new")
+
+    def test_sharded_thread_old_or_new(self):
+        def prop(case):
+            self.check(
+                case,
+                lambda: ShardedIndex(
+                    DIM,
+                    NUM_SHARDS,
+                    factory=lambda d: FlatIndex(d),
+                    executor="thread",
+                ),
+                lambda: ShardedIndex(
+                    DIM,
+                    NUM_SHARDS,
+                    factory=lambda d: FlatIndex(d),
+                    executor="inline",
+                ),
+            )
+
+        run_cases(
+            prop, OldOrNewStrategy(), cases=8, name="sharded_old_or_new"
+        )
+
+    def test_sharded_process_old_or_new(self):
+        def prop(case):
+            self.check(
+                case,
+                lambda: ShardedIndex(
+                    DIM,
+                    NUM_SHARDS,
+                    factory=lambda d: FlatIndex(d),
+                    executor="process",
+                    num_workers=2,
+                ),
+                lambda: ShardedIndex(
+                    DIM,
+                    NUM_SHARDS,
+                    factory=lambda d: FlatIndex(d),
+                    executor="inline",
+                ),
+            )
+
+        run_cases(
+            prop, OldOrNewStrategy(), cases=3, name="process_old_or_new"
+        )
+        assert owned_segment_names() == []
+
+
+def _equals(got, want) -> bool:
+    return np.array_equal(got.ids, want.ids) and np.array_equal(
+        got.distances, want.distances
+    )
+
+
+# -- compaction crash safety ------------------------------------------------------
+
+
+class TestCompactionCrash:
+    @pytest.fixture()
+    def populated(self, request):
+        executor = request.param
+        rng = case_rng(37, 0)
+        vectors = rng.standard_normal((96, DIM)).astype(np.float32)
+        queries = rng.standard_normal((5, DIM)).astype(np.float32)
+        plan = FaultPlan.parse("*:c0:compact")
+        index = ShardedIndex(
+            DIM,
+            NUM_SHARDS,
+            factory=lambda d: FlatIndex(d),
+            executor=executor,
+            num_workers=2 if executor == "process" else None,
+            fault_hook=plan,
+        )
+        index.train(vectors)
+        index.add(vectors)
+        index.remove(np.arange(0, 24, dtype=np.int64))
+        yield index, plan, queries
+        index.close()
+
+    @pytest.mark.parametrize(
+        "populated", ["inline", "thread", "process"], indirect=True
+    )
+    def test_crash_at_swap_leaves_old_shards_serving(self, populated):
+        """The injected swap crash aborts all-or-nothing: bit-identical
+        results from the old shard set, tombstones intact, no shm leak,
+        and the *next* compaction attempt succeeds."""
+        index, plan, queries = populated
+        before = index.search(queries, 10)
+        with pytest.raises(FaultInjected):
+            index.compact()
+        assert plan.fired == 1
+        assert index.tombstone_count == 24
+        assert_topk_equal(
+            index.search(queries, 10), before, context="post-crash"
+        )
+        remap = index.compact()  # attempt c1 is not matched by the plan
+        assert remap is not None
+        assert index.tombstone_count == 0 and index.ntotal == 72
+        after = index.search(queries, 10)
+        assert np.array_equal(remap[before.ids], after.ids)
+        np.testing.assert_array_equal(before.distances, after.distances)
+        index.close()
+        assert owned_segment_names() == []
+
+    def test_mutation_mid_compaction_aborts_swap(self):
+        """A mutation landing between build and swap bumps the epoch; the
+        compaction must abort (return None) rather than publish shards
+        that no longer reflect the store."""
+        rng = case_rng(41, 0)
+        vectors = rng.standard_normal((60, DIM)).astype(np.float32)
+        queries = rng.standard_normal((4, DIM)).astype(np.float32)
+        index = ShardedIndex(
+            DIM, NUM_SHARDS, factory=lambda d: FlatIndex(d), executor="inline"
+        )
+        extra = rng.standard_normal((3, DIM)).astype(np.float32)
+
+        class MutateAtSwap:
+            def __init__(self):
+                self.fired = 0
+
+            def on_compaction(self, phase):
+                if phase == "swap" and self.fired == 0:
+                    self.fired += 1
+                    index.add(extra)
+
+        hook = MutateAtSwap()
+        index.fault_hook = hook
+        index.train(vectors)
+        index.add(vectors)
+        index.remove(np.arange(0, 10, dtype=np.int64))
+        assert index.compact() is None  # epoch moved mid-build: abort
+        assert hook.fired == 1
+        assert index.tombstone_count == 10  # nothing reclaimed
+        assert index.ntotal == 63  # the racing add landed
+        got = index.search(extra, 1)
+        assert (got.ids[:, 0] >= 60).all()
+        index.fault_hook = None
+        remap = index.compact()  # quiescent retry succeeds
+        assert remap is not None and index.ntotal == 53
+        index.close()
